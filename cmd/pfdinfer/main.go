@@ -1,0 +1,114 @@
+// Command pfdinfer runs the Section 3 reasoning tasks over a rules file:
+// consistency checking (Theorem 3), implication with proof output
+// (Theorem 1/2), and counterexample search.
+//
+// The rules file holds one constraint per line in the paper's notation
+// (blank lines and #-comments ignored):
+//
+//	# first names determine gender
+//	Name([name = (John\ )\A*] -> [gender = M])
+//	Name([gender = M] -> [title = Mr])
+//
+// Usage:
+//
+//	pfdinfer -rules rules.txt -check consistency
+//	pfdinfer -rules rules.txt -implies 'Name([name = (John\ )\A*] -> [title = Mr])'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pfd/internal/inference"
+)
+
+func main() {
+	rulesPath := flag.String("rules", "", "path to the rules file (required)")
+	check := flag.String("check", "", "task: 'consistency'")
+	implies := flag.String("implies", "", "goal rule to test for implication")
+	flag.Parse()
+
+	if *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "pfdinfer: -rules is required")
+		os.Exit(2)
+	}
+	rules, err := loadRules(*rulesPath)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("loaded %d rules\n", len(rules))
+
+	switch {
+	case *check == "consistency":
+		witness, ok := inference.Consistent(rules)
+		if !ok {
+			fmt.Println("INCONSISTENT: no single-tuple witness exists (Theorem 3 small-model search)")
+			os.Exit(1)
+		}
+		fmt.Println("CONSISTENT; witness tuple:")
+		for a, v := range witness {
+			fmt.Printf("  %s = %q\n", a, v)
+		}
+	case *implies != "":
+		goal, err := inference.ParseRule(*implies)
+		if err != nil {
+			fail(err)
+		}
+		if proof := inference.Prove(rules, goal); proof != nil {
+			fmt.Println("IMPLIED; proof:")
+			fmt.Print(proof)
+			return
+		}
+		if ce := inference.FindCounterexample(rules, goal); ce != nil {
+			fmt.Println("NOT IMPLIED; two-tuple counterexample (satisfies Ψ, violates goal):")
+			printTuple("t1", ce.T1)
+			printTuple("t2", ce.T2)
+			os.Exit(1)
+		}
+		fmt.Println("UNDECIDED: not derivable by the closure and no counterexample in the small-model pool")
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "pfdinfer: specify -check consistency or -implies '<rule>'")
+		os.Exit(2)
+	}
+}
+
+func loadRules(path string) ([]*inference.Rule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rules []*inference.Rule
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		r, err := inference.ParseRule(text)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, sc.Err()
+}
+
+func printTuple(name string, t map[string]string) {
+	fmt.Printf("  %s:", name)
+	for a, v := range t {
+		fmt.Printf(" %s=%q", a, v)
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pfdinfer:", err)
+	os.Exit(1)
+}

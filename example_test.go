@@ -1,0 +1,93 @@
+package pfd_test
+
+import (
+	"fmt"
+
+	"pfd"
+)
+
+// ExampleDiscover mines the paper's Zip -> City dependency from Table 2
+// (scaled past the support thresholds) and repairs the seeded error.
+func ExampleDiscover() {
+	t := pfd.NewTable("Zip", "zip", "city")
+	for _, z := range []string{"90001", "90002", "90003", "90005", "90011", "90012"} {
+		t.Append(z, "Los Angeles")
+	}
+	for _, z := range []string{"60601", "60602", "60603", "60604", "60605", "60607"} {
+		t.Append(z, "Chicago")
+	}
+	t.Append("90004", "New York") // s4's error
+
+	res := pfd.Discover(t, pfd.Params{MinSupport: 5, Delta: 0.15, MinCoverage: 0.10})
+	for _, d := range res.Dependencies {
+		if d.RHS == "city" {
+			fmt.Println(d.Embedded(), "variable:", d.Variable)
+		}
+	}
+	for _, f := range pfd.Detect(t, res.PFDs()) {
+		fmt.Printf("%s: %q -> %q\n", f.Cell, f.Observed, f.Proposed)
+	}
+	// Output:
+	// [zip] -> [city] variable: true
+	// r12[city]: "New York" -> "Los Angeles"
+}
+
+// ExamplePattern_Equivalent shows constrained-pattern equivalence: two
+// full names are equivalent under λ4's pattern iff their first names
+// agree.
+func ExamplePattern_Equivalent() {
+	p := pfd.MustParsePattern(`(\LU\LL*\ )\A*`)
+	fmt.Println(p.Equivalent("John Charles", "John Bosco"))
+	fmt.Println(p.Equivalent("John Charles", "Susan Orlean"))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleNewPFD builds ψ1 of Figure 2 by hand and checks Table 1.
+func ExampleNewPFD() {
+	t := pfd.NewTable("Name", "name", "gender")
+	t.Append("John Charles", "M")
+	t.Append("Susan Boyle", "M") // should be F
+
+	psi, _ := pfd.NewPFD("Name", []string{"name"}, "gender",
+		pfd.TableauRow{
+			LHS: []pfd.TableauCell{pfd.Pat(pfd.MustParsePattern(`(Susan\ )\A*`))},
+			RHS: pfd.Pat(pfd.ConstantPattern("F")),
+		},
+	)
+	for _, v := range psi.Violations(t) {
+		fmt.Println(v.ErrorCell, "expected", v.Expected)
+	}
+	// Output:
+	// r1[gender] expected F
+}
+
+// ExampleImplies demonstrates Section 3 reasoning: transitivity through
+// the PFD-closure.
+func ExampleImplies() {
+	john, _ := pfd.ParseRule(`Name([name = (John\ )\A*] -> [gender = M])`)
+	title, _ := pfd.ParseRule(`Name([gender = M] -> [title = Mr])`)
+	goal, _ := pfd.ParseRule(`Name([name = (John\ )\A*] -> [title = Mr])`)
+	fmt.Println(pfd.Implies([]*pfd.Rule{john, title}, goal))
+	// Output:
+	// true
+}
+
+// ExampleNewChecker validates a stream against a mined constraint.
+func ExampleNewChecker() {
+	psi, _ := pfd.NewPFD("Zip", []string{"zip"}, "state",
+		pfd.TableauRow{
+			LHS: []pfd.TableauCell{pfd.Pat(pfd.MustParsePattern(`(\D{3})\D{2}`))},
+			RHS: pfd.Wildcard(),
+		},
+	)
+	c := pfd.NewChecker([]*pfd.PFD{psi})
+	c.CheckNext(map[string]string{"zip": "90001", "state": "CA"})
+	c.CheckNext(map[string]string{"zip": "90002", "state": "CA"})
+	for _, v := range c.CheckNext(map[string]string{"zip": "90003", "state": "WA"}) {
+		fmt.Println(v.Cell, "expected", v.Expected)
+	}
+	// Output:
+	// r2[state] expected CA
+}

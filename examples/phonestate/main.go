@@ -1,0 +1,56 @@
+// phonestate reproduces the PHONE NUMBER -> STATE block of Table 3 on the
+// synthetic staff directory (T14): area codes determine states, and the
+// validated PFDs surface exactly the paper's error shapes
+// ("8505467600 — CA" where 850 is Florida).
+package main
+
+import (
+	"fmt"
+
+	"pfd"
+	"pfd/internal/datagen"
+)
+
+func main() {
+	spec, _ := datagen.SpecByID("T14")
+	t, truth := spec.Build(2500, 42, 0.01)
+	fmt.Printf("T14 staff directory: %d rows, %d seeded dirty cells\n\n", t.NumRows(), len(truth.Errors))
+
+	params := pfd.DefaultParams()
+	params.DisableGeneralize = true // constant PFDs, like Table 3 shows
+	res := pfd.Discover(t, params)
+
+	oracle := datagen.AreaToState()
+	for _, d := range res.Dependencies {
+		if len(d.LHS) != 1 || d.LHS[0] != "phone" || d.RHS != "state" {
+			continue
+		}
+		fmt.Println("dependency:", d.Embedded())
+		fmt.Println("pattern tableau (sample):")
+		shown := 0
+		for _, row := range d.PFD.Tableau {
+			area, ok1 := row.LHS[0].Constant()
+			state, ok2 := row.RHS.Constant()
+			if !ok1 || !ok2 || shown == 5 {
+				continue
+			}
+			mark := "OK"
+			if len(area) < 3 || oracle[area[:3]] != state {
+				mark = "NOT VALIDATED"
+			}
+			fmt.Printf("  %s\\D{7} -> %s   [%s]\n", area, state, mark)
+			shown++
+		}
+		findings := pfd.Detect(t, []*pfd.PFD{d.PFD})
+		fmt.Printf("\nerrors uncovered (%d):\n", len(findings))
+		shown = 0
+		for _, f := range findings {
+			if shown == 5 {
+				break
+			}
+			phone := t.Value(f.Cell.Row, "phone")
+			fmt.Printf("  %s — %s   (should be %s)\n", phone, f.Observed, f.Proposed)
+			shown++
+		}
+	}
+}

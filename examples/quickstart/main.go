@@ -1,0 +1,72 @@
+// Quickstart: the paper's running example (Tables 1 and 2 of the
+// introduction) end to end — construct the tables, declare the PFDs of
+// Figure 2 by hand, detect the seeded errors, then let discovery find the
+// same constraints automatically.
+package main
+
+import (
+	"fmt"
+
+	"pfd"
+)
+
+func main() {
+	// Table 1 (D1: Name) with the seeded error r4[gender] = M.
+	name := pfd.NewTable("Name", "name", "gender")
+	name.Append("John Charles", "M")
+	name.Append("John Bosco", "M")
+	name.Append("Susan Orlean", "F")
+	name.Append("Susan Boyle", "M") // should be F
+
+	// ψ1 of Figure 2: constant first-name rows.
+	psi1, err := pfd.NewPFD("Name", []string{"name"}, "gender",
+		pfd.TableauRow{
+			LHS: []pfd.TableauCell{pfd.Pat(pfd.MustParsePattern(`(John\ )\A*`))},
+			RHS: pfd.Pat(pfd.ConstantPattern("M")),
+		},
+		pfd.TableauRow{
+			LHS: []pfd.TableauCell{pfd.Pat(pfd.MustParsePattern(`(Susan\ )\A*`))},
+			RHS: pfd.Pat(pfd.ConstantPattern("F")),
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ψ1:", psi1)
+	for _, v := range psi1.Violations(name) {
+		fmt.Printf("  violation: %s (expected %q)\n", v.ErrorCell, v.Expected)
+	}
+
+	// ψ2: the variable PFD λ4 — first name determines gender.
+	psi2, _ := pfd.NewPFD("Name", []string{"name"}, "gender",
+		pfd.TableauRow{
+			LHS: []pfd.TableauCell{pfd.Pat(pfd.MustParsePattern(`(\LU\LL*\ )\A*`))},
+			RHS: pfd.Wildcard(),
+		},
+	)
+	fmt.Println("ψ2:", psi2)
+	fmt.Printf("  violations: %d (r3 vs r4, same first name Susan)\n", len(psi2.Violations(name)))
+
+	// Table 2 (D2: Zip) with the seeded error s4[city], scaled up so the
+	// discovery thresholds are met, then cleaned automatically.
+	zip := pfd.NewTable("Zip", "zip", "city")
+	for _, z := range []string{"90001", "90002", "90003", "90005", "90011", "90012"} {
+		zip.Append(z, "Los Angeles")
+	}
+	for _, z := range []string{"60601", "60602", "60603", "60604", "60605", "60607"} {
+		zip.Append(z, "Chicago")
+	}
+	zip.Append("90004", "New York") // s4's error
+
+	res := pfd.Discover(zip, pfd.Params{MinSupport: 5, Delta: 0.15, MinCoverage: 0.10})
+	fmt.Println("\ndiscovered on Zip:")
+	for _, d := range res.Dependencies {
+		fmt.Printf("  %s (variable=%v) %s\n", d.Embedded(), d.Variable, d.PFD)
+	}
+	findings := pfd.Detect(zip, res.PFDs())
+	for _, f := range findings {
+		fmt.Printf("  error %s: %q should be %q\n", f.Cell, f.Observed, f.Proposed)
+	}
+	fixed, n := pfd.Repair(zip, findings)
+	fmt.Printf("  repaired %d cell(s); s4 is now %q\n", n, fixed.Value(12, "city"))
+}

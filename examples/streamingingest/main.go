@@ -1,0 +1,57 @@
+// streamingingest demonstrates ingest-time cleaning: PFDs mined offline
+// from a trusted batch guard a live tuple stream, flagging each dirty
+// record the moment it arrives instead of in a nightly batch pass.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pfd"
+)
+
+var zones = []struct{ prefix, state string }{
+	{"900", "CA"}, {"606", "IL"}, {"100", "NY"}, {"331", "FL"}, {"021", "MA"},
+}
+
+func main() {
+	// Offline: mine constraints from a clean reference batch.
+	rng := rand.New(rand.NewSource(3))
+	ref := pfd.NewTable("ZipState", "zip", "state")
+	for i := 0; i < 500; i++ {
+		z := zones[rng.Intn(len(zones))]
+		ref.Append(fmt.Sprintf("%s%02d", z.prefix, rng.Intn(100)), z.state)
+	}
+	res := pfd.Discover(ref, pfd.DefaultParams())
+	fmt.Printf("mined %d dependencies from the reference batch:\n", len(res.Dependencies))
+	for _, d := range res.Dependencies {
+		fmt.Printf("  %s  %s\n", d.Embedded(), d.PFD)
+	}
+
+	// Online: validate a stream, one tuple at a time. Seed the checker
+	// with the reference batch so group consensus exists from the start.
+	checker := pfd.NewChecker(res.PFDs())
+	for _, row := range ref.Rows {
+		checker.CheckNext(map[string]string{"zip": row[0], "state": row[1]})
+	}
+
+	stream := []map[string]string{
+		{"zip": "90055", "state": "CA"}, // clean
+		{"zip": "60612", "state": "IL"}, // clean
+		{"zip": "90017", "state": "WA"}, // wrong state for a 900 zip
+		{"zip": "33121", "state": "FL"}, // clean
+		{"zip": "02134", "state": "mA"}, // case typo
+	}
+	fmt.Println("\nvalidating live stream:")
+	for i, tuple := range stream {
+		vs := checker.CheckNext(tuple)
+		status := "ok"
+		for _, v := range vs {
+			if v.NewTuple {
+				status = fmt.Sprintf("REJECTED: %s should be %q (by %s)",
+					v.Cell.Col, v.Expected, v.PFD.Embedded())
+			}
+		}
+		fmt.Printf("  tuple %d %v -> %s\n", i, tuple, status)
+	}
+}

@@ -1,0 +1,88 @@
+// Package cfd implements the conditional-functional-dependency baseline
+// the paper compares against (CFDFinder, Section 5.1): constant and
+// variable CFDs [Fan et al. 2008, 2011] discovered with support and
+// confidence thresholds. As the paper notes, CFDs are the special case of
+// PFDs whose tableau cells are whole-value constants or '_', so the
+// satisfaction machinery converts to PFDs and reuses their semantics.
+package cfd
+
+import (
+	"fmt"
+	"strings"
+
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+)
+
+// A Cell is a CFD tableau entry: a whole-value constant or the unnamed
+// variable '_' (empty Const with IsVar true).
+type Cell struct {
+	Const string
+	IsVar bool
+}
+
+// Var is the '_' cell.
+func Var() Cell { return Cell{IsVar: true} }
+
+// Const wraps a constant cell.
+func Const(v string) Cell { return Cell{Const: v} }
+
+func (c Cell) String() string {
+	if c.IsVar {
+		return "_"
+	}
+	return c.Const
+}
+
+// A CFD is a conditional functional dependency in normal form with a
+// single tableau row, e.g. Name([name = John Charles] -> [gender = M]).
+type CFD struct {
+	Relation string
+	LHS      []string
+	RHS      string
+	Row      []Cell // aligned with LHS
+	RHSCell  Cell
+}
+
+// String renders the CFD in the paper's φ notation.
+func (c *CFD) String() string {
+	var b strings.Builder
+	b.WriteString(c.Relation)
+	b.WriteString("([")
+	for i, a := range c.LHS {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s = %s", a, c.Row[i])
+	}
+	fmt.Fprintf(&b, "] -> [%s = %s])", c.RHS, c.RHSCell)
+	return b.String()
+}
+
+// ToPFD converts the CFD to the equivalent PFD: constants become
+// fully-constrained constant patterns and '_' becomes the wildcard.
+func (c *CFD) ToPFD() *pfd.PFD {
+	lhs := make([]pfd.Cell, len(c.Row))
+	for i, cell := range c.Row {
+		lhs[i] = toPFDCell(cell)
+	}
+	return pfd.MustNew(c.Relation, c.LHS, c.RHS, pfd.Row{LHS: lhs, RHS: toPFDCell(c.RHSCell)})
+}
+
+func toPFDCell(c Cell) pfd.Cell {
+	if c.IsVar {
+		return pfd.Wildcard()
+	}
+	return pfd.Pat(pattern.Constant(c.Const))
+}
+
+// Violations checks the CFD on a table via its PFD embedding.
+func (c *CFD) Violations(t *relation.Table) []pfd.Violation {
+	return c.ToPFD().Violations(t)
+}
+
+// Satisfied reports T |= φ.
+func (c *CFD) Satisfied(t *relation.Table) bool {
+	return len(c.Violations(t)) == 0
+}

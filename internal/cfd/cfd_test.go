@@ -1,0 +1,156 @@
+package cfd
+
+import (
+	"strings"
+	"testing"
+
+	"pfd/internal/relation"
+)
+
+func nameTable() *relation.Table {
+	t := relation.New("Name", "name", "gender")
+	t.Append("John Charles", "M")
+	t.Append("John Bosco", "M")
+	t.Append("Susan Orlean", "F")
+	t.Append("Susan Boyle", "M")
+	return t
+}
+
+func TestCFDStringAndConvert(t *testing.T) {
+	c := &CFD{
+		Relation: "Name", LHS: []string{"name"}, RHS: "gender",
+		Row: []Cell{Const("John Charles")}, RHSCell: Const("M"),
+	}
+	if got := c.String(); !strings.Contains(got, "name = John Charles") {
+		t.Errorf("String = %q", got)
+	}
+	p := c.ToPFD()
+	if p.RHS != "gender" || len(p.Tableau) != 1 {
+		t.Fatalf("ToPFD = %+v", p)
+	}
+	tb := nameTable()
+	if !c.Satisfied(tb) {
+		t.Error("φ1 must hold on Table 1")
+	}
+	bad := &CFD{
+		Relation: "Name", LHS: []string{"name"}, RHS: "gender",
+		Row: []Cell{Const("Susan Boyle")}, RHSCell: Const("F"),
+	}
+	vs := bad.Violations(tb)
+	if len(vs) != 1 || vs[0].ErrorCell != (relation.Cell{Row: 3, Col: "gender"}) {
+		t.Fatalf("violations = %+v", vs)
+	}
+}
+
+func TestVariableCFDViaPFD(t *testing.T) {
+	c := &CFD{
+		Relation: "Name", LHS: []string{"name"}, RHS: "gender",
+		Row: []Cell{Var()}, RHSCell: Var(),
+	}
+	tb := nameTable()
+	// name is a key here, so the variable CFD (an ordinary FD) holds.
+	if !c.Satisfied(tb) {
+		t.Error("variable CFD on key must hold")
+	}
+	tb.Append("John Charles", "F") // now name no longer determines gender
+	if c.Satisfied(tb) {
+		t.Error("duplicate name with different gender must violate")
+	}
+}
+
+// zipTable has enough redundancy for constant mining: zip prefixes do not
+// matter to CFDs, but city repeats.
+func zipStateTable() *relation.Table {
+	t := relation.New("Z", "city", "state")
+	for i := 0; i < 6; i++ {
+		t.Append("Chicago", "IL")
+	}
+	for i := 0; i < 6; i++ {
+		t.Append("Springfield", "IL")
+	}
+	for i := 0; i < 6; i++ {
+		t.Append("Boston", "MA")
+	}
+	return t
+}
+
+func TestMineConstantCFDs(t *testing.T) {
+	tb := zipStateTable()
+	res := Mine(tb, MinerOptions{Confidence: 0.99, MinSupport: 3, MaxLHS: 1})
+	var found bool
+	for _, c := range res.CFDs {
+		if c.RHS == "state" && len(c.Row) == 1 && !c.Row[0].IsVar &&
+			c.Row[0].Const == "Chicago" && c.RHSCell.Const == "IL" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("constant CFD city=Chicago -> state=IL missing; got %d CFDs", len(res.CFDs))
+	}
+	// city -> state holds exactly, so the variable CFD must be there too.
+	var variable bool
+	for _, c := range res.CFDs {
+		if c.RHS == "state" && len(c.Row) == 1 && c.Row[0].IsVar {
+			variable = true
+		}
+	}
+	if !variable {
+		t.Error("variable CFD city -> state missing")
+	}
+	if len(res.Embedded) == 0 {
+		t.Error("embedded dependencies must be reported")
+	}
+}
+
+func TestMineConfidenceToleratesDirt(t *testing.T) {
+	tb := zipStateTable()
+	tb.Append("Chicago", "NY") // one dirty tuple out of 7 Chicago rows
+	strict := Mine(tb, MinerOptions{Confidence: 0.999, MinSupport: 3, MaxLHS: 1})
+	for _, c := range strict.CFDs {
+		if c.RHS == "state" && !c.Row[0].IsVar && c.Row[0].Const == "Chicago" {
+			t.Error("strict confidence must reject dirty Chicago rule")
+		}
+	}
+	loose := Mine(tb, MinerOptions{Confidence: 0.85, MinSupport: 3, MaxLHS: 1})
+	var found bool
+	for _, c := range loose.CFDs {
+		if c.RHS == "state" && !c.Row[0].IsVar && c.Row[0].Const == "Chicago" && c.RHSCell.Const == "IL" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loose confidence must keep dirty Chicago rule")
+	}
+}
+
+func TestMineMultiAttributeLHS(t *testing.T) {
+	tb := relation.New("T", "a", "b", "c")
+	for i := 0; i < 5; i++ {
+		tb.Append("x", "1", "p")
+	}
+	for i := 0; i < 5; i++ {
+		tb.Append("x", "2", "q")
+	}
+	res := Mine(tb, MinerOptions{Confidence: 0.99, MinSupport: 3, MaxLHS: 2})
+	var pairRule bool
+	for _, c := range res.CFDs {
+		if len(c.Row) == 2 && !c.Row[0].IsVar && !c.Row[1].IsVar && c.RHS == "c" {
+			pairRule = true
+		}
+	}
+	if !pairRule {
+		t.Error("two-attribute constant CFD (a=x, b=1) -> c missing")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	opt := DefaultMinerOptions()
+	if opt.Confidence != 0.995 || opt.MinSupport != 5 || opt.MaxLHS != 2 {
+		t.Errorf("defaults = %+v", opt)
+	}
+	// Zero options must be normalized, not crash.
+	tb := zipStateTable()
+	if res := Mine(tb, MinerOptions{}); res == nil {
+		t.Error("Mine with zero options returned nil")
+	}
+}

@@ -1,0 +1,214 @@
+package cfd
+
+import (
+	"sort"
+
+	"pfd/internal/fd"
+	"pfd/internal/relation"
+)
+
+// MinerOptions tunes the CFDFinder-style discovery.
+type MinerOptions struct {
+	// Confidence is the minimum fraction of tuples matching the LHS whose
+	// RHS agrees with the majority. The paper runs CFDFinder at 0.995.
+	Confidence float64
+	// MinSupport is the minimum number of tuples an LHS constant
+	// combination must cover to yield a constant CFD.
+	MinSupport int
+	// MaxLHS caps LHS size for both constant and variable CFDs.
+	MaxLHS int
+}
+
+// DefaultMinerOptions mirrors the paper's §5 setting.
+func DefaultMinerOptions() MinerOptions {
+	return MinerOptions{Confidence: 0.995, MinSupport: 5, MaxLHS: 2}
+}
+
+// Result groups the discovered CFDs by their embedded dependency.
+type Result struct {
+	CFDs []*CFD
+	// Embedded lists the distinct embedded FDs "X -> B" witnessed by at
+	// least one CFD, as (LHS mask, RHS) pairs — Table 7 counts embedded
+	// dependencies, not tableau rows.
+	Embedded []fd.FD
+}
+
+// Mine discovers variable CFDs (approximate embedded FDs over the whole
+// relation) and constant CFDs (frequent LHS value combinations whose RHS
+// is near-constant), in the spirit of CFDFinder [13] as configured in the
+// paper's experiments.
+func Mine(t *relation.Table, opt MinerOptions) *Result {
+	if opt.Confidence <= 0 {
+		opt.Confidence = 0.995
+	}
+	if opt.MinSupport <= 0 {
+		opt.MinSupport = 5
+	}
+	if opt.MaxLHS <= 0 {
+		opt.MaxLHS = 2
+	}
+	res := &Result{}
+	embedded := map[fd.FD]bool{}
+
+	// Variable CFDs: the embedded FD holds on the whole table with g3
+	// error at most 1-confidence. Tableau is all '_'.
+	maxErr := 1 - opt.Confidence
+	for _, f := range fd.TANE(t, fd.TANEOptions{MaxLHS: opt.MaxLHS, MaxError: maxErr}) {
+		if f.LHS == 0 {
+			continue // constant column; not a CFD
+		}
+		names := f.LHS.Names(t)
+		row := make([]Cell, len(names))
+		for i := range row {
+			row[i] = Var()
+		}
+		res.CFDs = append(res.CFDs, &CFD{
+			Relation: t.Name, LHS: names, RHS: t.Cols[f.RHS],
+			Row: row, RHSCell: Var(),
+		})
+		embedded[f] = true
+	}
+
+	// Constant CFDs: level-wise over frequent constant LHS combinations.
+	res.CFDs = append(res.CFDs, mineConstant(t, opt, embedded)...)
+
+	for f := range embedded {
+		res.Embedded = append(res.Embedded, f)
+	}
+	fd.SortFDs(res.Embedded)
+	return res
+}
+
+// itemset is a frequent constant assignment to an attribute set.
+type itemset struct {
+	attrs fd.AttrSet
+	key   string // joint value key
+	rows  []int
+}
+
+// mineConstant finds constant CFDs with support and confidence thresholds.
+func mineConstant(t *relation.Table, opt MinerOptions, embedded map[fd.FD]bool) []*CFD {
+	n := t.NumCols()
+	var out []*CFD
+
+	// Level 1 itemsets: frequent single-attribute constants.
+	var level []itemset
+	for c := 0; c < n; c++ {
+		groups := map[string][]int{}
+		for r, row := range t.Rows {
+			groups[row[c]] = append(groups[row[c]], r)
+		}
+		for v, rows := range groups {
+			if len(rows) >= opt.MinSupport && v != "" {
+				level = append(level, itemset{attrs: fd.NewAttrSet(c), key: v, rows: rows})
+			}
+		}
+	}
+	sortItemsets(level)
+
+	for size := 1; size <= opt.MaxLHS && len(level) > 0; size++ {
+		for _, it := range level {
+			out = append(out, emitConstant(t, opt, it, embedded)...)
+		}
+		if size == opt.MaxLHS {
+			break
+		}
+		level = extendItemsets(t, level, opt.MinSupport)
+	}
+	return out
+}
+
+// emitConstant emits one constant CFD per RHS attribute whose value is
+// near-constant on the itemset's rows.
+func emitConstant(t *relation.Table, opt MinerOptions, it itemset, embedded map[fd.FD]bool) []*CFD {
+	var out []*CFD
+	lhsCols := it.attrs.Cols()
+	vals := splitKey(it.key, len(lhsCols))
+	for b := 0; b < t.NumCols(); b++ {
+		if it.attrs.Has(b) {
+			continue
+		}
+		counts := map[string]int{}
+		for _, r := range it.rows {
+			counts[t.Rows[r][b]]++
+		}
+		best, bestN := "", 0
+		for v, n := range counts {
+			if n > bestN || (n == bestN && v < best) {
+				best, bestN = v, n
+			}
+		}
+		if float64(bestN) < opt.Confidence*float64(len(it.rows)) {
+			continue
+		}
+		names := make([]string, len(lhsCols))
+		row := make([]Cell, len(lhsCols))
+		for i, c := range lhsCols {
+			names[i] = t.Cols[c]
+			row[i] = Const(vals[i])
+		}
+		out = append(out, &CFD{
+			Relation: t.Name, LHS: names, RHS: t.Cols[b],
+			Row: row, RHSCell: Const(best),
+		})
+		embedded[fd.FD{LHS: it.attrs, RHS: b}] = true
+	}
+	return out
+}
+
+// extendItemsets builds the next lattice level by adding one attribute.
+func extendItemsets(t *relation.Table, level []itemset, minSupport int) []itemset {
+	var next []itemset
+	seen := map[string]bool{}
+	for _, it := range level {
+		hi := -1
+		for _, c := range it.attrs.Cols() {
+			hi = c
+		}
+		for c := hi + 1; c < t.NumCols(); c++ {
+			groups := map[string][]int{}
+			for _, r := range it.rows {
+				groups[t.Rows[r][c]] = append(groups[t.Rows[r][c]], r)
+			}
+			for v, rows := range groups {
+				if len(rows) < minSupport || v == "" {
+					continue
+				}
+				n := itemset{attrs: it.attrs.Add(c), key: it.key + "\x00" + v, rows: rows}
+				id := attrKey(n.attrs) + "|" + n.key
+				if !seen[id] {
+					seen[id] = true
+					next = append(next, n)
+				}
+			}
+		}
+	}
+	sortItemsets(next)
+	return next
+}
+
+func sortItemsets(items []itemset) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].attrs != items[j].attrs {
+			return items[i].attrs < items[j].attrs
+		}
+		return items[i].key < items[j].key
+	})
+}
+
+func attrKey(a fd.AttrSet) string {
+	return string(rune(a)) // attrs fit in small ints; a compact unique key
+}
+
+func splitKey(key string, n int) []string {
+	out := make([]string, 0, n)
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			out = append(out, key[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, key[start:])
+	return out
+}

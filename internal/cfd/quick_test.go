@@ -1,0 +1,154 @@
+package cfd
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"pfd/internal/relation"
+)
+
+// randTable draws a small random table over low-cardinality domains so
+// that constant CFDs have support.
+func randTable(r *rand.Rand) *relation.Table {
+	t := relation.New("T", "a", "b", "c")
+	rows := 10 + r.Intn(30)
+	for i := 0; i < rows; i++ {
+		t.Append(
+			"a"+strconv.Itoa(r.Intn(3)),
+			"b"+strconv.Itoa(r.Intn(3)),
+			"c"+strconv.Itoa(r.Intn(2)),
+		)
+	}
+	return t
+}
+
+// confidenceOf measures how well a constant CFD holds on t: the fraction
+// of LHS-matching rows whose RHS equals the rule's constant.
+func confidenceOf(c *CFD, t *relation.Table) (float64, int) {
+	match, agree := 0, 0
+	lhsIdx := make([]int, len(c.LHS))
+	for i, a := range c.LHS {
+		lhsIdx[i] = t.MustCol(a)
+	}
+	rhsIdx := t.MustCol(c.RHS)
+	for _, row := range t.Rows {
+		ok := true
+		for i := range c.LHS {
+			if c.Row[i].IsVar {
+				continue
+			}
+			if row[lhsIdx[i]] != c.Row[i].Const {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		match++
+		if c.RHSCell.IsVar || row[rhsIdx] == c.RHSCell.Const {
+			agree++
+		}
+	}
+	if match == 0 {
+		return 1, 0
+	}
+	return float64(agree) / float64(match), match
+}
+
+func TestQuickMinedConstantCFDsMeetThresholds(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	opt := MinerOptions{Confidence: 0.9, MinSupport: 4, MaxLHS: 2}
+	f := func() bool {
+		tb := randTable(r)
+		res := Mine(tb, opt)
+		for _, c := range res.CFDs {
+			constant := false
+			for _, cell := range c.Row {
+				if !cell.IsVar {
+					constant = true
+				}
+			}
+			if !constant {
+				continue
+			}
+			conf, support := confidenceOf(c, tb)
+			if support < opt.MinSupport {
+				t.Logf("CFD %s has support %d < %d", c, support, opt.MinSupport)
+				return false
+			}
+			if conf < opt.Confidence-1e-9 {
+				t.Logf("CFD %s has confidence %f < %f", c, conf, opt.Confidence)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVariableCFDViolationsRespectConfidence(t *testing.T) {
+	r := rand.New(rand.NewSource(52))
+	f := func() bool {
+		tb := randTable(r)
+		res := Mine(tb, MinerOptions{Confidence: 0.95, MinSupport: 3, MaxLHS: 1})
+		for _, c := range res.CFDs {
+			if !c.Row[0].IsVar {
+				continue
+			}
+			// Variable CFDs came from approximate FDs with g3 error
+			// <= 1-confidence; the violation count via the PFD embedding
+			// must be bounded by the number of rows times that error,
+			// loosely (each removable row can witness one violation).
+			vs := c.Violations(tb)
+			if len(vs) > tb.NumRows()/10 {
+				t.Logf("variable CFD %s has %d violations on %d rows", c, len(vs), tb.NumRows())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEmbeddedMatchesCFDs(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	f := func() bool {
+		tb := randTable(r)
+		res := Mine(tb, MinerOptions{Confidence: 0.9, MinSupport: 4, MaxLHS: 2})
+		// Every CFD's embedded dependency must be listed, and vice versa
+		// every embedded dependency must have a witnessing CFD.
+		embedded := map[string]bool{}
+		for _, f := range res.Embedded {
+			embedded[f.String(tb)] = true
+		}
+		for _, c := range res.CFDs {
+			key := "[" + joinNames(c.LHS) + "] -> [" + c.RHS + "]"
+			if !embedded[key] {
+				t.Logf("CFD %s embedded %s missing", c, key)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ","
+		}
+		out += n
+	}
+	return out
+}

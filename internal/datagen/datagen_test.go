@@ -1,0 +1,177 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecsShape(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 15 {
+		t.Fatalf("%d specs, want 15", len(specs))
+	}
+	paperCols := []int{9, 9, 7, 6, 9, 5, 5, 5, 7, 7, 7, 8, 7, 9, 7}
+	paperRows := []int{6704, 1077, 306, 920, 9101, 2409, 812, 9536, 1200, 858, 33727, 42715, 105748, 22485, 42226}
+	for i, s := range specs {
+		if s.Cols != paperCols[i] || s.PaperRows != paperRows[i] {
+			t.Errorf("%s: spec %dx%d, paper %dx%d", s.ID, s.Cols, s.PaperRows, paperCols[i], paperRows[i])
+		}
+		tb, tr := s.Build(200, 1, 0.01)
+		if tb.NumRows() != 200 {
+			t.Errorf("%s: built %d rows", s.ID, tb.NumRows())
+		}
+		if tb.NumCols() != s.Cols {
+			t.Errorf("%s: built %d cols, spec says %d", s.ID, tb.NumCols(), s.Cols)
+		}
+		if len(tr.Deps) == 0 {
+			t.Errorf("%s: no ground-truth dependencies", s.ID)
+		}
+		if len(tr.Errors) == 0 {
+			t.Errorf("%s: dirt rate 1%% produced no errors", s.ID)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, s := range Specs()[:3] {
+		a, _ := s.Build(100, 7, 0.02)
+		b, _ := s.Build(100, 7, 0.02)
+		for r := range a.Rows {
+			for c := range a.Rows[r] {
+				if a.Rows[r][c] != b.Rows[r][c] {
+					t.Fatalf("%s: rows differ at (%d,%d) for equal seeds", s.ID, r, c)
+				}
+			}
+		}
+		c, _ := s.Build(100, 8, 0.02)
+		same := true
+		for r := range a.Rows {
+			for cc := range a.Rows[r] {
+				if a.Rows[r][cc] != c.Rows[r][cc] {
+					same = false
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical tables", s.ID)
+		}
+	}
+}
+
+func TestGroundTruthHoldsOnCleanData(t *testing.T) {
+	// With zero dirt, every ground-truth dependency must actually hold as
+	// a (partial-value) function: group rows on the relevant partial key
+	// and check the RHS is constant. Spot-check the prefix dependencies.
+	tb, _ := buildT1(500, 3, 0)
+	zip3ToCity := map[string]string{}
+	zi, ci := tb.MustCol("zip"), tb.MustCol("city")
+	for _, row := range tb.Rows {
+		p := row[zi][:3]
+		if prev, ok := zip3ToCity[p]; ok && prev != row[ci] {
+			t.Fatalf("zip prefix %s maps to both %s and %s", p, prev, row[ci])
+		}
+		zip3ToCity[p] = row[ci]
+	}
+	// Phone area code -> state.
+	pi, si := tb.MustCol("phone"), tb.MustCol("state")
+	areaToState := map[string]string{}
+	for _, row := range tb.Rows {
+		a := row[pi][:3]
+		if prev, ok := areaToState[a]; ok && prev != row[si] {
+			t.Fatalf("area code %s maps to both %s and %s", a, prev, row[si])
+		}
+		areaToState[a] = row[si]
+	}
+	// First name (after "Last, ") -> gender.
+	ni, gi := tb.MustCol("full_name"), tb.MustCol("gender")
+	nameToGender := map[string]string{}
+	for _, row := range tb.Rows {
+		parts := strings.SplitN(row[ni], ", ", 2)
+		first := strings.Fields(parts[1])[0]
+		if prev, ok := nameToGender[first]; ok && prev != row[gi] {
+			t.Fatalf("first name %s maps to both %s and %s", first, prev, row[gi])
+		}
+		nameToGender[first] = row[gi]
+	}
+}
+
+func TestCorruptRecordsTruth(t *testing.T) {
+	tb, tr := buildT1(1000, 5, 0.02)
+	if len(tr.Errors) == 0 {
+		t.Fatal("no errors recorded")
+	}
+	for cell, orig := range tr.Errors {
+		got := tb.Value(cell.Row, cell.Col)
+		if got == orig {
+			t.Errorf("cell %v not actually corrupted (still %q)", cell, orig)
+		}
+	}
+}
+
+func TestInjectErrorsActiveVsOutside(t *testing.T) {
+	tb, _ := ZipState(500, 9)
+	domain := map[string]bool{}
+	for _, row := range tb.Rows {
+		domain[row[1]] = true
+	}
+	active := tb.Clone()
+	errsA := InjectErrors(active, "state", 0.05, true, 1)
+	for cell := range errsA {
+		if !domain[active.Value(cell.Row, cell.Col)] {
+			t.Errorf("active-domain injection produced out-of-domain value %q",
+				active.Value(cell.Row, cell.Col))
+		}
+	}
+	outside := tb.Clone()
+	errsO := InjectErrors(outside, "state", 0.05, false, 1)
+	inDomain := 0
+	for cell := range errsO {
+		if domain[outside.Value(cell.Row, cell.Col)] {
+			inDomain++
+		}
+	}
+	if inDomain > len(errsO)/4 {
+		t.Errorf("%d/%d outside-domain injections landed in the active domain", inDomain, len(errsO))
+	}
+	if len(errsA) < 20 || len(errsO) < 20 {
+		t.Errorf("unexpected error counts: %d, %d", len(errsA), len(errsO))
+	}
+}
+
+func TestDepKeys(t *testing.T) {
+	_, tr := buildT4(50, 1, 0)
+	keys := tr.DepKeys()
+	want := "[emp_id] -> [department]"
+	found := false
+	for _, k := range keys {
+		if k == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing %q in %v", want, keys)
+	}
+	po := tr.PatternOnlyKeys()
+	if len(po) == 0 {
+		t.Error("T4 must have pattern-only dependencies")
+	}
+}
+
+func TestZipStateClean(t *testing.T) {
+	tb, tr := ZipState(912, 2)
+	if tb.NumRows() != 912 {
+		t.Errorf("rows = %d", tb.NumRows())
+	}
+	if len(tr.Errors) != 0 {
+		t.Error("ZipState must start clean")
+	}
+	// zip prefix determines state exactly.
+	m := map[string]string{}
+	for _, row := range tb.Rows {
+		p := row[0][:3]
+		if prev, ok := m[p]; ok && prev != row[1] {
+			t.Fatalf("prefix %s -> %s and %s", p, prev, row[1])
+		}
+		m[p] = row[1]
+	}
+}

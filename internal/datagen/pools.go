@@ -1,0 +1,158 @@
+// Package datagen synthesizes the 15 evaluation tables of Section 5
+// (five each in the style of data.gov, ChEMBL and a university data
+// warehouse) with known ground-truth dependencies and controlled dirt, as
+// documented in DESIGN.md. All generators are seeded and deterministic.
+package datagen
+
+// Name pools. First names are strictly gendered so that first-name ->
+// gender is genuinely valid ground truth; the real-world unisex-name
+// caveat of the paper is modelled separately by addUnisexNoise.
+var maleFirst = []string{
+	"John", "David", "Michael", "James", "Robert", "William", "Richard",
+	"Thomas", "Charles", "Donald", "Mark", "Paul", "Steven", "Kenneth",
+	"Joshua", "Kevin", "Brian", "George", "Edward", "Ronald", "Anthony",
+	"Jeffrey", "Ryan", "Jacob", "Gary", "Nicholas", "Eric", "Jonathan",
+	"Stephen", "Larry", "Justin", "Scott", "Brandon", "Benjamin", "Samuel",
+	"Gregory", "Frank", "Alexander", "Raymond", "Jerry", "Alan", "Tayseer",
+}
+var femaleFirst = []string{
+	"Mary", "Patricia", "Jennifer", "Linda", "Elizabeth", "Barbara",
+	"Susan", "Jessica", "Sarah", "Karen", "Nancy", "Lisa", "Margaret",
+	"Betty", "Sandra", "Ashley", "Dorothy", "Kimberly", "Emily", "Donna",
+	"Michelle", "Carol", "Amanda", "Melissa", "Deborah", "Stephanie",
+	"Rebecca", "Laura", "Sharon", "Cynthia", "Kathleen", "Amy", "Angela",
+	"Shirley", "Anna", "Ruth", "Brenda", "Pamela", "Stacey", "Noor",
+}
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts", "Holloway", "Kimbell", "Mallack", "Otillio",
+	"Qahtan", "Fahmi", "Wagdi", "Qadhi", "Farahat", "Boyle", "Orlean",
+}
+
+// cityInfo ties a city to its determining 3-digit zip prefix and state —
+// the Zip -> City and Zip -> State dependencies of Tables 2, 3 and the
+// controlled evaluation. Prefixes are distinct so both dependencies hold.
+type cityInfo struct {
+	city  string
+	zip3  string
+	state string
+	area  string // a phone area code of that state (Table 3 shapes)
+}
+
+var cities = []cityInfo{
+	{"Los Angeles", "900", "CA", "213"},
+	{"Sacramento", "958", "CA", "916"},
+	{"Chicago", "606", "IL", "312"},
+	{"Springfield", "627", "IL", "217"},
+	{"New York", "100", "NY", "212"},
+	{"Ithaca", "148", "NY", "607"},
+	{"Boston", "021", "MA", "617"},
+	{"Miami", "331", "FL", "305"},
+	{"Tallahassee", "323", "FL", "850"},
+	{"Houston", "770", "TX", "713"},
+	{"Austin", "787", "TX", "512"},
+	{"Seattle", "981", "WA", "206"},
+	{"Denver", "802", "CO", "303"},
+	{"Atlanta", "303", "GA", "404"},
+	{"Hartford", "061", "CT", "860"},
+	{"Phoenix", "850", "AZ", "602"},
+	{"Portland", "972", "OR", "503"},
+	{"Columbus", "432", "OH", "614"},
+	{"Nashville", "372", "TN", "615"},
+	{"Detroit", "482", "MI", "313"},
+	{"Baltimore", "212", "MD", "410"},
+	{"Milwaukee", "532", "WI", "414"},
+	{"Omaha", "681", "NE", "402"},
+	{"Tucson", "857", "AZ", "520"},
+	{"Richmond", "232", "VA", "804"},
+	{"Newark", "071", "NJ", "973"},
+	{"Providence", "029", "RI", "401"},
+}
+
+// departments model the intro's employee-ID example: the first letter of
+// an ID such as F-9-107 determines the department.
+type deptInfo struct {
+	code string
+	name string
+}
+
+var departments = []deptInfo{
+	{"F", "Finance"}, {"E", "Engineering"}, {"M", "Medicine"},
+	{"L", "Law"}, {"S", "Science"}, {"H", "Humanities"}, {"B", "Business"},
+}
+
+// courses model UDW course IDs: the prefix before the dash determines the
+// department name.
+type courseInfo struct {
+	prefix string
+	dept   string
+}
+
+var coursePrefixes = []courseInfo{
+	{"CS", "Computer Science"}, {"EE", "Electrical Engineering"},
+	{"ME", "Mechanical Engineering"}, {"BI", "Biology"},
+	{"CH", "Chemistry"}, {"PH", "Physics"}, {"MA", "Mathematics"},
+	{"EC", "Economics"}, {"HI", "History"}, {"EN", "English"},
+}
+
+// buildings model room codes: ENG-204 is in the Engineering Hall.
+type buildingInfo struct {
+	code string
+	name string
+}
+
+var buildings = []buildingInfo{
+	{"ENG", "Engineering Hall"}, {"SCI", "Science Center"},
+	{"LIB", "Main Library"}, {"MED", "Medical School"},
+	{"LAW", "Law Building"}, {"ART", "Arts Center"},
+	{"GYM", "Recreation Center"},
+}
+
+// protein families model the ChEMBL tables: a receptor-name prefix
+// determines the protein class description (the paper's T10 example,
+// "Nicotinic acetylcholine receptor \A* -> ion channel lgic ach chrn").
+type proteinInfo struct {
+	namePrefix string
+	class      string
+}
+
+var proteins = []proteinInfo{
+	{"Nicotinic acetylcholine receptor", "ion channel lgic ach chrn"},
+	{"Glutamate receptor ionotropic", "ion channel lgic glur"},
+	{"Dopamine receptor", "membrane receptor gpcr monoamine"},
+	{"Serotonin receptor", "membrane receptor gpcr monoamine 5ht"},
+	{"Tyrosine-protein kinase", "enzyme kinase protein tk"},
+	{"Carbonic anhydrase", "enzyme lyase carbonic"},
+	{"Cytochrome P450", "enzyme cytochrome p450"},
+	{"Sodium channel protein", "ion channel vgc sodium"},
+}
+
+var organisms = []string{
+	"Homo sapiens", "Mus musculus", "Rattus norvegicus",
+	"Bos taurus", "Danio rerio", "Escherichia coli",
+}
+
+var assayTypes = []struct{ code, desc string }{
+	{"B", "Binding"}, {"F", "Functional"}, {"A", "ADMET"}, {"T", "Toxicity"},
+}
+
+var agencies = []string{
+	"Dept of Transportation", "Dept of Health", "Dept of Education",
+	"Parks and Recreation", "Public Works", "City Planning",
+}
+
+var businessTypes = []string{
+	"Restaurant", "Retail", "Contractor", "Pharmacy", "Daycare", "Salon",
+}
+
+var inspectionResults = []string{"Pass", "Fail", "Pass w/ Conditions"}
+
+var semesters = []struct{ code, term string }{
+	{"F", "Fall"}, {"S", "Spring"}, {"U", "Summer"},
+}

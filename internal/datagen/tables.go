@@ -1,0 +1,560 @@
+package datagen
+
+import (
+	"fmt"
+
+	"pfd/internal/relation"
+)
+
+// A Spec describes one of the 15 evaluation tables. Cols and PaperRows
+// mirror the size row of Table 7; Build generates a scaled instance.
+type Spec struct {
+	ID        string // T1..T15
+	Source    string // GOV, CHE, UDW
+	Cols      int
+	PaperRows int
+	Build     func(rows int, seed int64, dirt float64) (*relation.Table, *Truth)
+}
+
+// Specs returns the 15 table specifications in order.
+func Specs() []Spec {
+	return []Spec{
+		{"T1", "GOV", 9, 6704, buildT1},
+		{"T2", "GOV", 9, 1077, buildT2},
+		{"T3", "GOV", 7, 306, buildT3},
+		{"T4", "GOV", 6, 920, buildT4},
+		{"T5", "GOV", 9, 9101, buildT5},
+		{"T6", "CHE", 5, 2409, buildT6},
+		{"T7", "CHE", 5, 812, buildT7},
+		{"T8", "CHE", 5, 9536, buildT8},
+		{"T9", "CHE", 7, 1200, buildT9},
+		{"T10", "CHE", 7, 858, buildT10},
+		{"T11", "UDW", 7, 33727, buildT11},
+		{"T12", "UDW", 8, 42715, buildT12},
+		{"T13", "UDW", 7, 105748, buildT13},
+		{"T14", "UDW", 9, 22485, buildT14},
+		{"T15", "UDW", 7, 42226, buildT15},
+	}
+}
+
+// SpecByID returns the spec with the given id.
+func SpecByID(id string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// dep is shorthand for a single-LHS ground-truth dependency.
+func dep(lhs, rhs string, patternOnly bool) Dep {
+	return Dep{LHS: []string{lhs}, RHS: rhs, PatternOnly: patternOnly}
+}
+
+// buildT1 — GOV contact directory: full names ("Last, First M."), gender,
+// phone, state, zip, city. The shapes of Table 3.
+func buildT1(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	phoneSuffix := g.suffixPool(rows/20+10, 7)
+	t := relation.New("T1",
+		"contact_id", "full_name", "gender", "phone", "state", "zip", "city", "agency", "floor")
+	for i := 0; i < rows; i++ {
+		name, gender := g.personComma()
+		ci := g.pick(len(cities))
+		c := cities[ci]
+		t.Append(
+			fmt.Sprintf("C%06d", i),
+			name, gender,
+			c.area+phoneSuffix[g.pick(len(phoneSuffix))],
+			c.state, g.zipFor(c), c.city,
+			// Decoy: agency is drawn per city, so the data supports
+			// city -> agency even though assignments are semantically
+			// arbitrary — the paper's "fax of the main branch" effect.
+			// Ground truth deliberately excludes it.
+			agencies[ci%len(agencies)],
+			fmt.Sprintf("%d", 1+g.pick(30)), // quantitative noise column
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("full_name", "gender", true),
+		dep("phone", "state", true),
+		dep("zip", "city", true),
+		dep("zip", "state", true),
+		dep("city", "state", false),
+		dep("city", "zip", true), // each city has one determining prefix
+		dep("city", "phone", true),
+		dep("phone", "city", true),
+		dep("phone", "zip", true),
+		dep("zip", "phone", true),
+		// Conditional: valid for the states with a single city in the
+		// pools (constant PFDs cover them, CFD-style).
+		dep("state", "city", false),
+		dep("state", "zip", true),
+		dep("state", "phone", true),
+	}}
+	corrupt(t, g, "state", dirt, false, tr)
+	corrupt(t, g, "city", dirt, false, tr)
+	corrupt(t, g, "gender", dirt, true, tr)
+	return t, tr
+}
+
+// buildT2 — GOV business licenses; includes unisex-name noise so the
+// generalized name -> gender PFD picks up false positives (§2.2 caveat).
+func buildT2(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("T2",
+		"license_no", "business", "type", "owner", "gender", "city", "state", "zip", "fee")
+	for i := 0; i < rows; i++ {
+		c := g.city()
+		owner, gender := g.person()
+		t.Append(
+			fmt.Sprintf("LIC-%04d-%s", g.year(), g.digits(4)),
+			"The "+lastNames[g.pick(len(lastNames))]+" Co",
+			businessTypes[g.pick(len(businessTypes))],
+			owner, gender, c.city, c.state, g.zipFor(c),
+			fmt.Sprintf("%d.%s", 50+g.pick(500), g.digits(2)), // quantitative
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("owner", "gender", true),
+		dep("zip", "city", true),
+		dep("zip", "state", true),
+		dep("city", "state", false),
+		dep("city", "zip", true),
+		dep("state", "city", false),
+		dep("state", "zip", true),
+	}}
+	addUnisexNoise(t, g, "owner", "gender", rows/25)
+	corrupt(t, g, "state", dirt, true, tr)
+	corrupt(t, g, "city", dirt, false, tr)
+	return t, tr
+}
+
+// buildT3 — GOV grants: the grant id embeds the award year (G-2014-0001),
+// a pure substring dependency.
+func buildT3(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("T3",
+		"grant_id", "year", "program", "recipient", "city", "state", "amount")
+	for i := 0; i < rows; i++ {
+		y := g.year()
+		c := g.city()
+		name, _ := g.person()
+		t.Append(
+			fmt.Sprintf("G-%04d-%s", y, g.digits(4)),
+			fmt.Sprintf("%04d", y),
+			agencies[g.pick(len(agencies))],
+			name, c.city, c.state,
+			fmt.Sprintf("%d", 1000+g.pick(90000)),
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("grant_id", "year", true),
+		dep("year", "grant_id", true), // the id embeds the award year
+		dep("city", "state", false),
+		dep("state", "city", false),
+	}}
+	corrupt(t, g, "year", dirt, false, tr)
+	corrupt(t, g, "state", dirt, true, tr)
+	return t, tr
+}
+
+// buildT4 — GOV employees: the intro's F-9-107 example — the ID's leading
+// letter determines the department.
+func buildT4(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	phoneSuffix := g.suffixPool(rows/15+10, 7)
+	t := relation.New("T4",
+		"emp_id", "department", "name", "gender", "phone", "state")
+	for i := 0; i < rows; i++ {
+		d := departments[g.pick(len(departments))]
+		name, gender := g.person()
+		c := g.city()
+		t.Append(
+			fmt.Sprintf("%s-%d-%s", d.code, 1+g.pick(9), g.digits(3)),
+			d.name, name, gender,
+			c.area+phoneSuffix[g.pick(len(phoneSuffix))], c.state,
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("emp_id", "department", true),
+		dep("department", "emp_id", true), // Finance staff get F- prefixes
+		dep("name", "gender", true),
+		dep("phone", "state", true),
+		dep("state", "phone", true),
+	}}
+	corrupt(t, g, "department", dirt, true, tr)
+	corrupt(t, g, "gender", dirt, true, tr)
+	return t, tr
+}
+
+// buildT5 — GOV inspections: dates embed years; zips determine city and
+// state.
+func buildT5(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("T5",
+		"inspection_id", "facility", "date", "year", "result", "city", "state", "zip", "score")
+	for i := 0; i < rows; i++ {
+		y := g.year()
+		c := g.city()
+		t.Append(
+			fmt.Sprintf("I%07d", i),
+			"The "+lastNames[g.pick(len(lastNames))]+" "+businessTypes[g.pick(len(businessTypes))],
+			g.date(y), fmt.Sprintf("%04d", y),
+			inspectionResults[g.pick(len(inspectionResults))],
+			c.city, c.state, g.zipFor(c),
+			fmt.Sprintf("%d", 40+g.pick(60)),
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("date", "year", true),
+		dep("year", "date", true), // the year is the date's prefix
+		dep("zip", "city", true),
+		dep("zip", "state", true),
+		dep("city", "state", false),
+		dep("city", "zip", true),
+		dep("state", "city", false),
+		dep("state", "zip", true),
+	}}
+	corrupt(t, g, "year", dirt, false, tr)
+	corrupt(t, g, "state", dirt, true, tr)
+	return t, tr
+}
+
+// buildT6 — CHE compounds: ChEMBL-style IDs and molecule metadata.
+func buildT6(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("T6", "chembl_id", "pref_name", "protein_class", "organism", "type")
+	for i := 0; i < rows; i++ {
+		pi := g.pick(len(proteins))
+		p := proteins[pi]
+		t.Append(
+			fmt.Sprintf("CHEMBL%d", 10000+i),
+			fmt.Sprintf("%s %s-%d", p.namePrefix, string(rune('A'+g.pick(6))), 1+g.pick(9)),
+			p.class,
+			// Decoy: each protein family was assayed in one organism in
+			// this extract, so the data supports pref_name -> organism,
+			// but the association is an artifact of the extract, not a
+			// semantic dependency. Ground truth excludes it.
+			organisms[pi%len(organisms)],
+			"SINGLE PROTEIN",
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("pref_name", "protein_class", true),
+		dep("protein_class", "pref_name", true),
+	}}
+	corrupt(t, g, "protein_class", dirt, true, tr)
+	return t, tr
+}
+
+// buildT7 — CHE assays: the assay id's letter encodes the assay type.
+func buildT7(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("T7", "assay_id", "assay_type", "organism", "strain", "cells")
+	for i := 0; i < rows; i++ {
+		a := assayTypes[g.pick(len(assayTypes))]
+		t.Append(
+			fmt.Sprintf("%s-%s", a.code, g.digits(6)),
+			a.desc,
+			organisms[g.pick(len(organisms))],
+			fmt.Sprintf("ST%s", g.digits(2)),
+			fmt.Sprintf("%d", g.pick(5000)),
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("assay_id", "assay_type", true),
+		dep("assay_type", "assay_id", true), // type letter leads the id
+	}}
+	corrupt(t, g, "assay_type", dirt, true, tr)
+	return t, tr
+}
+
+// buildT8 — CHE activities: document ids embed the journal code.
+func buildT8(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	journals := []struct{ code, name string }{
+		{"JMC", "J Med Chem"}, {"BMC", "Bioorg Med Chem"},
+		{"JNP", "J Nat Prod"}, {"EJM", "Eur J Med Chem"},
+	}
+	t := relation.New("T8", "doc_id", "journal", "year", "volume", "units")
+	for i := 0; i < rows; i++ {
+		j := journals[g.pick(len(journals))]
+		y := g.year()
+		t.Append(
+			fmt.Sprintf("%s-%04d-%s", j.code, y, g.digits(4)),
+			j.name,
+			fmt.Sprintf("%04d", y),
+			fmt.Sprintf("%d", 1+g.pick(90)),
+			"nM",
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("doc_id", "journal", true),
+		dep("doc_id", "year", true),
+		dep("journal", "doc_id", true), // journal code leads the id
+		dep("year", "doc_id", true),    // the id embeds the year
+	}}
+	corrupt(t, g, "journal", dirt, true, tr)
+	corrupt(t, g, "year", dirt, false, tr)
+	return t, tr
+}
+
+// buildT9 — CHE targets: near-key pref_name column makes FDep-style
+// discovery report spurious key dependencies, as in the paper's T9 row
+// (FDep precision 0%).
+func buildT9(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("T9",
+		"target_id", "pref_name", "organism", "tax_id", "class", "species_group", "compounds")
+	for i := 0; i < rows; i++ {
+		p := proteins[g.pick(len(proteins))]
+		oi := g.pick(len(organisms))
+		t.Append(
+			fmt.Sprintf("CHEMBL%d", 200000+i),
+			fmt.Sprintf("%s %s-%d", p.namePrefix, string(rune('A'+g.pick(26))), g.pick(99)),
+			organisms[oi],
+			fmt.Sprintf("%d", 9606+oi), // organism <-> tax id, both ways
+			p.class,
+			fmt.Sprintf("%d", g.pick(2)),
+			fmt.Sprintf("%d", g.pick(3000)),
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("pref_name", "class", true),
+		dep("class", "pref_name", true),
+		dep("organism", "tax_id", false),
+		dep("tax_id", "organism", false),
+	}}
+	corrupt(t, g, "class", dirt, true, tr)
+	return t, tr
+}
+
+// buildT10 — CHE protein classification: the paper's own example table
+// (pref_name -> protein_class_desc).
+func buildT10(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("T10",
+		"protein_class_id", "pref_name", "protein_class_desc", "definition", "class_level", "organism", "aspect")
+	for i := 0; i < rows; i++ {
+		p := proteins[g.pick(len(proteins))]
+		t.Append(
+			fmt.Sprintf("PC%05d", i),
+			fmt.Sprintf("%s subunit %s", p.namePrefix, string(rune('a'+g.pick(10)))),
+			p.class,
+			"protein family level "+g.digits(1),
+			fmt.Sprintf("%d", 1+g.pick(6)),
+			organisms[g.pick(len(organisms))],
+			"molecular function",
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("pref_name", "protein_class_desc", true),
+		dep("protein_class_desc", "pref_name", true),
+	}}
+	corrupt(t, g, "protein_class_desc", dirt, true, tr)
+	return t, tr
+}
+
+// buildT11 — UDW students: admission year is a prefix of the student id,
+// course prefixes carry departments.
+func buildT11(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("T11",
+		"student_id", "admit_year", "major_code", "major", "city", "state", "zip")
+	for i := 0; i < rows; i++ {
+		y := g.year()
+		cp := coursePrefixes[g.pick(len(coursePrefixes))]
+		c := g.city()
+		t.Append(
+			fmt.Sprintf("%04d-%s", y, g.digits(5)),
+			fmt.Sprintf("%04d", y),
+			cp.prefix, cp.dept,
+			c.city, c.state, g.zipFor(c),
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("student_id", "admit_year", true),
+		dep("admit_year", "student_id", true), // year is the id's prefix
+		dep("major_code", "major", false),
+		dep("major", "major_code", false),
+		dep("zip", "city", true),
+		dep("zip", "state", true),
+		dep("city", "state", false),
+		dep("city", "zip", true),
+		dep("state", "city", false),
+		dep("state", "zip", true),
+	}}
+	corrupt(t, g, "admit_year", dirt, false, tr)
+	corrupt(t, g, "state", dirt, true, tr)
+	return t, tr
+}
+
+// buildT12 — UDW course schedule: course ids embed departments; room
+// codes embed buildings.
+func buildT12(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("T12",
+		"course_id", "dept", "room", "building", "semester", "term", "year", "enrolled")
+	for i := 0; i < rows; i++ {
+		cpi := g.pick(len(coursePrefixes))
+		cp := coursePrefixes[cpi]
+		// Decoy: in this extract every department teaches in one
+		// building, so the data supports dept -> building, but the
+		// assignment is a timetabling artifact; truth excludes it.
+		b := buildings[cpi%len(buildings)]
+		s := semesters[g.pick(len(semesters))]
+		y := g.year()
+		t.Append(
+			fmt.Sprintf("%s-%s", cp.prefix, g.digits(3)),
+			cp.dept,
+			fmt.Sprintf("%s-%s", b.code, g.digits(3)),
+			b.name,
+			fmt.Sprintf("%s%04d", s.code, y),
+			s.term,
+			fmt.Sprintf("%04d", y),
+			fmt.Sprintf("%d", 5+g.pick(200)),
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("course_id", "dept", true),
+		dep("dept", "course_id", true), // dept determines the id prefix
+		dep("room", "building", true),
+		dep("building", "room", true), // building code leads room ids
+		dep("semester", "term", true),
+		dep("semester", "year", true),
+		dep("term", "semester", true), // term determines the leading code
+	}}
+	corrupt(t, g, "dept", dirt, true, tr)
+	corrupt(t, g, "building", dirt, true, tr)
+	return t, tr
+}
+
+// buildT13 — UDW transcripts: the largest table (105,748 rows in the
+// paper).
+func buildT13(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	grades := []string{"A", "A-", "B+", "B", "B-", "C+", "C", "D", "F"}
+	t := relation.New("T13",
+		"record_id", "student_id", "course_id", "dept", "semester", "year", "grade")
+	for i := 0; i < rows; i++ {
+		cp := coursePrefixes[g.pick(len(coursePrefixes))]
+		s := semesters[g.pick(len(semesters))]
+		y := g.year()
+		t.Append(
+			fmt.Sprintf("R%08d", i),
+			fmt.Sprintf("%04d-%s", g.year(), g.digits(5)),
+			fmt.Sprintf("%s-%s", cp.prefix, g.digits(3)),
+			cp.dept,
+			fmt.Sprintf("%s%04d", s.code, y),
+			fmt.Sprintf("%04d", y),
+			grades[g.pick(len(grades))],
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("course_id", "dept", true),
+		dep("dept", "course_id", true),
+		dep("semester", "year", true),
+	}}
+	corrupt(t, g, "dept", dirt, true, tr)
+	corrupt(t, g, "year", dirt, false, tr)
+	return t, tr
+}
+
+// buildT14 — UDW staff: the richest table — employee ids, names, phones,
+// zips.
+func buildT14(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	phoneSuffix := g.suffixPool(rows/15+10, 7)
+	t := relation.New("T14",
+		"emp_id", "department", "name", "gender", "phone", "state", "zip", "city", "salary")
+	for i := 0; i < rows; i++ {
+		d := departments[g.pick(len(departments))]
+		name, gender := g.personComma()
+		c := g.city()
+		t.Append(
+			fmt.Sprintf("%s-%d-%s", d.code, 1+g.pick(9), g.digits(4)),
+			d.name, name, gender,
+			c.area+phoneSuffix[g.pick(len(phoneSuffix))],
+			c.state, g.zipFor(c), c.city,
+			fmt.Sprintf("%d", 30000+g.pick(120000)),
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("emp_id", "department", true),
+		dep("department", "emp_id", true),
+		dep("name", "gender", true),
+		dep("phone", "state", true),
+		dep("zip", "state", true),
+		dep("zip", "city", true),
+		dep("city", "state", false),
+		dep("city", "zip", true),
+		dep("city", "phone", true),
+		dep("phone", "city", true),
+		dep("phone", "zip", true),
+		dep("zip", "phone", true),
+		dep("state", "city", false),
+		dep("state", "zip", true),
+		dep("state", "phone", true),
+	}}
+	corrupt(t, g, "gender", dirt, true, tr)
+	corrupt(t, g, "state", dirt, true, tr)
+	corrupt(t, g, "city", dirt, false, tr)
+	return t, tr
+}
+
+// buildT15 — UDW alumni.
+func buildT15(rows int, seed int64, dirt float64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("T15",
+		"alum_id", "name", "gender", "grad_date", "grad_year", "city", "zip")
+	for i := 0; i < rows; i++ {
+		name, gender := g.person()
+		y := g.year()
+		c := g.city()
+		t.Append(
+			fmt.Sprintf("A%07d", i),
+			name, gender,
+			g.date(y), fmt.Sprintf("%04d", y),
+			c.city, g.zipFor(c),
+		)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("name", "gender", true),
+		dep("grad_date", "grad_year", true),
+		dep("grad_year", "grad_date", true),
+		dep("zip", "city", true),
+		dep("city", "zip", true),
+	}}
+	addUnisexNoise(t, g, "name", "gender", rows/30)
+	corrupt(t, g, "gender", dirt, true, tr)
+	corrupt(t, g, "grad_year", dirt, false, tr)
+	return t, tr
+}
+
+// ZipState builds the controlled-evaluation table of Figures 5-6: a clean
+// two-column {zip, state} relation (the paper starts from 912 clean
+// records over 27 states) into which the harness injects errors.
+func ZipState(rows int, seed int64) (*relation.Table, *Truth) {
+	g := newGen(seed)
+	t := relation.New("ZipState", "zip", "state")
+	for i := 0; i < rows; i++ {
+		c := g.city()
+		t.Append(g.zipFor(c), c.state)
+	}
+	tr := &Truth{Deps: []Dep{
+		dep("zip", "state", true),
+	}}
+	return t, tr
+}
+
+// InjectErrors corrupts one column of t at the given rate, either from
+// the active domain (Figure 6) or outside it (Figure 5), returning the
+// corrupted-cell oracle. It mutates t in place.
+func InjectErrors(t *relation.Table, col string, rate float64, active bool, seed int64) map[relation.Cell]string {
+	g := newGen(seed)
+	tr := &Truth{}
+	corrupt(t, g, col, rate, active, tr)
+	return tr.Errors
+}

@@ -1,0 +1,96 @@
+package datagen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pfd/internal/relation"
+)
+
+// WriteTruth serializes a Truth sidecar as CSV (kind, detail, value):
+// one "dependency"/"dependency-pattern-only" line per ground-truth
+// dependency and one "error" line per seeded dirty cell (detail is
+// "row:col", value the correct value). cmd/datagen emits these next to
+// each table so external tools can score detection runs.
+func (tr *Truth) WriteTruth(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "detail", "value"}); err != nil {
+		return err
+	}
+	for _, d := range tr.Deps {
+		kind := "dependency"
+		if d.PatternOnly {
+			kind = "dependency-pattern-only"
+		}
+		if err := cw.Write([]string{kind, d.Key(), ""}); err != nil {
+			return err
+		}
+	}
+	cells := make([]relation.Cell, 0, len(tr.Errors))
+	for c := range tr.Errors {
+		cells = append(cells, c)
+	}
+	relation.SortCells(cells)
+	for _, c := range cells {
+		rec := []string{"error", strconv.Itoa(c.Row) + ":" + c.Col, tr.Errors[c]}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTruth parses a sidecar written by WriteTruth.
+func ReadTruth(r io.Reader) (*Truth, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("datagen: reading truth: %w", err)
+	}
+	if len(recs) == 0 || len(recs[0]) != 3 || recs[0][0] != "kind" {
+		return nil, fmt.Errorf("datagen: truth sidecar missing header")
+	}
+	tr := &Truth{Errors: map[relation.Cell]string{}}
+	for i, rec := range recs[1:] {
+		switch rec[0] {
+		case "dependency", "dependency-pattern-only":
+			dep, err := parseDepKey(rec[1])
+			if err != nil {
+				return nil, fmt.Errorf("datagen: truth line %d: %w", i+2, err)
+			}
+			dep.PatternOnly = rec[0] == "dependency-pattern-only"
+			tr.Deps = append(tr.Deps, dep)
+		case "error":
+			rowStr, col, found := strings.Cut(rec[1], ":")
+			if !found {
+				return nil, fmt.Errorf("datagen: truth line %d: bad cell %q", i+2, rec[1])
+			}
+			row, err := strconv.Atoi(rowStr)
+			if err != nil {
+				return nil, fmt.Errorf("datagen: truth line %d: bad row %q", i+2, rowStr)
+			}
+			tr.Errors[relation.Cell{Row: row, Col: col}] = rec[2]
+		default:
+			return nil, fmt.Errorf("datagen: truth line %d: unknown kind %q", i+2, rec[0])
+		}
+	}
+	return tr, nil
+}
+
+// parseDepKey inverts Dep.Key: "[a,b] -> [c]".
+func parseDepKey(s string) (Dep, error) {
+	lhsPart, rhsPart, found := strings.Cut(s, " -> ")
+	if !found {
+		return Dep{}, fmt.Errorf("bad dependency key %q", s)
+	}
+	lhs := strings.Trim(lhsPart, "[]")
+	rhs := strings.Trim(rhsPart, "[]")
+	if lhs == "" || rhs == "" {
+		return Dep{}, fmt.Errorf("bad dependency key %q", s)
+	}
+	return Dep{LHS: strings.Split(lhs, ","), RHS: rhs}, nil
+}

@@ -1,0 +1,68 @@
+package datagen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTruthRoundTrip(t *testing.T) {
+	_, truth := buildT4(300, 5, 0.02)
+	var buf bytes.Buffer
+	if err := truth.WriteTruth(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTruth(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Deps) != len(truth.Deps) {
+		t.Fatalf("deps: %d vs %d", len(back.Deps), len(truth.Deps))
+	}
+	a, b := truth.DepKeys(), back.DepKeys()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("dep %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if len(back.PatternOnlyKeys()) != len(truth.PatternOnlyKeys()) {
+		t.Error("pattern-only flags lost")
+	}
+	if len(back.Errors) != len(truth.Errors) {
+		t.Fatalf("errors: %d vs %d", len(back.Errors), len(truth.Errors))
+	}
+	for cell, want := range truth.Errors {
+		if got := back.Errors[cell]; got != want {
+			t.Errorf("error cell %v: %q vs %q", cell, got, want)
+		}
+	}
+}
+
+func TestReadTruthErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"wrong,header,x\n",
+		"kind,detail,value\nmystery,x,y\n",
+		"kind,detail,value\ndependency,no-arrow,\n",
+		"kind,detail,value\nerror,nocolon,\n",
+		"kind,detail,value\nerror,x:col,\n",
+	}
+	for _, src := range bad {
+		if _, err := ReadTruth(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadTruth(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseDepKeyMultiLHS(t *testing.T) {
+	d, err := parseDepKey("[a,b] -> [c]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.LHS) != 2 || d.LHS[1] != "b" || d.RHS != "c" {
+		t.Errorf("parsed %+v", d)
+	}
+	if d.Key() != "[a,b] -> [c]" {
+		t.Errorf("round trip = %q", d.Key())
+	}
+}

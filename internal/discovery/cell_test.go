@@ -1,0 +1,119 @@
+package discovery
+
+import (
+	"testing"
+
+	"pfd/internal/index"
+	"pfd/internal/relation"
+)
+
+// mkDiscoverer builds a discoverer over a one-column table for direct
+// buildCell unit tests.
+func mkDiscoverer(col string, values []string, delta float64) *discoverer {
+	t := relation.New("T", col)
+	for _, v := range values {
+		t.Append(v)
+	}
+	profs := relation.ProfileTable(t)
+	return &discoverer{
+		t:        t,
+		params:   Params{MinSupport: 2, Delta: delta, MinCoverage: 0.1, MaxLHS: 1}.normalize(),
+		profiles: profs,
+	}
+}
+
+func allRows(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func TestBuildCellWholeValue(t *testing.T) {
+	d := mkDiscoverer("city", []string{"Chicago", "Chicago", "Chicago"}, 0.05)
+	cell := d.buildCell("city", index.Key{Text: "Chicago", Pos: 0}, allRows(3))
+	if cell == nil {
+		t.Fatal("nil cell")
+	}
+	if v, ok := cell.Constant(); !ok || v != "Chicago" {
+		t.Errorf("cell = %s", cell)
+	}
+	if !cell.Pattern.FullyConstrained() {
+		t.Errorf("whole-value cell must be fully constrained: %s", cell)
+	}
+	if cell.Match("Chicagoland") {
+		t.Error("whole-value cell must not match extensions")
+	}
+}
+
+func TestBuildCellTokenWithSeparator(t *testing.T) {
+	d := mkDiscoverer("name", []string{"John Smith", "John Stone", "John Hall"}, 0.05)
+	cell := d.buildCell("name", index.Key{Text: "John", Pos: 0}, allRows(3))
+	if cell == nil {
+		t.Fatal("nil cell")
+	}
+	if v, ok := cell.Constant(); !ok || v != "John " {
+		t.Errorf("token cell constant = %q (%s)", v, cell)
+	}
+	if cell.Match("Johnny Cash") {
+		t.Error("separator-terminated token must not match Johnny")
+	}
+	if !cell.Match("John Anything") {
+		t.Error("token cell must match any tail")
+	}
+}
+
+func TestBuildCellAnchoredPrefix(t *testing.T) {
+	d := mkDiscoverer("zip", []string{"90001", "90002", "90099"}, 0.05)
+	cell := d.buildCell("zip", index.Key{Text: "900", Pos: 0}, allRows(3))
+	if cell == nil {
+		t.Fatal("nil cell")
+	}
+	if v, ok := cell.Constant(); !ok || v != "900" {
+		t.Errorf("prefix cell constant = %q", v)
+	}
+	if !cell.Match("90055") || cell.Match("80055") {
+		t.Error("prefix matching wrong")
+	}
+}
+
+func TestBuildCellMidPositionToken(t *testing.T) {
+	d := mkDiscoverer("name", []string{"Al Gore", "Al Gunn"}, 0.05)
+	cell := d.buildCell("name", index.Key{Text: "G", Pos: 3}, allRows(2))
+	if cell == nil {
+		t.Fatal("nil cell")
+	}
+	if !cell.Match("Al Gore") || cell.Match("Al Bore") {
+		t.Errorf("mid-position cell wrong: %s", cell)
+	}
+}
+
+func TestBuildCellDeltaMajorityToleratesOutliers(t *testing.T) {
+	// 19 clean whole values + 1 with trailing junk: with δ=10% the cell
+	// must still be the fully-constrained constant, leaving the junk row
+	// as a violation.
+	values := make([]string, 20)
+	for i := range values {
+		values[i] = "CA"
+	}
+	values[19] = "CA-4"
+	d := mkDiscoverer("state", values, 0.10)
+	cell := d.buildCell("state", index.Key{Text: "CA", Pos: 0}, allRows(20))
+	if cell == nil {
+		t.Fatal("nil cell")
+	}
+	if !cell.Pattern.FullyConstrained() {
+		t.Errorf("δ-majority must keep the constant form: %s", cell)
+	}
+	if cell.Match("CA-4") {
+		t.Error("outlier must violate the consensus cell")
+	}
+}
+
+func TestBuildCellAllOutliersNil(t *testing.T) {
+	d := mkDiscoverer("x", []string{"zz", "zz"}, 0.05)
+	if cell := d.buildCell("x", index.Key{Text: "AA", Pos: 0}, allRows(2)); cell != nil {
+		t.Errorf("key absent from every row must yield nil, got %s", cell)
+	}
+}

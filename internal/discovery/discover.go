@@ -1,0 +1,403 @@
+package discovery
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"pfd/internal/index"
+	"pfd/internal/lattice"
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+)
+
+// A Dependency is one discovered embedded dependency together with its
+// PFD (constant tableau, or a single generalized variable row).
+type Dependency struct {
+	LHS      []string
+	RHS      string
+	PFD      *pfd.PFD
+	Variable bool    // true when the tableau was generalized (§4.3)
+	Coverage float64 // fraction of table rows covered by the tableau LHS
+	Support  int     // number of covered rows
+}
+
+// Result is the discovery output.
+type Result struct {
+	Dependencies []*Dependency
+	Profiles     []relation.ColumnProfile
+	Params       Params
+}
+
+// Embedded renders the dependency's embedded FD.
+func (d *Dependency) Embedded() string {
+	return "[" + strings.Join(d.LHS, ",") + "] -> [" + d.RHS + "]"
+}
+
+// Discover runs the paper's Figure 4 algorithm on t.
+func Discover(t *relation.Table, params Params) *Result {
+	params = params.normalize()
+	res := &Result{Params: params}
+	if t.NumRows() == 0 {
+		return res
+	}
+	// Line 1: profile and prune columns. Quantitative columns cannot
+	// carry PFDs; constant columns make trivial dependencies.
+	res.Profiles = relation.ProfileTable(t)
+	var usable []int
+	for i, p := range res.Profiles {
+		if !p.Quantitative && p.Distinct >= 2 {
+			usable = append(usable, i)
+		}
+	}
+	if len(usable) < 2 {
+		return res
+	}
+	usableNames := make([]string, len(usable))
+	for i, c := range usable {
+		usableNames[i] = t.Cols[c]
+	}
+
+	// Lines 5-12: the hash-based inverted pattern index.
+	inv := index.Build(t, res.Profiles, usableNames, index.Options{
+		MaxGram:      params.MaxGram,
+		MinIDs:       params.MinSupport,
+		DisablePrune: params.DisableSubstringPrune,
+	})
+
+	d := &discoverer{t: t, inv: inv, params: params, profiles: res.Profiles}
+
+	// Lines 13-28: walk the candidate lattice level by level.
+	lat := lattice.New(usable)
+	for level := 1; level <= params.MaxLHS; level++ {
+		for _, cand := range lat.Level(level) {
+			dep := d.tryCandidate(cand.LHS, cand.RHS)
+			if dep == nil {
+				continue
+			}
+			res.Dependencies = append(res.Dependencies, dep)
+			if dep.Variable {
+				// Line 25: remove the children of X in the lattice.
+				lat.Prune(cand.LHS, cand.RHS)
+			}
+		}
+	}
+	sort.Slice(res.Dependencies, func(i, j int) bool {
+		return res.Dependencies[i].Embedded() < res.Dependencies[j].Embedded()
+	})
+	return res
+}
+
+type discoverer struct {
+	t        *relation.Table
+	inv      *index.Inverted
+	params   Params
+	profiles []relation.ColumnProfile
+}
+
+func (d *discoverer) profile(col string) relation.ColumnProfile {
+	for _, p := range d.profiles {
+		if p.Name == col {
+			return p
+		}
+	}
+	return relation.ColumnProfile{Name: col}
+}
+
+// rowDraft is one tableau row under construction: the chosen index entry
+// per LHS attribute, and the rows matching all of them.
+type rowDraft struct {
+	entries map[string]index.Key // LHS attr -> chosen partial value
+	rows    []int32
+}
+
+// tryCandidate evaluates one embedded candidate X -> B (Figure 4 lines
+// 14-28) and returns the dependency or nil.
+func (d *discoverer) tryCandidate(lhsIdx []int, rhsIdx int) *Dependency {
+	t := d.t
+	lhs := make([]string, len(lhsIdx))
+	for i, c := range lhsIdx {
+		lhs[i] = t.Cols[c]
+	}
+	rhs := t.Cols[rhsIdx]
+
+	// Line 15: start from the LHS attribute with the most patterns.
+	order := append([]string(nil), lhs...)
+	sort.Slice(order, func(i, j int) bool {
+		ni, nj := d.inv.Attrs[order[i]].NumPatterns(), d.inv.Attrs[order[j]].NumPatterns()
+		if ni != nj {
+			return ni > nj
+		}
+		return order[i] < order[j]
+	})
+
+	// Patterns covering (almost) the whole table are vacuous on either
+	// side: as an LHS they condition on nothing, and as an RHS they are a
+	// column-format fact, not a dependency — without this guard every
+	// X -> B with a universal RHS prefix (e.g. "CHEMBL…") would pass the
+	// majority test, the failure mode §4.2 warns about ("we may always be
+	// able to find at least one PFD between any two attributes").
+	vacuousLimit := int(math.Ceil(float64(t.NumRows()) * (1 - d.params.Delta)))
+
+	start := d.inv.Attrs[order[0]]
+	var drafts []rowDraft
+	for _, e := range start.Entries {
+		if e.Count() >= vacuousLimit {
+			continue
+		}
+		base := rowDraft{
+			entries: map[string]index.Key{order[0]: e.Key},
+			rows:    e.List,
+		}
+		drafts = append(drafts, d.extend(base, order[1:])...)
+		if len(drafts) > maxDrafts {
+			break
+		}
+	}
+
+	// Decision function f per draft, building tableau rows. Drafts whose
+	// rows are a subset of an already-accepted draft are redundant: the
+	// covering row (found first — drafts arrive in descending support
+	// order) already constrains those tuples, and on dirty data the
+	// subset's deviating RHS pick is noise-driven (a corrupted value can
+	// push a truncated pattern past the threshold inside a small group).
+	covered := index.NewBitset(t.NumRows())
+	var rows []pfd.Row
+	type accepted struct {
+		ids *index.Bitset
+	}
+	var acc []accepted
+	seen := map[string]bool{}
+	rhsAttr := d.inv.Attrs[rhs]
+	for _, dr := range drafts {
+		n := len(dr.rows)
+		if n < d.params.MinSupport {
+			continue
+		}
+		// The most specific non-vacuous RHS pattern covering all but the
+		// δ-allowance of the draft's rows — the decision function f.
+		counts := rhsAttr.CountWithin(dr.rows)
+		need := int32(n - d.params.allowed(n))
+		if need < 1 {
+			need = 1
+		}
+		be := bestEntry(rhsAttr, counts, need, vacuousLimit)
+		if be < 0 {
+			continue
+		}
+		rhsKey := rhsAttr.Entries[be].Key
+		ids := index.NewBitset(t.NumRows())
+		for _, r := range dr.rows {
+			ids.Set(int(r))
+		}
+		redundant := false
+		for _, a := range acc {
+			if ids.SubsetOf(a.ids) {
+				redundant = true
+				break
+			}
+		}
+		if redundant {
+			continue
+		}
+		row, key := d.buildRow(lhs, rhs, dr, rhsKey)
+		if row == nil || seen[key] {
+			continue
+		}
+		seen[key] = true
+		rows = append(rows, *row)
+		acc = append(acc, accepted{ids: ids})
+		covered.OrInPlace(ids)
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+
+	// Line 22: minimum coverage γ (restriction ii).
+	support := covered.Count()
+	coverage := float64(support) / float64(t.NumRows())
+	if coverage < d.params.MinCoverage {
+		return nil
+	}
+
+	constant := pfd.MustNew(t.Name, lhs, rhs, rows...)
+	dep := &Dependency{LHS: lhs, RHS: rhs, PFD: constant, Coverage: coverage, Support: support}
+
+	// Lines 23-28: try to generalize the constant tableau to one variable
+	// row and validate it on the whole table.
+	if !d.params.DisableGeneralize {
+		if g := d.generalize(lhs, rhs, rows); g != nil {
+			dep.PFD = g
+			dep.Variable = true
+			gCov := index.NewBitset(t.NumRows())
+			for id := 0; id < t.NumRows(); id++ {
+				if g.MatchesLHS(t, 0, id) {
+					gCov.Set(id)
+				}
+			}
+			dep.Support = gCov.Count()
+			dep.Coverage = float64(dep.Support) / float64(t.NumRows())
+		}
+	}
+	return dep
+}
+
+// maxDrafts bounds tableau-row combinations per candidate so that
+// pathological columns cannot blow up the search.
+const maxDrafts = 4096
+
+// extend grows a draft across the remaining LHS attributes, spawning one
+// draft per co-occurring pattern with enough support (Example 8 explores
+// every country value under each first name).
+func (d *discoverer) extend(base rowDraft, rest []string) []rowDraft {
+	if len(rest) == 0 {
+		return []rowDraft{base}
+	}
+	attr := d.inv.Attrs[rest[0]]
+	counts := attr.CountWithin(base.rows)
+	var out []rowDraft
+	for ei := range attr.Entries {
+		if int(counts[ei]) < d.params.MinSupport {
+			continue
+		}
+		sub := attr.Filter(base.rows, ei)
+		next := rowDraft{entries: map[string]index.Key{rest[0]: attr.Entries[ei].Key}, rows: sub}
+		for k, v := range base.entries {
+			next.entries[k] = v
+		}
+		out = append(out, d.extend(next, rest[1:])...)
+		if len(out) > maxDrafts {
+			break
+		}
+	}
+	return out
+}
+
+// bestEntry picks the most specific non-vacuous entry whose within-draft
+// count reaches the δ-threshold `need`. Any entry past the threshold
+// satisfies the decision function f, and specificity maximizes detection
+// power: (CA) must beat (C)\A* even when a corrupted value inflates the
+// short prefix's count, otherwise dirty cells sharing one character with
+// the consensus escape detection. Entries whose global support reaches
+// vacuousLimit describe the whole column and are skipped.
+func bestEntry(a *index.Attribute, counts []int32, need int32, vacuousLimit int) int {
+	best := -1
+	for ei, c := range counts {
+		if c < need || a.Entries[ei].Count() >= vacuousLimit {
+			continue
+		}
+		if best < 0 || moreSpecific(&a.Entries[ei], &a.Entries[best]) {
+			best = ei
+		}
+	}
+	return best
+}
+
+// moreSpecific orders index entries by specificity for RHS tie-breaking.
+func moreSpecific(e, cur *index.Entry) bool {
+	if len(e.Key.Text) != len(cur.Key.Text) {
+		return len(e.Key.Text) > len(cur.Key.Text)
+	}
+	if e.Count() != cur.Count() {
+		return e.Count() < cur.Count()
+	}
+	return e.Key.Text < cur.Key.Text
+}
+
+// buildRow turns a draft into a PFD tableau row; key is a dedupe token.
+func (d *discoverer) buildRow(lhs []string, rhs string, dr rowDraft, rhsKey index.Key) (*pfd.Row, string) {
+	cells := make([]pfd.Cell, len(lhs))
+	var kb strings.Builder
+	for i, a := range lhs {
+		k := dr.entries[a]
+		cell := d.buildCell(a, k, dr.rows)
+		if cell == nil {
+			return nil, ""
+		}
+		cells[i] = *cell
+		kb.WriteString(a)
+		kb.WriteByte('=')
+		kb.WriteString(cell.String())
+		kb.WriteByte(';')
+	}
+	rhsCell := d.buildCell(rhs, rhsKey, dr.rows)
+	if rhsCell == nil {
+		return nil, ""
+	}
+	kb.WriteString("->")
+	kb.WriteString(rhsCell.String())
+	return &pfd.Row{LHS: cells, RHS: *rhsCell}, kb.String()
+}
+
+// buildCell constructs the constrained pattern for a partial value
+// (u, pos) of column col, inspecting the covered rows to decide whether u
+// is the whole value (exact constant), a separator-terminated token, or a
+// plain anchored prefix:
+//
+//	whole value         -> (u)              e.g. (Los Angeles)
+//	token + separator   -> \A{pos}(u sep)\A*  e.g. (John\ )\A*
+//	anchored prefix     -> \A{pos}(u)\A*      e.g. (900)\D*... rendered (900)\A*
+func (d *discoverer) buildCell(col string, k index.Key, rows []int32) *pfd.Cell {
+	ci := d.t.MustCol(col)
+	prof := d.profile(col)
+	ru := []rune(k.Text)
+	// Classify the rows by δ-majority rather than unanimity: up to a δ
+	// fraction of the draft's rows may be dirty (they don't carry the key
+	// at all, or carry trailing junk like "CA-4"), and the cell must be
+	// built from the consensus shape so that the outliers turn into
+	// violations instead of forcing a looser pattern.
+	present, endExact, sepCount := 0, 0, 0
+	sep := rune(0)
+	for _, r := range rows {
+		v := []rune(d.t.Rows[r][ci])
+		end := k.Pos + len(ru)
+		if len(v) < end || string(v[k.Pos:end]) != k.Text {
+			continue // dirty outlier; tolerated below
+		}
+		present++
+		if end == len(v) {
+			endExact++
+			continue
+		}
+		next := v[end]
+		if relation.IsSeparator(next) && (sep == 0 || sep == next) {
+			sep = next
+			sepCount++
+		}
+	}
+	if present == 0 {
+		return nil
+	}
+	majority := present - d.params.allowed(present)
+	if majority < 1 {
+		majority = 1
+	}
+
+	var toks []pattern.Token
+	if k.Pos > 0 {
+		toks = append(toks, pattern.Exactly(pattern.Any, k.Pos))
+	}
+	lo := len(toks)
+	for _, r := range ru {
+		toks = append(toks, pattern.Lit(r))
+	}
+	switch {
+	case endExact >= majority && k.Pos == 0:
+		return cellOf(pattern.NewConstrained(toks, lo, len(toks)))
+	case sepCount >= majority && prof.Mode == relation.ModeTokenize && sep != 0:
+		toks = append(toks, pattern.Lit(sep))
+		hi := len(toks)
+		toks = append(toks, pattern.Star(pattern.Any))
+		return cellOf(pattern.NewConstrained(toks, lo, hi))
+	default:
+		hi := len(toks)
+		toks = append(toks, pattern.Star(pattern.Any))
+		return cellOf(pattern.NewConstrained(toks, lo, hi))
+	}
+}
+
+func cellOf(p *pattern.Pattern) *pfd.Cell {
+	c := pfd.Pat(p)
+	return &c
+}

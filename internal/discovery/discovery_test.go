@@ -1,0 +1,245 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+)
+
+// table6 is the running example for PFD discovery (Table 6 of the paper).
+func table6() *relation.Table {
+	t := relation.New("T", "name", "country", "gender")
+	t.Append("Tayseer Fahmi", "Egypt", "F")
+	t.Append("Tayseer Qasem", "Yemen", "M")
+	t.Append("Tayseer Salem", "Egypt", "F")
+	t.Append("Tayseer Saeed", "Yemen", "M")
+	t.Append("Noor Wagdi", "Egypt", "M")
+	t.Append("Noor Shadi", "Yemen", "F")
+	t.Append("Noor Hisham", "Egypt", "M")
+	t.Append("Noor Hashim", "Yemen", "F")
+	t.Append("Esmat Qadhi", "Yemen", "M")
+	t.Append("Esmat Farahat", "Egypt", "F")
+	return t
+}
+
+// zipCityTable gives enough support for the (900)\D{2} -> Los Angeles
+// dependency of the paper's introduction, scaled past K.
+func zipCityTable() *relation.Table {
+	t := relation.New("Zip", "zip", "city")
+	zips := []string{"90001", "90002", "90003", "90004", "90005", "90011", "90012"}
+	for _, z := range zips {
+		t.Append(z, "Los Angeles")
+	}
+	chi := []string{"60601", "60602", "60603", "60604", "60605", "60606", "60607"}
+	for _, z := range chi {
+		t.Append(z, "Chicago")
+	}
+	return t
+}
+
+func namesTable() *relation.Table {
+	t := relation.New("Name", "name", "gender")
+	boys := []string{"John Charles", "John Bosco", "John Stone", "John Smith", "John Parker",
+		"David Kim", "David Lee", "David Moore", "David Hall", "David King"}
+	girls := []string{"Susan Orlean", "Susan Boyle", "Susan Kim", "Susan Hall", "Susan Price",
+		"Stacey Jones", "Stacey Smith", "Stacey Lee", "Stacey King", "Stacey Park"}
+	for _, n := range boys {
+		t.Append(n, "M")
+	}
+	for _, n := range girls {
+		t.Append(n, "F")
+	}
+	return t
+}
+
+func findDep(res *Result, lhs, rhs string) *Dependency {
+	for _, d := range res.Dependencies {
+		if len(d.LHS) == 1 && d.LHS[0] == lhs && d.RHS == rhs {
+			return d
+		}
+	}
+	return nil
+}
+
+func TestDiscoverZipCity(t *testing.T) {
+	res := Discover(zipCityTable(), Params{MinSupport: 5, Delta: 0.05, MinCoverage: 0.10})
+	dep := findDep(res, "zip", "city")
+	if dep == nil {
+		t.Fatalf("zip -> city not discovered; got %d deps", len(res.Dependencies))
+	}
+	// The two 3-digit prefixes generalize to (\D{3})\D{2} (λ5 / ψ4) or the
+	// constant rows survive; either way the PFD must flag a corrupted city.
+	tb := zipCityTable()
+	tb.Rows[3][1] = "New York"
+	vs := dep.PFD.Violations(tb)
+	if len(vs) != 1 || vs[0].ErrorCell != (relation.Cell{Row: 3, Col: "city"}) {
+		t.Errorf("discovered PFD missed the seeded error: %+v (pfd %s)", vs, dep.PFD)
+	}
+	if !dep.Variable {
+		t.Errorf("zip -> city should generalize to a variable PFD, got %s", dep.PFD)
+	}
+	if dep.Coverage < 0.99 {
+		t.Errorf("coverage = %f, want ~1", dep.Coverage)
+	}
+}
+
+func TestDiscoverNameGender(t *testing.T) {
+	res := Discover(namesTable(), Params{MinSupport: 5, Delta: 0.05, MinCoverage: 0.10})
+	dep := findDep(res, "name", "gender")
+	if dep == nil {
+		t.Fatal("name -> gender not discovered")
+	}
+	// First names generalize to a first-token variable PFD.
+	if !dep.Variable {
+		t.Errorf("expected variable PFD, got constants: %s", dep.PFD)
+	}
+	tb := namesTable()
+	tb.Rows[0][1] = "F" // John Charles marked F
+	vs := dep.PFD.Violations(tb)
+	found := false
+	for _, v := range vs {
+		if v.ErrorCell == (relation.Cell{Row: 0, Col: "gender"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("seeded gender error not detected; violations = %+v, pfd = %s", vs, dep.PFD)
+	}
+}
+
+func TestDiscoverMultiLHSExample8(t *testing.T) {
+	// Example 8: with K = 2, δ = 5%, no single-attribute PFD exists, but
+	// [name, country] -> gender does and generalizes to a variable PFD.
+	res := Discover(table6(), Params{MinSupport: 2, Delta: 0.05, MinCoverage: 0.10, MaxLHS: 2})
+	if dep := findDep(res, "name", "gender"); dep != nil {
+		t.Errorf("single-attribute name -> gender must not pass with K=2: %s", dep.PFD)
+	}
+	var multi *Dependency
+	for _, d := range res.Dependencies {
+		if len(d.LHS) == 2 && d.RHS == "gender" {
+			multi = d
+		}
+	}
+	if multi == nil {
+		t.Fatalf("[name,country] -> gender not discovered; got: %v", embeddeds(res))
+	}
+	if !multi.Variable {
+		t.Errorf("Example 8 generalizes to a variable PFD, got %s", multi.PFD)
+	}
+	// The variable PFD must hold on the clean running example.
+	if !multi.PFD.Satisfied(table6()) {
+		t.Errorf("generalized PFD violated on its own table: %s", multi.PFD)
+	}
+	// And it must catch a flipped gender.
+	tb := table6()
+	tb.Rows[2][2] = "M" // Tayseer Salem, Egypt should be F
+	if n := len(multi.PFD.Violations(tb)); n == 0 {
+		t.Errorf("flipped gender not detected by %s", multi.PFD)
+	}
+}
+
+func embeddeds(res *Result) []string {
+	out := make([]string, len(res.Dependencies))
+	for i, d := range res.Dependencies {
+		out[i] = d.Embedded()
+	}
+	return out
+}
+
+func TestQuantitativeColumnsPruned(t *testing.T) {
+	tb := relation.New("T", "height", "weight")
+	tb.Append("1.75", "70")
+	tb.Append("1.8", "80")
+	tb.Append("1.65", "60")
+	res := Discover(tb, DefaultParams())
+	if len(res.Dependencies) != 0 {
+		t.Errorf("quantitative columns must yield no PFDs: %v", embeddeds(res))
+	}
+}
+
+func TestCoverageThresholdRejects(t *testing.T) {
+	// Only 7 of 70 rows carry the pattern: 10% coverage passes at γ=10%
+	// but fails at γ=50%.
+	tb := zipCityTable()
+	for i := 0; i < 56; i++ {
+		tb.Append("1045"+string(rune('0'+i%10)), "City"+string(rune('A'+i%26)))
+	}
+	res := Discover(tb, Params{MinSupport: 5, Delta: 0.05, MinCoverage: 0.5})
+	if dep := findDep(res, "zip", "city"); dep != nil && dep.Coverage < 0.5 {
+		t.Errorf("dependency below coverage threshold reported: %+v", dep)
+	}
+}
+
+func TestDisableGeneralize(t *testing.T) {
+	res := Discover(zipCityTable(), Params{MinSupport: 5, Delta: 0.05, MinCoverage: 0.10, DisableGeneralize: true})
+	dep := findDep(res, "zip", "city")
+	if dep == nil {
+		t.Fatal("zip -> city not discovered")
+	}
+	if dep.Variable {
+		t.Error("generalization must be disabled")
+	}
+	// Constant rows: every cell's constrained part is a constant.
+	for _, row := range dep.PFD.Tableau {
+		for _, c := range row.LHS {
+			if _, ok := c.Constant(); !ok {
+				t.Errorf("non-constant LHS cell %s with generalization disabled", c)
+			}
+		}
+	}
+}
+
+func TestDeltaToleratesDirt(t *testing.T) {
+	tb := zipCityTable()
+	// Dirty one LA row out of 7 (14% noise in the 900 group).
+	tb.Rows[0][1] = "San Diego"
+	strict := Discover(tb, Params{MinSupport: 5, Delta: 0.01, MinCoverage: 0.10})
+	loose := Discover(tb, Params{MinSupport: 5, Delta: 0.2, MinCoverage: 0.10})
+	sd := findDep(strict, "zip", "city")
+	ld := findDep(loose, "zip", "city")
+	if ld == nil {
+		t.Error("loose delta must keep zip -> city on dirty data")
+	}
+	if sd != nil {
+		// With δ=1% the 900-prefix row must be gone; only the clean 606
+		// prefix may remain, halving coverage.
+		if sd.Coverage > 0.6 {
+			t.Errorf("strict delta kept dirty row: %+v", sd)
+		}
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	empty := relation.New("E", "a", "b")
+	if res := Discover(empty, DefaultParams()); len(res.Dependencies) != 0 {
+		t.Error("empty table must yield nothing")
+	}
+	one := relation.New("O", "a")
+	one.Append("x")
+	if res := Discover(one, DefaultParams()); len(res.Dependencies) != 0 {
+		t.Error("single column must yield nothing")
+	}
+}
+
+func TestDependencyEmbeddedString(t *testing.T) {
+	d := &Dependency{LHS: []string{"zip"}, RHS: "city"}
+	if d.Embedded() != "[zip] -> [city]" {
+		t.Errorf("Embedded = %q", d.Embedded())
+	}
+}
+
+func TestDiscoveredPFDsRenderAsConstraints(t *testing.T) {
+	res := Discover(zipCityTable(), Params{MinSupport: 5, Delta: 0.05, MinCoverage: 0.10, DisableGeneralize: true})
+	dep := findDep(res, "zip", "city")
+	if dep == nil {
+		t.Fatal("zip -> city missing")
+	}
+	s := dep.PFD.String()
+	if !strings.Contains(s, "zip = ") || !strings.Contains(s, "city = ") {
+		t.Errorf("rendering = %q", s)
+	}
+}
+
+var _ = pfd.Wildcard // keep import if unused paths change

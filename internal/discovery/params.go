@@ -1,0 +1,65 @@
+// Package discovery implements the paper's PFD discovery algorithm
+// (Figure 4): profile and prune columns, build the inverted pattern index,
+// walk the candidate lattice, accept tableau rows with the support/noise
+// decision function f, enforce minimum coverage, and generalize constant
+// tableaux to variable PFDs when one pattern shape explains them all.
+package discovery
+
+// Params are the knobs of Section 4.2/5.1. The defaults are the paper's
+// experimental setting: minimum coverage 10%, allowed noise δ = 5%, and
+// minimum support K = 5.
+type Params struct {
+	// MinSupport is K: the minimum number of records containing a pattern
+	// for it to seed a tableau row (restriction iii-a).
+	MinSupport int
+	// Delta is the allowed-violation ratio δ: the RHS majority pattern
+	// must cover at least (1-δ)·n of the n LHS-matching records
+	// (restriction iii-b).
+	Delta float64
+	// MinCoverage is γ: the fraction of table records a dependency's
+	// tableau must cover to be reported (restriction ii).
+	MinCoverage float64
+	// MaxLHS bounds the LHS attribute-set size (1 = single-attribute
+	// PFDs, the paper's main experimental mode; 2 adds the multi-LHS
+	// mode of Table 7 row 14).
+	MaxLHS int
+	// MaxGram caps n-gram length (0 = longest value).
+	MaxGram int
+	// DisableGeneralize keeps every dependency in constant form; used by
+	// the ablation benchmarks.
+	DisableGeneralize bool
+	// DisableSubstringPrune turns off the §4.4 index pruning, for the
+	// ablation benchmarks.
+	DisableSubstringPrune bool
+}
+
+// DefaultParams returns the paper's §5.1 setting.
+func DefaultParams() Params {
+	return Params{MinSupport: 5, Delta: 0.05, MinCoverage: 0.10, MaxLHS: 1}
+}
+
+// allowed returns the number of violating records tolerated among n
+// matching ones: ⌊δ·n⌋. At δ=1% and the controlled experiment's ~34-row
+// groups this is zero — no tolerance — which is why the paper observes
+// that small δ gives the worst recall (§5.3, observation ii).
+func (p Params) allowed(n int) int {
+	return int(p.Delta * float64(n))
+}
+
+// normalize fills zero values with defaults.
+func (p Params) normalize() Params {
+	d := DefaultParams()
+	if p.MinSupport <= 0 {
+		p.MinSupport = d.MinSupport
+	}
+	if p.Delta <= 0 {
+		p.Delta = d.Delta
+	}
+	if p.MinCoverage <= 0 {
+		p.MinCoverage = d.MinCoverage
+	}
+	if p.MaxLHS <= 0 {
+		p.MaxLHS = d.MaxLHS
+	}
+	return p
+}

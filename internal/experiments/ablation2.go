@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pfd/internal/datagen"
+	"pfd/internal/discovery"
+	"pfd/internal/index"
+	"pfd/internal/metrics"
+	"pfd/internal/relation"
+)
+
+// DesignAblationRow measures one design-choice toggle of the discovery
+// algorithm (DESIGN.md's ablation index): discovery quality and runtime
+// with the optimization on vs off.
+type DesignAblationRow struct {
+	Toggle  string
+	OnPR    metrics.PR
+	OnSecs  float64
+	OffPR   metrics.PR
+	OffSecs float64
+	OnDeps  int
+	OffDeps int
+	// OnExtra/OffExtra carry a toggle-specific magnitude (index postings
+	// for substring pruning; variable PFD count for generalization).
+	OnExtra  int
+	OffExtra int
+}
+
+// RunDesignAblations toggles the §4.4 optimizations (substring pruning,
+// generalization) on the staff table and reports the deltas.
+func RunDesignAblations(cfg Config) []DesignAblationRow {
+	cfg = cfg.normalize()
+	spec, _ := datagen.SpecByID("T14")
+	t, truth := spec.Build(cfg.rowsFor(spec.PaperRows), cfg.Seed, cfg.Dirt)
+	truthKeys := truth.DepKeys()
+
+	measure := func(params discovery.Params) (metrics.PR, float64, int, int) {
+		start := time.Now()
+		res := discovery.Discover(t, params)
+		secs := time.Since(start).Seconds()
+		var keys []string
+		variable := 0
+		for _, d := range res.Dependencies {
+			keys = append(keys, d.Embedded())
+			if d.Variable {
+				variable++
+			}
+		}
+		return metrics.SetPR(keys, truthKeys), secs, len(res.Dependencies), variable
+	}
+
+	var out []DesignAblationRow
+
+	base := discovery.DefaultParams()
+	onPR, onS, onD, onVar := measure(base)
+
+	noPrune := base
+	noPrune.DisableSubstringPrune = true
+	prPR, prS, prD, _ := measure(noPrune)
+	out = append(out, DesignAblationRow{
+		Toggle: "substring pruning (§4.4)",
+		OnPR:   onPR, OnSecs: onS, OnDeps: onD, OnExtra: indexPostings(t, false),
+		OffPR: prPR, OffSecs: prS, OffDeps: prD, OffExtra: indexPostings(t, true),
+	})
+
+	noGen := base
+	noGen.DisableGeneralize = true
+	gPR, gS, gD, gVar := measure(noGen)
+	out = append(out, DesignAblationRow{
+		Toggle: "constant->variable generalization (§4.3)",
+		OnPR:   onPR, OnSecs: onS, OnDeps: onD, OnExtra: onVar,
+		OffPR: gPR, OffSecs: gS, OffDeps: gD, OffExtra: gVar,
+	})
+	return out
+}
+
+// indexPostings counts surviving index postings with/without pruning.
+func indexPostings(t *relation.Table, disablePrune bool) int {
+	profs := relation.ProfileTable(t)
+	inv := index.Build(t, profs, nil, index.Options{MinIDs: 5, DisablePrune: disablePrune})
+	n := 0
+	for _, a := range inv.Attrs {
+		n += a.NumPatterns()
+	}
+	return n
+}
+
+// FormatDesignAblations renders the toggle table.
+func FormatDesignAblations(rows []DesignAblationRow) string {
+	var b strings.Builder
+	b.WriteString("Design ablations on T14 (optimization on vs off; extra = postings or variable-PFD count)\n")
+	tb := &metrics.Table{Header: []string{
+		"Toggle", "on-P", "on-R", "on-s", "on-deps", "on-extra",
+		"off-P", "off-R", "off-s", "off-deps", "off-extra",
+	}}
+	for _, r := range rows {
+		tb.Add(r.Toggle,
+			metrics.Pct(r.OnPR.Precision), metrics.Pct(r.OnPR.Recall),
+			fmt.Sprintf("%.2f", r.OnSecs), fmt.Sprintf("%d", r.OnDeps), fmt.Sprintf("%d", r.OnExtra),
+			metrics.Pct(r.OffPR.Precision), metrics.Pct(r.OffPR.Recall),
+			fmt.Sprintf("%.2f", r.OffSecs), fmt.Sprintf("%d", r.OffDeps), fmt.Sprintf("%d", r.OffExtra))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDetectComparison(t *testing.T) {
+	rows := RunDetectComparison(Config{Scale: 0.02, MinRows: 300, Seed: 3, Dirt: 0.015})
+	if len(rows) != 15 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	pfdOnly, fmtOnly := 0, 0
+	for _, r := range rows {
+		pfdOnly += r.PFDOnly
+		fmtOnly += r.FormatOnly
+		if r.SeededErrs == 0 {
+			t.Errorf("%s: no seeded errors", r.ID)
+		}
+	}
+	// The §5.3 claim: PFDs find errors no single-column method can.
+	if pfdOnly <= fmtOnly {
+		t.Errorf("PFD-only errors (%d) must exceed format-only errors (%d)", pfdOnly, fmtOnly)
+	}
+	if pfdOnly == 0 {
+		t.Error("PFDs found no exclusive errors")
+	}
+	if s := FormatDetectComparison(rows); !strings.Contains(s, "PFD-only") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestRunDesignAblations(t *testing.T) {
+	rows := RunDesignAblations(Config{Scale: 0.03, MinRows: 500, Seed: 2, Dirt: 0.01})
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	prune := rows[0]
+	if !strings.Contains(prune.Toggle, "pruning") {
+		t.Fatalf("first toggle = %q", prune.Toggle)
+	}
+	// Pruning is lossless for quality and strictly shrinks the index.
+	if prune.OnPR.Recall < prune.OffPR.Recall-1e-9 {
+		t.Errorf("pruning lost recall: on %f vs off %f", prune.OnPR.Recall, prune.OffPR.Recall)
+	}
+	if prune.OnExtra >= prune.OffExtra {
+		t.Errorf("pruning did not shrink the index: %d vs %d postings", prune.OnExtra, prune.OffExtra)
+	}
+	gen := rows[1]
+	if gen.OnExtra == 0 {
+		t.Error("generalization produced no variable PFDs")
+	}
+	if gen.OffExtra != 0 {
+		t.Error("disabled generalization still produced variable PFDs")
+	}
+	if s := FormatDesignAblations(rows); !strings.Contains(s, "generalization") {
+		t.Error("rendering incomplete")
+	}
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps unit tests fast; benches run closer to paper scale.
+func smallCfg() Config {
+	return Config{Scale: 0.02, MinRows: 250, Seed: 3, Dirt: 0.01, FDepMaxPairs: 30000}
+}
+
+func TestRunTable7One(t *testing.T) {
+	row, err := RunTable7One(smallCfg(), "T4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ID != "T4" || row.Rows < 250 {
+		t.Fatalf("row = %+v", row)
+	}
+	// Shape assertions from the paper: PFD discovers at least as many
+	// valid dependencies as the baselines on pattern-bearing tables, with
+	// high recall.
+	if row.PFD.PR.Recall < 0.7 {
+		t.Errorf("PFD recall = %f, want >= 0.7 (paper avg 93%%)", row.PFD.PR.Recall)
+	}
+	if row.PFD.PR.Recall < row.FDep.PR.Recall {
+		t.Errorf("PFD recall (%f) must beat FDep recall (%f) on T4",
+			row.PFD.PR.Recall, row.FDep.PR.Recall)
+	}
+	if row.PFD.Deps == 0 {
+		t.Error("PFD found nothing on T4")
+	}
+	if _, err := RunTable7One(smallCfg(), "T99"); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}
+
+func TestRunTable7AllShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	rows := RunTable7(smallCfg())
+	if len(rows) != 15 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var pfdR, fdepR, pfdP float64
+	for _, r := range rows {
+		pfdR += r.PFD.PR.Recall
+		fdepR += r.FDep.PR.Recall
+		pfdP += r.PFD.PR.Precision
+	}
+	pfdR /= 15
+	fdepR /= 15
+	pfdP /= 15
+	// Paper shape: PFD avg recall 93% >> FDep avg recall ~35%; PFD avg
+	// precision ~78%. Allow generous slack for the synthetic substrate.
+	if pfdR < 0.75 {
+		t.Errorf("PFD mean recall = %f, want >= 0.75", pfdR)
+	}
+	if pfdR <= fdepR {
+		t.Errorf("PFD recall (%f) must exceed FDep recall (%f)", pfdR, fdepR)
+	}
+	if pfdP < 0.55 {
+		t.Errorf("PFD mean precision = %f, want >= 0.55", pfdP)
+	}
+	out := FormatTable7(rows)
+	if !strings.Contains(out, "T13") || !strings.Contains(out, "Averages:") {
+		t.Error("Table 7 rendering incomplete")
+	}
+}
+
+func TestRunTable8(t *testing.T) {
+	rows := RunTable8(Config{Scale: 0.05, MinRows: 800, Seed: 2, Dirt: 0.005})
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.NumPFDs == 0 {
+			t.Errorf("%s: no constant PFDs discovered", r.Dependency)
+			continue
+		}
+		// Paper: validation precision > 97% on all three dependencies.
+		if r.Precision < 0.9 {
+			t.Errorf("%s: precision %f, want >= 0.9", r.Dependency, r.Precision)
+		}
+		if r.Coverage <= 0 {
+			t.Errorf("%s: zero coverage", r.Dependency)
+		}
+	}
+	if s := FormatTable8(rows); !strings.Contains(s, "Zip -> City") {
+		t.Error("Table 8 rendering incomplete")
+	}
+}
+
+func TestRunControlledShape(t *testing.T) {
+	cfg := ControlledConfig{
+		Rows: 912, Seed: 5, ActiveDom: false,
+		Ks:         []int{2, 6},
+		Deltas:     []float64{0.04},
+		ErrorRates: []float64{0.02, 0.08},
+	}
+	pts := RunControlled(cfg)
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	get := func(k int, rate float64) ControlledPoint {
+		for _, p := range pts {
+			if p.K == k && p.ErrorRate == rate {
+				return p
+			}
+		}
+		t.Fatalf("missing point K=%d rate=%f", k, rate)
+		return ControlledPoint{}
+	}
+	// Shape (i) of §5.3: precision does not drop as K grows.
+	lowK, highK := get(2, 0.02), get(6, 0.02)
+	if highK.PR.Precision+1e-9 < lowK.PR.Precision-0.15 {
+		t.Errorf("precision fell sharply with K: %f -> %f", lowK.PR.Precision, highK.PR.Precision)
+	}
+	// Shape (iv): recall degrades as the error rate grows.
+	if get(2, 0.08).PR.Recall > get(2, 0.02).PR.Recall+0.15 {
+		t.Errorf("recall rose with error rate: %f -> %f",
+			get(2, 0.02).PR.Recall, get(2, 0.08).PR.Recall)
+	}
+	// Detection must actually work at low error rates.
+	if lowK.PR.Recall < 0.5 {
+		t.Errorf("recall at 2%% errors = %f, want >= 0.5", lowK.PR.Recall)
+	}
+	if s := FormatControlled("Figure 5", pts); !strings.Contains(s, "K = 2") {
+		t.Error("controlled rendering incomplete")
+	}
+}
+
+func TestRunControlledActiveDomain(t *testing.T) {
+	cfg := ControlledConfig{
+		Rows: 912, Seed: 5, ActiveDom: true,
+		Ks:         []int{2},
+		Deltas:     []float64{0.04},
+		ErrorRates: []float64{0.03},
+	}
+	pts := RunControlled(cfg)
+	if len(pts) != 1 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Shape (iii): the method stays robust when errors come from the
+	// active domain.
+	if pts[0].PR.Recall < 0.4 {
+		t.Errorf("active-domain recall = %f, want >= 0.4", pts[0].PR.Recall)
+	}
+}
+
+func TestRunAblationSupport(t *testing.T) {
+	pts := RunAblationSupport(smallCfg(), []int{2, 6})
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// §5.1: larger K trades recall for precision.
+	if pts[1].PR.Recall > pts[0].PR.Recall+1e-9 {
+		t.Errorf("recall must not rise with K: K=2 R=%f, K=6 R=%f",
+			pts[0].PR.Recall, pts[1].PR.Recall)
+	}
+	if s := FormatAblation(pts); !strings.Contains(s, "K") {
+		t.Error("ablation rendering incomplete")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	samples := RunTable3(Config{Scale: 0.05, MinRows: 1000, Seed: 2, Dirt: 0.01})
+	if len(samples) < 3 {
+		t.Fatalf("only %d qualitative samples", len(samples))
+	}
+	withError := 0
+	for _, s := range samples {
+		if s.PFD == "" {
+			t.Errorf("%s: empty PFD", s.Dependency)
+		}
+		if s.Error != "" {
+			withError++
+		}
+	}
+	if withError == 0 {
+		t.Error("no sample paired with a detected error")
+	}
+	if s := FormatTable3(samples); !strings.Contains(s, "->") {
+		t.Error("Table 3 rendering incomplete")
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.normalize()
+	d := DefaultConfig()
+	if c.Scale != d.Scale || c.MinRows != d.MinRows || c.FDepMaxPairs != d.FDepMaxPairs {
+		t.Errorf("normalize = %+v", c)
+	}
+	if got := (Config{Scale: 10}).normalize().rowsFor(1000); got != 1000 {
+		t.Errorf("rowsFor must clamp to paper rows, got %d", got)
+	}
+	if got := (Config{Scale: 0.001, MinRows: 300}).normalize().rowsFor(10000); got != 300 {
+		t.Errorf("rowsFor must floor at MinRows, got %d", got)
+	}
+}

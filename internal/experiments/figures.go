@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pfd/internal/datagen"
+	"pfd/internal/discovery"
+	"pfd/internal/metrics"
+	"pfd/internal/pfd"
+	"pfd/internal/repair"
+)
+
+// ControlledPoint is one (K, δ, error-rate) measurement of Figures 5-6:
+// detection precision and recall of injected errors in {Zip -> State}.
+type ControlledPoint struct {
+	K         int
+	Delta     float64
+	ErrorRate float64
+	PR        metrics.PR
+}
+
+// ControlledConfig parameterizes the Figure 5/6 sweep. The paper cleans
+// the table to 912 records, injects 1%..10% errors into State (outside
+// the active domain for Figure 5, inside for Figure 6), and sweeps
+// K in {2,4,6} and δ in {1%,4%,7%}.
+type ControlledConfig struct {
+	Rows       int
+	Seed       int64
+	ActiveDom  bool // false = Figure 5, true = Figure 6
+	Ks         []int
+	Deltas     []float64
+	ErrorRates []float64
+}
+
+// DefaultControlledConfig mirrors the paper's sweep.
+func DefaultControlledConfig(active bool) ControlledConfig {
+	return ControlledConfig{
+		Rows:       912,
+		Seed:       1,
+		ActiveDom:  active,
+		Ks:         []int{2, 4, 6},
+		Deltas:     []float64{0.01, 0.04, 0.07},
+		ErrorRates: []float64{0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10},
+	}
+}
+
+// RunControlled regenerates one of Figures 5/6: for every parameter
+// combination it injects errors into a clean {Zip -> State} table, runs
+// PFD discovery on the dirty data, detects violations with the discovered
+// zip -> state PFDs, and scores them against the injected cells.
+func RunControlled(cfg ControlledConfig) []ControlledPoint {
+	if cfg.Rows <= 0 {
+		cfg = DefaultControlledConfig(cfg.ActiveDom)
+	}
+	var out []ControlledPoint
+	for _, k := range cfg.Ks {
+		for _, delta := range cfg.Deltas {
+			for _, rate := range cfg.ErrorRates {
+				out = append(out, runControlledPoint(cfg, k, delta, rate))
+			}
+		}
+	}
+	return out
+}
+
+func runControlledPoint(cfg ControlledConfig, k int, delta, rate float64) ControlledPoint {
+	t, _ := datagen.ZipState(cfg.Rows, cfg.Seed)
+	truth := datagen.InjectErrors(t, "state", rate, cfg.ActiveDom, cfg.Seed+int64(1000*rate)+int64(k))
+
+	params := discovery.Params{
+		MinSupport:  k,
+		Delta:       delta,
+		MinCoverage: 0.10,
+		MaxLHS:      1,
+	}
+	res := discovery.Discover(t, params)
+	var pfds []*pfd.PFD
+	for _, d := range res.Dependencies {
+		if len(d.LHS) == 1 && d.LHS[0] == "zip" && d.RHS == "state" {
+			pfds = append(pfds, d.PFD)
+		}
+	}
+	findings := repair.Detect(t, pfds)
+	tp := 0
+	for _, f := range findings {
+		if _, isErr := truth[f.Cell]; isErr {
+			tp++
+		}
+	}
+	pt := ControlledPoint{K: k, Delta: delta, ErrorRate: rate}
+	if len(findings) > 0 {
+		pt.PR.Precision = float64(tp) / float64(len(findings))
+	} else {
+		pt.PR.Precision = 1 // vacuous: nothing was flagged wrongly
+	}
+	if len(truth) > 0 {
+		pt.PR.Recall = float64(tp) / float64(len(truth))
+	} else {
+		pt.PR.Recall = 1
+	}
+	return pt
+}
+
+// FormatControlled renders the sweep as the paper's figure series: one
+// block per K, one line per δ, P and R across error rates.
+func FormatControlled(title string, pts []ControlledPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — error detection on {Zip -> State}\n", title)
+	byK := map[int]map[float64][]ControlledPoint{}
+	var ks []int
+	for _, p := range pts {
+		if byK[p.K] == nil {
+			byK[p.K] = map[float64][]ControlledPoint{}
+			ks = append(ks, p.K)
+		}
+		byK[p.K][p.Delta] = append(byK[p.K][p.Delta], p)
+	}
+	for _, k := range ks {
+		fmt.Fprintf(&b, "K = %d\n", k)
+		var deltas []float64
+		for d := range byK[k] {
+			deltas = append(deltas, d)
+		}
+		sortFloats(deltas)
+		for _, d := range deltas {
+			series := byK[k][d]
+			fmt.Fprintf(&b, "  δ=%.0f%%  P:", 100*d)
+			for _, p := range series {
+				fmt.Fprintf(&b, " %5.2f", p.PR.Precision)
+			}
+			b.WriteString("\n         R:")
+			for _, p := range series {
+				fmt.Fprintf(&b, " %5.2f", p.PR.Recall)
+			}
+			b.WriteString("\n")
+		}
+	}
+	b.WriteString("  (error rate 1%..10% left to right; paper shape: P rises with K, R falls with K and with error rate)\n")
+	return b.String()
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// AblationPoint is one K value of the §5.1 sensitivity claim ("minimum
+// support K >= 4 will result in almost 100% precision but a low recall").
+type AblationPoint struct {
+	K  int
+	PR metrics.PR
+}
+
+// RunAblationSupport sweeps K on the contact table and scores discovery
+// P/R against ground truth.
+func RunAblationSupport(cfg Config, ks []int) []AblationPoint {
+	cfg = cfg.normalize()
+	if len(ks) == 0 {
+		ks = []int{2, 3, 4, 5, 6, 8, 16, 40}
+	}
+	spec, _ := datagen.SpecByID("T1")
+	t, truth := spec.Build(cfg.rowsFor(spec.PaperRows), cfg.Seed, cfg.Dirt)
+	truthKeys := truth.DepKeys()
+	var out []AblationPoint
+	for _, k := range ks {
+		params := discovery.DefaultParams()
+		params.MinSupport = k
+		res := discovery.Discover(t, params)
+		var keys []string
+		for _, d := range res.Dependencies {
+			keys = append(keys, d.Embedded())
+		}
+		out = append(out, AblationPoint{K: k, PR: metrics.SetPR(keys, truthKeys)})
+	}
+	return out
+}
+
+// FormatAblation renders the K sweep.
+func FormatAblation(pts []AblationPoint) string {
+	var b strings.Builder
+	b.WriteString("Ablation — discovery precision/recall vs minimum support K (T1)\n")
+	tb := &metrics.Table{Header: []string{"K", "Precision", "Recall", "F1"}}
+	for _, p := range pts {
+		tb.Add(fmt.Sprintf("%d", p.K), metrics.Pct(p.PR.Precision),
+			metrics.Pct(p.PR.Recall), metrics.Pct(p.PR.F1()))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

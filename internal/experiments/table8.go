@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pfd/internal/datagen"
+	"pfd/internal/discovery"
+	"pfd/internal/metrics"
+)
+
+// Table8Row is one validated dependency of Table 8: how many constant
+// PFDs were discovered for it, how many the oracle confirms, and how much
+// of the table they cover.
+type Table8Row struct {
+	Dependency string
+	NumPFDs    int
+	Precision  float64
+	Coverage   float64
+}
+
+// RunTable8 regenerates Table 8 (PFD validation): constant PFDs for
+// {Full Name -> Gender}, {Fax/Phone -> State} and {Zip -> City} are
+// extracted from the staff table (T14 carries all three shapes) and each
+// constrained constant is validated against the oracle maps that stand in
+// for the paper's web services (§5.2).
+func RunTable8(cfg Config) []Table8Row {
+	cfg = cfg.normalize()
+	spec, _ := datagen.SpecByID("T14")
+	rows := cfg.rowsFor(spec.PaperRows)
+	t, _ := spec.Build(rows, cfg.Seed, cfg.Dirt)
+
+	params := discovery.DefaultParams()
+	params.DisableGeneralize = true // Table 8 considers constant PFDs only
+	res := discovery.Discover(t, params)
+
+	nameOracle := datagen.FirstNameGender()
+	areaOracle := datagen.AreaToState()
+	zipOracle := datagen.Zip3ToCity()
+
+	checks := []struct {
+		label    string
+		lhs, rhs string
+		validate func(lhsConst, rhsConst string) bool
+	}{
+		{"Full Name -> Gender", "name", "gender", func(l, r string) bool {
+			first := firstNameOf(l)
+			return nameOracle[first] == r
+		}},
+		{"Fax -> State", "phone", "state", func(l, r string) bool {
+			return prefixOracleAgrees(areaOracle, l, r)
+		}},
+		{"Zip -> City", "zip", "city", func(l, r string) bool {
+			return prefixOracleAgrees(zipOracle, l, r)
+		}},
+	}
+
+	var out []Table8Row
+	for _, c := range checks {
+		row := Table8Row{Dependency: c.label}
+		for _, d := range res.Dependencies {
+			if len(d.LHS) != 1 || d.LHS[0] != c.lhs || d.RHS != c.rhs {
+				continue
+			}
+			covered := 0
+			for ri, tr := range d.PFD.Tableau {
+				lconst, ok1 := tr.LHS[0].Constant()
+				rconst, ok2 := tr.RHS.Constant()
+				if !ok1 || !ok2 {
+					continue
+				}
+				row.NumPFDs++
+				if c.validate(strings.TrimRight(lconst, " -,."), rconst) {
+					row.Precision++ // counts; normalized below
+				}
+				_ = ri
+			}
+			covered = d.Support
+			row.Coverage = float64(covered) / float64(t.NumRows())
+		}
+		if row.NumPFDs > 0 {
+			row.Precision /= float64(row.NumPFDs)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// prefixOracleAgrees validates a constant code prefix against an oracle
+// keyed by 3-digit prefixes: a short constant such as "85" is genuine iff
+// every oracle prefix it covers maps to the claimed value, and a longer
+// constant such as "9583" is genuine iff its own 3-digit prefix does.
+func prefixOracleAgrees(oracle map[string]string, code, want string) bool {
+	if len(code) >= 3 {
+		return oracle[code[:3]] == want
+	}
+	matched := false
+	for p3, v := range oracle {
+		if strings.HasPrefix(p3, code) {
+			if v != want {
+				return false
+			}
+			matched = true
+		}
+	}
+	return matched
+}
+
+// firstNameOf extracts the first name from either "First Last" or
+// "Last, First M." shapes.
+func firstNameOf(name string) string {
+	if _, after, ok := strings.Cut(name, ", "); ok {
+		name = after
+	}
+	fields := strings.Fields(name)
+	if len(fields) == 0 {
+		return ""
+	}
+	return fields[0]
+}
+
+// FormatTable8 renders the validation rows next to the paper's values.
+func FormatTable8(rows []Table8Row) string {
+	var b strings.Builder
+	tb := &metrics.Table{Header: []string{"Dependency", "#PFDs", "Precision", "Coverage"}}
+	for _, r := range rows {
+		tb.Add(r.Dependency, fmt.Sprintf("%d", r.NumPFDs),
+			metrics.Pct(r.Precision), metrics.Pct(r.Coverage))
+	}
+	b.WriteString("Table 8 — precision and coverage of discovered PFDs\n")
+	b.WriteString(tb.String())
+	b.WriteString("Paper: Full Name->Gender 401 PFDs P=97.1% C=54.9% | Fax->State 176 P=98.3% C=46% | Zip->City 26 P=100% C=78.3%\n")
+	return b.String()
+}

@@ -1,0 +1,252 @@
+package fd
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"pfd/internal/relation"
+)
+
+func TestAttrSet(t *testing.T) {
+	s := NewAttrSet(0, 3, 5)
+	if s.Size() != 3 || !s.Has(3) || s.Has(1) {
+		t.Errorf("AttrSet basics wrong: %v", s.Cols())
+	}
+	if got := s.Add(1).Size(); got != 4 {
+		t.Errorf("Add = %d", got)
+	}
+	if got := s.Remove(3).Size(); got != 2 {
+		t.Errorf("Remove = %d", got)
+	}
+	if !NewAttrSet(0).SubsetOf(s) || NewAttrSet(1).SubsetOf(s) {
+		t.Error("SubsetOf wrong")
+	}
+	cols := s.Cols()
+	if len(cols) != 3 || cols[0] != 0 || cols[2] != 5 {
+		t.Errorf("Cols = %v", cols)
+	}
+}
+
+// abcTable: A -> B holds, B -> A does not, C is a key.
+func abcTable() *relation.Table {
+	t := relation.New("T", "A", "B", "C")
+	t.Append("a1", "b1", "c1")
+	t.Append("a1", "b1", "c2")
+	t.Append("a2", "b1", "c3")
+	t.Append("a3", "b2", "c4")
+	return t
+}
+
+func TestPartitionRefines(t *testing.T) {
+	tb := abcTable()
+	base := BasePartitions(tb)
+	if !base[0].Refines(base[1]) {
+		t.Error("A -> B must hold")
+	}
+	if base[1].Refines(base[0]) {
+		t.Error("B -> A must not hold")
+	}
+	if !base[2].Refines(base[0]) || !base[2].Refines(base[1]) {
+		t.Error("key C must determine everything")
+	}
+}
+
+func TestPartitionProduct(t *testing.T) {
+	tb := abcTable()
+	base := BasePartitions(tb)
+	ab := base[0].Product(base[1])
+	if ab.NumClasses != 3 {
+		t.Errorf("π_AB classes = %d, want 3", ab.NumClasses)
+	}
+	if got := PartitionSet(tb, base, NewAttrSet(0, 1)).NumClasses; got != 3 {
+		t.Errorf("PartitionSet = %d classes", got)
+	}
+}
+
+func TestG3Error(t *testing.T) {
+	tb := relation.New("T", "A", "B")
+	tb.Append("x", "1")
+	tb.Append("x", "1")
+	tb.Append("x", "2") // minority: one removal fixes A -> B
+	tb.Append("y", "3")
+	base := BasePartitions(tb)
+	if got := base[0].G3Error(base[1]); got != 1 {
+		t.Errorf("g3 = %d, want 1", got)
+	}
+	if got := base[1].G3Error(base[0]); got != 0 {
+		t.Errorf("B -> A g3 = %d, want 0", got)
+	}
+}
+
+func TestTANEFindsMinimalFDs(t *testing.T) {
+	tb := abcTable()
+	fds := TANE(tb, TANEOptions{})
+	want := map[string]bool{}
+	for _, f := range fds {
+		want[f.String(tb)] = true
+		if !Holds(tb, f) {
+			t.Errorf("TANE reported non-holding FD %s", f.String(tb))
+		}
+	}
+	if !want["[A] -> [B]"] {
+		t.Errorf("missing A -> B in %v", want)
+	}
+	if !want["[C] -> [A]"] || !want["[C] -> [B]"] {
+		t.Errorf("missing key FDs in %v", want)
+	}
+	// Non-minimal [A,C] -> B must not be reported.
+	for _, f := range fds {
+		if f.RHS == 1 && f.LHS.Size() > 1 && f.LHS.Has(0) {
+			t.Errorf("non-minimal FD %s reported", f.String(tb))
+		}
+	}
+}
+
+func TestTANEApproximate(t *testing.T) {
+	tb := relation.New("T", "A", "B")
+	for i := 0; i < 99; i++ {
+		tb.Append("x", "1")
+	}
+	tb.Append("x", "2") // 1% dirt
+	for _, f := range TANE(tb, TANEOptions{}) {
+		if f.RHS == 1 {
+			t.Errorf("exact TANE found %s on dirty data", f.String(tb))
+		}
+	}
+	fds := TANE(tb, TANEOptions{MaxError: 0.02})
+	found := false
+	for _, f := range fds {
+		if f.RHS == 1 && f.LHS == NewAttrSet(0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("approximate TANE must tolerate 1% dirt")
+	}
+}
+
+func TestFDepMatchesTANEExact(t *testing.T) {
+	tb := abcTable()
+	fdep := FDep(tb, FDepOptions{})
+	tane := TANE(tb, TANEOptions{})
+	if len(fdep) != len(tane) {
+		t.Fatalf("FDep found %d FDs, TANE %d", len(fdep), len(tane))
+	}
+	for i := range fdep {
+		if fdep[i] != tane[i] {
+			t.Errorf("FD %d differs: %s vs %s", i, fdep[i].String(tb), tane[i].String(tb))
+		}
+	}
+}
+
+func TestQuickFDepAgreesWithTANE(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		tb := relation.New("T", "A", "B", "C", "D")
+		rows := 4 + r.Intn(12)
+		for i := 0; i < rows; i++ {
+			tb.Append(
+				strconv.Itoa(r.Intn(3)),
+				strconv.Itoa(r.Intn(3)),
+				strconv.Itoa(r.Intn(2)),
+				strconv.Itoa(r.Intn(4)),
+			)
+		}
+		fdep := FDep(tb, FDepOptions{})
+		tane := TANE(tb, TANEOptions{})
+		if len(fdep) != len(tane) {
+			return false
+		}
+		for i := range fdep {
+			if fdep[i] != tane[i] {
+				return false
+			}
+			if !Holds(tb, fdep[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFDepSampledIsSuperset(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	tb := relation.New("T", "A", "B", "C")
+	for i := 0; i < 200; i++ {
+		a := strconv.Itoa(r.Intn(10))
+		tb.Append(a, "b"+a, strconv.Itoa(i))
+	}
+	exact := FDep(tb, FDepOptions{})
+	sampled := FDep(tb, FDepOptions{MaxPairs: 500, Seed: 1})
+	// Sampling loses only negative evidence: every exact FD must still be
+	// implied by some sampled FD (a subset LHS with the same RHS).
+	for _, e := range exact {
+		ok := false
+		for _, s := range sampled {
+			if s.RHS == e.RHS && s.LHS.SubsetOf(e.LHS) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("sampled cover lost FD %s", e.String(tb))
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	empty := relation.New("E", "A")
+	if got := TANE(empty, TANEOptions{}); got != nil {
+		t.Errorf("TANE on empty = %v", got)
+	}
+	if got := FDep(empty, FDepOptions{}); got != nil {
+		t.Errorf("FDep on empty = %v", got)
+	}
+}
+
+func TestFDString(t *testing.T) {
+	tb := abcTable()
+	f := FD{LHS: NewAttrSet(0, 2), RHS: 1}
+	if got := f.String(tb); got != "[A,C] -> [B]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestQuickTANEMinimality(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	f := func() bool {
+		tb := relation.New("T", "A", "B", "C", "D")
+		rows := 6 + r.Intn(14)
+		for i := 0; i < rows; i++ {
+			tb.Append(
+				strconv.Itoa(r.Intn(3)),
+				strconv.Itoa(r.Intn(2)),
+				strconv.Itoa(r.Intn(3)),
+				strconv.Itoa(r.Intn(4)),
+			)
+		}
+		fds := TANE(tb, TANEOptions{})
+		for _, f1 := range fds {
+			if !Holds(tb, f1) {
+				return false
+			}
+			// Minimality: no proper subset of the LHS may also hold.
+			for _, c := range f1.LHS.Cols() {
+				sub := FD{LHS: f1.LHS.Remove(c), RHS: f1.RHS}
+				if Holds(tb, sub) {
+					t.Logf("non-minimal %s: subset %s holds", f1.String(tb), sub.String(tb))
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

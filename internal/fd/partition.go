@@ -1,0 +1,119 @@
+package fd
+
+import "pfd/internal/relation"
+
+// This file implements TANE-style partitions. A partition of an attribute
+// set X groups tuple ids by their X-projection. We keep the full (not
+// stripped) grouping keyed by a dense class id per row, which makes
+// partition products a single pass and makes the g3 error measure (the
+// fraction of tuples that must be removed for X -> B to hold exactly)
+// computable in linear time.
+
+// Partition assigns each row a class id such that two rows share a class
+// iff they agree on the underlying attribute set.
+type Partition struct {
+	ClassOf    []int32 // row -> class id (dense, 0-based)
+	NumClasses int
+}
+
+// PartitionColumn builds the single-attribute partition of column c.
+func PartitionColumn(t *relation.Table, c int) *Partition {
+	ids := make(map[string]int32, 64)
+	p := &Partition{ClassOf: make([]int32, t.NumRows())}
+	for r, row := range t.Rows {
+		id, ok := ids[row[c]]
+		if !ok {
+			id = int32(len(ids))
+			ids[row[c]] = id
+		}
+		p.ClassOf[r] = id
+	}
+	p.NumClasses = len(ids)
+	return p
+}
+
+// Product refines p by q: the result's classes are the non-empty
+// intersections (π_X · π_Y = π_XY).
+func (p *Partition) Product(q *Partition) *Partition {
+	type pair struct{ a, b int32 }
+	ids := make(map[pair]int32, p.NumClasses+q.NumClasses)
+	out := &Partition{ClassOf: make([]int32, len(p.ClassOf))}
+	for r := range p.ClassOf {
+		k := pair{p.ClassOf[r], q.ClassOf[r]}
+		id, ok := ids[k]
+		if !ok {
+			id = int32(len(ids))
+			ids[k] = id
+		}
+		out.ClassOf[r] = id
+	}
+	out.NumClasses = len(ids)
+	return out
+}
+
+// Refines reports whether every class of p is contained in one class of q
+// — i.e. the exact FD X -> B holds, where p = π_X and q = π_B.
+func (p *Partition) Refines(q *Partition) bool {
+	rep := make([]int32, p.NumClasses)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for r := range p.ClassOf {
+		pc, qc := p.ClassOf[r], q.ClassOf[r]
+		switch rep[pc] {
+		case -1:
+			rep[pc] = qc
+		case qc:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// G3Error returns the minimum number of rows to delete so that the FD with
+// LHS partition p and RHS partition q holds exactly: for every LHS class,
+// all but the plurality RHS value must go.
+func (p *Partition) G3Error(q *Partition) int {
+	type pair struct{ a, b int32 }
+	classTotal := make([]int, p.NumClasses)
+	counts := make(map[pair]int, p.NumClasses*2)
+	for r := range p.ClassOf {
+		classTotal[p.ClassOf[r]]++
+		counts[pair{p.ClassOf[r], q.ClassOf[r]}]++
+	}
+	best := make([]int, p.NumClasses)
+	for k, n := range counts {
+		if n > best[k.a] {
+			best[k.a] = n
+		}
+	}
+	removed := 0
+	for c, tot := range classTotal {
+		removed += tot - best[c]
+	}
+	return removed
+}
+
+// PartitionSet builds the partition of an arbitrary attribute set by
+// folding single-column partitions with Product.
+func PartitionSet(t *relation.Table, base []*Partition, x AttrSet) *Partition {
+	var acc *Partition
+	for _, c := range x.Cols() {
+		if acc == nil {
+			acc = base[c]
+		} else {
+			acc = acc.Product(base[c])
+		}
+	}
+	return acc
+}
+
+// BasePartitions builds all single-attribute partitions of t.
+func BasePartitions(t *relation.Table) []*Partition {
+	out := make([]*Partition, t.NumCols())
+	for c := range t.Cols {
+		out[c] = PartitionColumn(t, c)
+	}
+	return out
+}

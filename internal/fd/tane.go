@@ -1,0 +1,120 @@
+package fd
+
+import (
+	"sort"
+
+	"pfd/internal/relation"
+)
+
+// TANEOptions tunes the level-wise discovery.
+type TANEOptions struct {
+	// MaxLHS caps the LHS size (0 = number of columns - 1).
+	MaxLHS int
+	// MaxError admits approximate FDs whose g3 error ratio (rows to
+	// delete / total rows) is at most this value; 0 demands exact FDs.
+	// The paper runs CFDFinder with confidence 0.995, i.e. MaxError 0.005.
+	MaxError float64
+}
+
+// TANE discovers all minimal (approximate) functional dependencies of t by
+// level-wise search over the attribute-set lattice with partition
+// refinement, in the style of Huhtala et al. [19]. Minimality is enforced
+// by pruning every superset of a found LHS for the same RHS.
+func TANE(t *relation.Table, opt TANEOptions) []FD {
+	n := t.NumCols()
+	if n == 0 || t.NumRows() == 0 {
+		return nil
+	}
+	maxLHS := opt.MaxLHS
+	if maxLHS <= 0 || maxLHS > n-1 {
+		maxLHS = n - 1
+	}
+	base := BasePartitions(t)
+	maxRemoved := int(opt.MaxError * float64(t.NumRows()))
+
+	var out []FD
+	// found[rhs] records minimal LHS sets already found, for pruning.
+	found := make([][]AttrSet, n)
+	// Constant columns are determined by the empty LHS; report that and
+	// prune every other FD into them, keeping results minimal.
+	for b := 0; b < n; b++ {
+		if base[b].NumClasses == 1 {
+			out = append(out, FD{LHS: 0, RHS: b})
+			found[b] = append(found[b], 0)
+		}
+	}
+	holds := func(x AttrSet, px *Partition, b int) bool {
+		if opt.MaxError <= 0 {
+			return px.Refines(base[b])
+		}
+		return px.G3Error(base[b]) <= maxRemoved
+	}
+
+	// Level-wise over LHS sets of increasing size; partitions are memoized
+	// per level to reuse products.
+	level := make(map[AttrSet]*Partition, n)
+	for c := 0; c < n; c++ {
+		level[NewAttrSet(c)] = base[c]
+	}
+	for size := 1; size <= maxLHS; size++ {
+		sets := make([]AttrSet, 0, len(level))
+		for x := range level {
+			sets = append(sets, x)
+		}
+		sort.Slice(sets, func(i, j int) bool { return sets[i] < sets[j] })
+		for _, x := range sets {
+			px := level[x]
+			for b := 0; b < n; b++ {
+				if x.Has(b) || covered(found[b], x) {
+					continue
+				}
+				if holds(x, px, b) {
+					out = append(out, FD{LHS: x, RHS: b})
+					found[b] = append(found[b], x)
+				}
+			}
+		}
+		if size == maxLHS {
+			break
+		}
+		next := make(map[AttrSet]*Partition, len(level)*n)
+		for _, x := range sets {
+			px := level[x]
+			// Extend by attributes above the highest member to avoid
+			// duplicate candidates.
+			hi := highestBit(x)
+			for c := hi + 1; c < n; c++ {
+				nx := x.Add(c)
+				// Key pruning: if X is already a key (one class per row),
+				// every extension yields only non-minimal FDs.
+				if px.NumClasses == t.NumRows() {
+					continue
+				}
+				if _, ok := next[nx]; !ok {
+					next[nx] = px.Product(base[c])
+				}
+			}
+		}
+		level = next
+	}
+	SortFDs(out)
+	return out
+}
+
+// covered reports whether some already-found minimal LHS is a subset of x.
+func covered(minimal []AttrSet, x AttrSet) bool {
+	for _, m := range minimal {
+		if m.SubsetOf(x) {
+			return true
+		}
+	}
+	return false
+}
+
+func highestBit(x AttrSet) int {
+	hi := -1
+	for _, c := range x.Cols() {
+		hi = c
+	}
+	return hi
+}

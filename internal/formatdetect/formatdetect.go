@@ -1,0 +1,152 @@
+// Package formatdetect implements a single-column, pattern-profile error
+// detector in the family the paper surveys in Section 6 (Trifacta/NADEEF
+// format rules, FAHES, Auto-Detect): each column's values are generalized
+// to class shapes, the dominant shapes form the column's format profile,
+// and values matching no dominant shape are flagged.
+//
+// It serves as a comparator for the error-detection experiments: format
+// outliers ("lL", "60603-6263") are caught by both approaches, but
+// cross-attribute errors with perfectly clean formats ("8505467600 — CA",
+// a valid phone with the wrong state) are invisible to format profiling
+// and need PFDs. The experiment in internal/experiments quantifies that
+// gap.
+package formatdetect
+
+import (
+	"sort"
+
+	"pfd/internal/pattern"
+	"pfd/internal/relation"
+)
+
+// Options tunes the detector.
+type Options struct {
+	// MinShapeRatio is the fraction of a column's non-empty values a
+	// shape must cover to join the format profile (default 0.05).
+	MinShapeRatio float64
+	// MaxShapes caps the profile size per column (default 8).
+	MaxShapes int
+}
+
+func (o Options) normalize() Options {
+	if o.MinShapeRatio <= 0 {
+		o.MinShapeRatio = 0.05
+	}
+	if o.MaxShapes <= 0 {
+		o.MaxShapes = 8
+	}
+	return o
+}
+
+// Profile is one column's set of dominant format shapes.
+type Profile struct {
+	Column string
+	Shapes []*pattern.Pattern
+	// Coverage is the fraction of non-empty values matching some shape.
+	Coverage float64
+}
+
+// Finding flags one value outside its column's format profile.
+type Finding struct {
+	Cell     relation.Cell
+	Observed string
+	// NearestShape is the most common shape of the column, as repair
+	// guidance (format detectors cannot propose concrete values).
+	NearestShape *pattern.Pattern
+}
+
+// ProfileColumn builds the dominant-shape profile of one column.
+func ProfileColumn(name string, values []string, opt Options) Profile {
+	opt = opt.normalize()
+	counts := map[string]int{}
+	shapeOf := map[string]*pattern.Pattern{}
+	nonEmpty := 0
+	for _, v := range values {
+		if v == "" {
+			continue
+		}
+		nonEmpty++
+		g := pattern.GeneralizeString(v)
+		key := g.String()
+		counts[key]++
+		shapeOf[key] = g
+	}
+	p := Profile{Column: name}
+	if nonEmpty == 0 {
+		return p
+	}
+	type sc struct {
+		key string
+		n   int
+	}
+	ordered := make([]sc, 0, len(counts))
+	for k, n := range counts {
+		ordered = append(ordered, sc{k, n})
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].n != ordered[j].n {
+			return ordered[i].n > ordered[j].n
+		}
+		return ordered[i].key < ordered[j].key
+	})
+	covered := 0
+	min := int(opt.MinShapeRatio * float64(nonEmpty))
+	if min < 2 {
+		// A shape supported by a single value is indistinguishable from
+		// the outliers we are trying to flag.
+		min = 2
+	}
+	for _, s := range ordered {
+		if len(p.Shapes) >= opt.MaxShapes || s.n < min {
+			break
+		}
+		p.Shapes = append(p.Shapes, shapeOf[s.key])
+		covered += s.n
+	}
+	p.Coverage = float64(covered) / float64(nonEmpty)
+	return p
+}
+
+// Matches reports whether v fits some shape of the profile.
+func (p Profile) Matches(v string) bool {
+	for _, s := range p.Shapes {
+		if s.Match(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Detect profiles every column of t and flags format outliers.
+func Detect(t *relation.Table, opt Options) []Finding {
+	opt = opt.normalize()
+	var out []Finding
+	for _, col := range t.Cols {
+		values := t.Column(col)
+		prof := ProfileColumn(col, values, opt)
+		if len(prof.Shapes) == 0 || prof.Coverage < 0.5 {
+			continue // no dominant format; flagging would be noise
+		}
+		var nearest *pattern.Pattern
+		if len(prof.Shapes) > 0 {
+			nearest = prof.Shapes[0]
+		}
+		for row, v := range values {
+			if v == "" || prof.Matches(v) {
+				continue
+			}
+			out = append(out, Finding{
+				Cell:         relation.Cell{Row: row, Col: col},
+				Observed:     v,
+				NearestShape: nearest,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cell.Row != out[j].Cell.Row {
+			return out[i].Cell.Row < out[j].Cell.Row
+		}
+		return out[i].Cell.Col < out[j].Cell.Col
+	})
+	return out
+}

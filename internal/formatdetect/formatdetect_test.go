@@ -1,0 +1,80 @@
+package formatdetect
+
+import (
+	"testing"
+
+	"pfd/internal/relation"
+)
+
+func TestProfileColumn(t *testing.T) {
+	values := []string{"90001", "90002", "10458", "60603", "abcde"}
+	p := ProfileColumn("zip", values, Options{MinShapeRatio: 0.3})
+	if len(p.Shapes) != 1 {
+		t.Fatalf("shapes = %v", p.Shapes)
+	}
+	if !p.Matches("33109") || p.Matches("3310") || p.Matches("abcde") {
+		t.Error("dominant shape must be \\D{5}")
+	}
+	if p.Coverage < 0.79 || p.Coverage > 0.81 {
+		t.Errorf("coverage = %f", p.Coverage)
+	}
+}
+
+func TestDetectFormatOutliers(t *testing.T) {
+	tb := relation.New("T", "zip", "state")
+	clean := []string{"90001", "90002", "90003", "10458", "60603", "33109", "77005", "98101", "80202", "30303"}
+	states := []string{"CA", "CA", "CA", "NY", "IL", "FL", "TX", "WA", "CO", "GA"}
+	for i := range clean {
+		tb.Append(clean[i], states[i])
+	}
+	// Table 3's error shapes: trailing junk, case flip.
+	tb.Rows[2][0] = "60603-6263"
+	tb.Rows[4][1] = "lL"
+	fs := Detect(tb, Options{})
+	if len(fs) != 2 {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if fs[0].Cell != (relation.Cell{Row: 2, Col: "zip"}) {
+		t.Errorf("first finding = %+v", fs[0])
+	}
+	if fs[1].Cell != (relation.Cell{Row: 4, Col: "state"}) {
+		t.Errorf("second finding = %+v", fs[1])
+	}
+	if fs[0].NearestShape == nil || !fs[0].NearestShape.Match("90001") {
+		t.Error("nearest shape missing")
+	}
+}
+
+func TestDetectMissesCleanFormatErrors(t *testing.T) {
+	// The key limitation (and the reason PFDs exist): a valid-looking
+	// phone with the wrong state is invisible to format profiling.
+	tb := relation.New("T", "phone", "state")
+	tb.Append("8505467600", "FL")
+	tb.Append("8505467601", "FL")
+	tb.Append("8505467602", "CA") // cross-column error, clean format
+	tb.Append("6073771300", "NY")
+	fs := Detect(tb, Options{})
+	for _, f := range fs {
+		if f.Cell == (relation.Cell{Row: 2, Col: "state"}) {
+			t.Error("format detector cannot legitimately flag a clean-format cross-column error")
+		}
+	}
+}
+
+func TestDetectSkipsChaoticColumns(t *testing.T) {
+	tb := relation.New("T", "freetext")
+	vals := []string{"hello world", "x-1", "9", "??", "Ab Cd Ef", "12.5km", "z", "NOPE!", "a b c d", "Q9-"}
+	for _, v := range vals {
+		tb.Append(v)
+	}
+	if fs := Detect(tb, Options{}); len(fs) != 0 {
+		t.Errorf("chaotic column flagged: %+v", fs)
+	}
+}
+
+func TestEmptyColumn(t *testing.T) {
+	p := ProfileColumn("e", []string{"", ""}, Options{})
+	if len(p.Shapes) != 0 || p.Coverage != 0 {
+		t.Errorf("empty profile = %+v", p)
+	}
+}

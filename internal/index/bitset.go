@@ -1,0 +1,133 @@
+// Package index provides the hash-based inverted pattern index of the
+// paper's discovery algorithm (Figure 4, lines 5-12): for every attribute,
+// a map from (partial value, position) to the set of tuple ids containing
+// that partial value at that position, with the substring-pruning and
+// single-semantics optimizations of Section 4.4.
+package index
+
+import "math/bits"
+
+// A Bitset is a fixed-capacity set of tuple ids.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// NewBitset creates an empty set over ids [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Set adds id to the set.
+func (b *Bitset) Set(id int) { b.words[id>>6] |= 1 << (uint(id) & 63) }
+
+// Has reports membership of id.
+func (b *Bitset) Has(id int) bool { return b.words[id>>6]&(1<<(uint(id)&63)) != 0 }
+
+// Count returns the cardinality.
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Cap returns the id capacity the set was created with.
+func (b *Bitset) Cap() int { return b.n }
+
+// And returns the intersection as a new set.
+func (b *Bitset) And(o *Bitset) *Bitset {
+	out := NewBitset(b.n)
+	for i := range out.words {
+		if i < len(o.words) {
+			out.words[i] = b.words[i] & o.words[i]
+		}
+	}
+	return out
+}
+
+// AndCount returns the cardinality of the intersection without allocating.
+func (b *Bitset) AndCount(o *Bitset) int {
+	c := 0
+	for i := range b.words {
+		if i < len(o.words) {
+			c += bits.OnesCount64(b.words[i] & o.words[i])
+		}
+	}
+	return c
+}
+
+// Or returns the union as a new set.
+func (b *Bitset) Or(o *Bitset) *Bitset {
+	out := NewBitset(b.n)
+	for i := range out.words {
+		w := b.words[i]
+		if i < len(o.words) {
+			w |= o.words[i]
+		}
+		out.words[i] = w
+	}
+	return out
+}
+
+// OrInPlace unions o into b.
+func (b *Bitset) OrInPlace(o *Bitset) {
+	for i := range b.words {
+		if i < len(o.words) {
+			b.words[i] |= o.words[i]
+		}
+	}
+}
+
+// Equal reports whether the two sets hold the same ids.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every id of b is in o.
+func (b *Bitset) SubsetOf(o *Bitset) bool {
+	for i := range b.words {
+		w := b.words[i]
+		var ow uint64
+		if i < len(o.words) {
+			ow = o.words[i]
+		}
+		if w&^ow != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IDs returns the members in ascending order.
+func (b *Bitset) IDs() []int {
+	out := make([]int, 0, 16)
+	for i, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, i*64+bit)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for every member in ascending order.
+func (b *Bitset) ForEach(fn func(id int)) {
+	for i, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(i*64 + bit)
+			w &= w - 1
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pfd/internal/relation"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	for _, id := range []int{0, 63, 64, 129} {
+		b.Set(id)
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d", b.Count())
+	}
+	if !b.Has(64) || b.Has(65) {
+		t.Error("Has wrong")
+	}
+	want := []int{0, 63, 64, 129}
+	got := b.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v", got)
+		}
+	}
+	sum := 0
+	b.ForEach(func(id int) { sum += id })
+	if sum != 0+63+64+129 {
+		t.Errorf("ForEach sum = %d", sum)
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	a, b := NewBitset(100), NewBitset(100)
+	a.Set(1)
+	a.Set(2)
+	a.Set(70)
+	b.Set(2)
+	b.Set(70)
+	b.Set(99)
+	and := a.And(b)
+	if and.Count() != 2 || !and.Has(2) || !and.Has(70) {
+		t.Errorf("And = %v", and.IDs())
+	}
+	if a.AndCount(b) != 2 {
+		t.Errorf("AndCount = %d", a.AndCount(b))
+	}
+	or := a.Or(b)
+	if or.Count() != 4 {
+		t.Errorf("Or = %v", or.IDs())
+	}
+	if !and.SubsetOf(a) || a.SubsetOf(and) {
+		t.Error("SubsetOf wrong")
+	}
+	if !a.Equal(a) || a.Equal(b) {
+		t.Error("Equal wrong")
+	}
+	c := NewBitset(100)
+	c.OrInPlace(a)
+	if !c.Equal(a) {
+		t.Error("OrInPlace wrong")
+	}
+}
+
+func TestQuickBitsetLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	mk := func() *Bitset {
+		b := NewBitset(256)
+		for i := 0; i < r.Intn(40); i++ {
+			b.Set(r.Intn(256))
+		}
+		return b
+	}
+	f := func() bool {
+		a, b := mk(), mk()
+		and, or := a.And(b), a.Or(b)
+		// |A| + |B| = |A∩B| + |A∪B|
+		if a.Count()+b.Count() != and.Count()+or.Count() {
+			return false
+		}
+		if !and.SubsetOf(a) || !and.SubsetOf(b) || !a.SubsetOf(or) {
+			return false
+		}
+		return and.Equal(b.And(a)) && or.Equal(b.Or(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func zipTable() *relation.Table {
+	t := relation.New("Zip", "zip", "city")
+	t.Append("90001", "Los Angeles")
+	t.Append("90002", "Los Angeles")
+	t.Append("90003", "Los Angeles")
+	t.Append("90004", "New York")
+	return t
+}
+
+func TestBuildNGramIndex(t *testing.T) {
+	tb := zipTable()
+	profs := relation.ProfileTable(tb)
+	inv := Build(tb, profs, nil, Options{})
+	zip := inv.Attrs["zip"]
+	if zip == nil {
+		t.Fatal("no zip attribute")
+	}
+	// The most specific shared prefix of 90001..90004 is 9000; shorter
+	// prefixes with the same id set must be pruned in its favor (§4.4).
+	b := zip.Lookup(Key{Text: "9000", Pos: 0})
+	if b == nil || b.Count() != 4 {
+		t.Fatalf("posting for 9000 = %v", b)
+	}
+	for _, short := range []string{"9", "90", "900"} {
+		if zip.Lookup(Key{Text: short, Pos: 0}) != nil {
+			t.Errorf("substring pruning must drop %q in favor of 9000", short)
+		}
+	}
+	// Full zips survive as singleton postings.
+	if b := zip.Lookup(Key{Text: "90001", Pos: 0}); b == nil || b.Count() != 1 {
+		t.Error("full zip posting missing")
+	}
+}
+
+func TestBuildTokenIndex(t *testing.T) {
+	tb := relation.New("Name", "name", "gender")
+	tb.Append("John Charles", "M")
+	tb.Append("John Bosco", "M")
+	tb.Append("Susan Orlean", "F")
+	tb.Append("Susan Boyle", "M")
+	profs := relation.ProfileTable(tb)
+	inv := Build(tb, profs, nil, Options{})
+	name := inv.Attrs["name"]
+	if name.Mode != relation.ModeTokenize {
+		t.Fatalf("name mode = %v", name.Mode)
+	}
+	john := name.Lookup(Key{Text: "John", Pos: 0})
+	if john == nil || john.Count() != 2 || !john.Has(0) || !john.Has(1) {
+		t.Fatalf("posting John = %v", john)
+	}
+	// The singleton token Charles is subsumed by the whole value
+	// "John Charles" with the same id set and must be pruned (§4.4).
+	if name.Lookup(Key{Text: "Charles", Pos: 5}) != nil {
+		t.Error("token subsumed by whole value must be pruned")
+	}
+	if name.Lookup(Key{Text: "John Charles", Pos: 0}) == nil {
+		t.Error("whole-value posting missing for tokenized column")
+	}
+}
+
+func TestMinIDsFilter(t *testing.T) {
+	tb := zipTable()
+	profs := relation.ProfileTable(tb)
+	inv := Build(tb, profs, []string{"zip"}, Options{MinIDs: 2})
+	zip := inv.Attrs["zip"]
+	for _, e := range zip.Entries {
+		if e.IDs.Count() < 2 {
+			t.Errorf("entry %v below MinIDs survived", e.Key)
+		}
+	}
+}
+
+func TestPositionGroups(t *testing.T) {
+	tb := relation.New("T", "name")
+	tb.Append("John Smith")
+	tb.Append("John Stone")
+	tb.Append("Mary Smith")
+	profs := relation.ProfileTable(tb)
+	inv := Build(tb, profs, nil, Options{})
+	groups := inv.Attrs["name"].PositionGroups()
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	// Position 0 (first names) has support 3 and must lead.
+	if groups[0][0].Key.Pos != 0 {
+		t.Errorf("dominant group at pos %d, want 0", groups[0][0].Key.Pos)
+	}
+}
+
+func TestNumPatterns(t *testing.T) {
+	tb := zipTable()
+	profs := relation.ProfileTable(tb)
+	inv := Build(tb, profs, nil, Options{})
+	if inv.Attrs["city"].NumPatterns() == 0 {
+		t.Error("city must have postings")
+	}
+}

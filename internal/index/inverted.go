@@ -1,0 +1,267 @@
+package index
+
+import (
+	"sort"
+	"strings"
+
+	"pfd/internal/relation"
+)
+
+// Key identifies one partial value: the text and the rune offset at which
+// it occurs inside the attribute value — the (u, pos_u) of Figure 4.
+type Key struct {
+	Text string
+	Pos  int
+}
+
+// Entry is one posting: a partial value and the tuple ids containing it.
+type Entry struct {
+	Key Key
+	IDs *Bitset
+	// List holds the same ids in ascending order for cheap iteration.
+	List []int32
+}
+
+// Count returns the entry's support.
+func (e *Entry) Count() int { return len(e.List) }
+
+// Attribute is the inverted list of one column.
+type Attribute struct {
+	Name    string
+	Mode    relation.ExtractMode
+	Entries []Entry
+	// RowEntries[row] lists the indices into Entries whose posting
+	// contains the row; it lets callers count pattern frequencies within
+	// a row subset in time linear in the subset.
+	RowEntries [][]int32
+}
+
+// Inverted is the per-table index H of Figure 4.
+type Inverted struct {
+	NumRows int
+	Attrs   map[string]*Attribute
+}
+
+// Options tunes index construction.
+type Options struct {
+	// MaxGram caps n-gram length (0 = longest value in the column).
+	MaxGram int
+	// MinIDs drops postings supported by fewer tuples (0 keeps all).
+	// Filtering happens before bitset materialization, so high-cardinality
+	// columns stay cheap.
+	MinIDs int
+	// DisablePrune turns off the §4.4 substring pruning; used by the
+	// ablation benchmarks to measure what the optimization buys.
+	DisablePrune bool
+}
+
+// Build constructs the inverted index for the given columns of t (all
+// columns when cols is nil), extracting partial values per each column's
+// profile: tokens at separator boundaries, or anchored n-grams.
+func Build(t *relation.Table, profiles []relation.ColumnProfile, cols []string, opt Options) *Inverted {
+	if cols == nil {
+		cols = t.Cols
+	}
+	profByName := make(map[string]relation.ColumnProfile, len(profiles))
+	for _, p := range profiles {
+		profByName[p.Name] = p
+	}
+	inv := &Inverted{NumRows: t.NumRows(), Attrs: make(map[string]*Attribute, len(cols))}
+	for _, col := range cols {
+		prof := profByName[col]
+		inv.Attrs[col] = buildAttr(t, col, prof, opt)
+	}
+	return inv
+}
+
+func buildAttr(t *relation.Table, col string, prof relation.ColumnProfile, opt Options) *Attribute {
+	ci := t.MustCol(col)
+	post := make(map[Key][]int32)
+	add := func(k Key, row int) {
+		l := post[k]
+		// Rows are scanned in order; a row may contribute the same key
+		// once only (guaranteed for anchored grams and distinct token
+		// offsets, except repeated identical tokens at equal offsets,
+		// which cannot happen).
+		if n := len(l); n > 0 && l[n-1] == int32(row) {
+			return
+		}
+		post[k] = append(l, int32(row))
+	}
+	for row, r := range t.Rows {
+		v := r[ci]
+		if v == "" {
+			continue
+		}
+		switch prof.Mode {
+		case relation.ModeTokenize:
+			toks, offs := relation.Tokenize(v)
+			for i, tok := range toks {
+				add(Key{Text: tok, Pos: offs[i]}, row)
+			}
+			// The whole value is always a candidate partial pattern; the
+			// paper's Example 8 prefers full values as "more expressive"
+			// and substring pruning removes tokens they subsume.
+			if len(toks) != 1 || toks[0] != v {
+				add(Key{Text: v, Pos: 0}, row)
+			}
+		default:
+			for _, g := range relation.NGrams(v, opt.MaxGram) {
+				add(Key{Text: g, Pos: 0}, row)
+			}
+		}
+	}
+	a := &Attribute{Name: col, Mode: prof.Mode}
+	for k, l := range post {
+		if opt.MinIDs > 0 && len(l) < opt.MinIDs {
+			continue
+		}
+		a.Entries = append(a.Entries, Entry{Key: k, List: l})
+	}
+	a.sortEntries()
+	if !opt.DisablePrune {
+		a.pruneSubstrings()
+	}
+	// Materialize bitsets and the row -> entries mapping for survivors.
+	a.RowEntries = make([][]int32, t.NumRows())
+	for i := range a.Entries {
+		e := &a.Entries[i]
+		e.IDs = NewBitset(t.NumRows())
+		for _, id := range e.List {
+			e.IDs.Set(int(id))
+			a.RowEntries[id] = append(a.RowEntries[id], int32(i))
+		}
+	}
+	return a
+}
+
+// sortEntries orders postings by descending support, then longer text,
+// then lexicographic, for deterministic iteration.
+func (a *Attribute) sortEntries() {
+	sort.Slice(a.Entries, func(i, j int) bool {
+		ci, cj := a.Entries[i].Count(), a.Entries[j].Count()
+		if ci != cj {
+			return ci > cj
+		}
+		ti, tj := a.Entries[i].Key, a.Entries[j].Key
+		if len(ti.Text) != len(tj.Text) {
+			return len(ti.Text) > len(tj.Text)
+		}
+		if ti.Text != tj.Text {
+			return ti.Text < tj.Text
+		}
+		return ti.Pos < tj.Pos
+	})
+}
+
+// pruneSubstrings implements the §4.4 substring-pruning optimization: when
+// one posting's text is a substring of another's and both cover exactly
+// the same tuples, only the most specific (longest) survives — e.g. 900
+// and 9000 both covering {s1..s4} keep only 9000, and the token Angeles is
+// dropped in favor of the whole value Los Angeles.
+func (a *Attribute) pruneSubstrings() {
+	keep := a.Entries[:0]
+	for _, e := range a.Entries {
+		subsumed := false
+		for i := range keep {
+			k := &keep[i]
+			if len(k.Key.Text) > len(e.Key.Text) &&
+				strings.Contains(k.Key.Text, e.Key.Text) && equalLists(k.List, e.List) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			keep = append(keep, e)
+		}
+	}
+	a.Entries = keep
+}
+
+func equalLists(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PositionGroups implements the single-semantics optimization (§4.4):
+// postings are grouped by position and groups are returned by descending
+// total support, so callers can focus on the dominant positional role
+// (e.g. first tokens of names, leading digits of zips).
+func (a *Attribute) PositionGroups() [][]Entry {
+	byPos := map[int][]Entry{}
+	for _, e := range a.Entries {
+		byPos[e.Key.Pos] = append(byPos[e.Key.Pos], e)
+	}
+	type group struct {
+		pos     int
+		support int
+		entries []Entry
+	}
+	groups := make([]group, 0, len(byPos))
+	for pos, es := range byPos {
+		s := 0
+		for _, e := range es {
+			s += e.Count()
+		}
+		groups = append(groups, group{pos: pos, support: s, entries: es})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].support != groups[j].support {
+			return groups[i].support > groups[j].support
+		}
+		return groups[i].pos < groups[j].pos
+	})
+	out := make([][]Entry, len(groups))
+	for i, g := range groups {
+		out[i] = g.entries
+	}
+	return out
+}
+
+// Lookup returns the posting for a key, or nil.
+func (a *Attribute) Lookup(k Key) *Bitset {
+	for i := range a.Entries {
+		if a.Entries[i].Key == k {
+			return a.Entries[i].IDs
+		}
+	}
+	return nil
+}
+
+// NumPatterns returns how many distinct postings the attribute holds —
+// the "number of frequent patterns" used to pick the starting attribute
+// in Figure 4, line 15.
+func (a *Attribute) NumPatterns() int { return len(a.Entries) }
+
+// CountWithin tallies, for each entry of the attribute, how many of the
+// given rows it contains, returning a slice indexed like Entries. Cost is
+// linear in len(rows) times the rows' entry degree.
+func (a *Attribute) CountWithin(rows []int32) []int32 {
+	counts := make([]int32, len(a.Entries))
+	for _, r := range rows {
+		for _, ei := range a.RowEntries[r] {
+			counts[ei]++
+		}
+	}
+	return counts
+}
+
+// Filter returns the subset of rows contained in entry ei, preserving
+// order.
+func (a *Attribute) Filter(rows []int32, ei int) []int32 {
+	ids := a.Entries[ei].IDs
+	out := make([]int32, 0, len(rows))
+	for _, r := range rows {
+		if ids.Has(int(r)) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,30 @@
+package inference
+
+import "pfd/internal/pfd"
+
+// FromPFD converts a normal-form PFD into inference rules, one per
+// tableau row (the paper reasons per tableau tuple: "it is sufficient to
+// reason about R(X -> Y, tp) for each tp ∈ Tp"). The bridge lets the
+// reasoning stack consume discovery output directly — e.g. checking a
+// discovered constraint set for consistency before deploying it.
+func FromPFD(p *pfd.PFD) []*Rule {
+	out := make([]*Rule, 0, len(p.Tableau))
+	for _, row := range p.Tableau {
+		r := NewRule(p.Relation)
+		for i, a := range p.LHS {
+			r.LHS[a] = row.LHS[i]
+		}
+		r.RHS[p.RHS] = row.RHS
+		out = append(out, r)
+	}
+	return out
+}
+
+// FromPFDs flattens a set of PFDs into rules.
+func FromPFDs(pfds []*pfd.PFD) []*Rule {
+	var out []*Rule
+	for _, p := range pfds {
+		out = append(out, FromPFD(p)...)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package inference
+
+import (
+	"testing"
+
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+)
+
+func TestFromPFD(t *testing.T) {
+	p := pfd.MustNew("Name", []string{"name"}, "gender",
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(John\ )\A*`))}, RHS: pfd.Pat(pattern.Constant("M"))},
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(Susan\ )\A*`))}, RHS: pfd.Pat(pattern.Constant("F"))},
+	)
+	rules := FromPFD(p)
+	if len(rules) != 2 {
+		t.Fatalf("%d rules", len(rules))
+	}
+	for _, r := range rules {
+		if r.Relation != "Name" || len(r.LHS) != 1 || len(r.RHS) != 1 {
+			t.Errorf("rule shape wrong: %s", r)
+		}
+	}
+	// The converted rules are consistent.
+	if _, ok := Consistent(rules); !ok {
+		t.Error("converted tableau must be consistent")
+	}
+	// And the John row is implied by the converted set.
+	goal := MustParseRule(`Name([name = (John\ )\A*] -> [gender = M])`)
+	if !Implies(rules, goal) {
+		t.Error("converted rules must imply their own rows")
+	}
+}
+
+func TestFromPFDsDetectsInconsistentTableaux(t *testing.T) {
+	// Two PFDs whose tableau rows contradict: the same zip prefix pinned
+	// to two different cities — combined with a rule forcing every zip
+	// to match the prefix, no instance can satisfy both.
+	p1 := pfd.MustNew("Zip", []string{"zip"}, "city",
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(900)\D{2}`))}, RHS: pfd.Pat(pattern.Constant("Los Angeles"))},
+	)
+	p2 := pfd.MustNew("Zip", []string{"zip"}, "city",
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(900)\D{2}`))}, RHS: pfd.Pat(pattern.Constant("Chicago"))},
+	)
+	force := NewRule("Zip").
+		WithLHS("zip", pfd.Wildcard()).
+		WithRHS("zip", pfd.Pat(pattern.MustParse(`(900)\D{2}`)))
+	rules := append(FromPFDs([]*pfd.PFD{p1, p2}), force)
+	if w, ok := Consistent(rules); ok {
+		t.Errorf("contradictory tableaux read as consistent: witness %v", w)
+	}
+	// Without the forcing rule a witness exists (a zip outside 900xx).
+	if _, ok := Consistent(FromPFDs([]*pfd.PFD{p1, p2})); !ok {
+		t.Error("unforced tableaux must be consistent via an out-of-pattern witness")
+	}
+}

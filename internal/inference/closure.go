@@ -1,0 +1,133 @@
+package inference
+
+import (
+	"sort"
+
+	"pfd/internal/pfd"
+)
+
+// This file implements the PFD-closure algorithm of Figure 7 and the
+// closure-based implication test. The implementation covers trigger
+// conditions (a.i) — patterns in the closure subsume the rule's LHS
+// patterns — and (b) — constant RHS with wildcard patterns on the missing
+// LHS attributes. Condition (a.ii) (extension through values that are
+// inconsistent w.r.t. Ψ, the Inconsistency-EFQ path) requires the
+// consistency oracle on derived sub-languages and is intentionally not
+// wired into the closure; Implies is therefore sound but may miss
+// implications that hold only by ex-falso reasoning. FindCounterexample
+// provides the complementary small-model refutation of Theorem 2.
+
+// ClosureItem is one element of the PFD-closure: an attribute with the
+// tightest derived cell.
+type ClosureItem struct {
+	Attr string
+	Cell pfd.Cell
+}
+
+// Closure computes (X, tp[X])^Ψ: all attribute/pattern pairs derivable
+// from the given LHS cells under the rules (Figure 7).
+func Closure(rules []*Rule, lhs map[string]pfd.Cell) map[string]pfd.Cell {
+	// Decompose rules to single-RHS units (Figure 7 lines 1-3).
+	type unit struct {
+		lhs map[string]pfd.Cell
+		a   string
+		c   pfd.Cell
+	}
+	var unused []unit
+	for _, r := range rules {
+		attrs := make([]string, 0, len(r.RHS))
+		for a := range r.RHS {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			unused = append(unused, unit{lhs: r.LHS, a: a, c: r.RHS[a]})
+		}
+	}
+
+	closure := make(map[string]pfd.Cell, len(lhs))
+	for a, c := range lhs {
+		closure[a] = c
+	}
+
+	used := make([]bool, len(unused))
+	for changed := true; changed; {
+		changed = false
+		for i, u := range unused {
+			if used[i] {
+				continue
+			}
+			if !triggered(u.lhs, u.c, closure) {
+				continue
+			}
+			used[i] = true
+			changed = true
+			if cur, ok := closure[u.a]; !ok {
+				closure[u.a] = u.c // line 9
+			} else if cellRestricts(u.c, cur) && !sameCell(u.c, cur) {
+				closure[u.a] = u.c // lines 10-11: tighter pattern wins
+			}
+		}
+	}
+	return closure
+}
+
+// triggered implements the extension condition of Figure 7 line 6 for one
+// single-RHS unit (Y -> A, tq).
+func triggered(ruleLHS map[string]pfd.Cell, rhs pfd.Cell, closure map[string]pfd.Cell) bool {
+	// Condition (a): every Y attribute appears in the closure with a cell
+	// whose equivalence refines the rule's.
+	all := true
+	for a, c := range ruleLHS {
+		w, ok := closure[a]
+		if !ok || !cellRestricts(w, c) {
+			all = false
+			break
+		}
+	}
+	if all {
+		return true
+	}
+	// Condition (b): constant RHS, and every Y attribute missing from the
+	// closure carries a wildcard pattern (Reduction reasoning).
+	if _, isConst := rhs.Constant(); !isConst {
+		return false
+	}
+	for a, c := range ruleLHS {
+		if _, ok := closure[a]; ok {
+			if !cellRestricts(closure[a], c) {
+				return false
+			}
+			continue
+		}
+		if !c.IsWildcard() {
+			return false
+		}
+	}
+	return true
+}
+
+// Implies reports whether Ψ logically implies the single-row PFD ψ, using
+// the PFD-closure: every RHS attribute of ψ must be derivable with a cell
+// at least as tight as ψ demands. The test is sound; see the file comment
+// for the (a.ii) caveat on completeness.
+func Implies(rules []*Rule, psi *Rule) bool {
+	closure := Closure(rules, psi.LHS)
+	for a, want := range psi.RHS {
+		got, ok := closure[a]
+		if !ok || !cellRestricts(got, want) {
+			return false
+		}
+	}
+	return true
+}
+
+// Items returns the closure as a sorted slice for deterministic display.
+func Items(closure map[string]pfd.Cell) []ClosureItem {
+	out := make([]ClosureItem, 0, len(closure))
+	for a, c := range closure {
+		out = append(out, ClosureItem{Attr: a, Cell: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	return out
+}

@@ -1,0 +1,278 @@
+package inference
+
+import "sort"
+
+// This file implements the decision procedures of Theorems 2 and 3 via
+// the paper's small-model properties: a set Ψ of PFDs is consistent iff
+// some single tuple satisfies it, and Ψ does not imply ψ iff some
+// two-tuple instance satisfies Ψ but violates ψ, with witness values of
+// length bounded by the total pattern length. The NP/coNP "guess" is
+// realized as bounded enumeration over a candidate pool per attribute:
+// instantiations of every pattern mentioned for that attribute (minimal
+// and minimal+1 repetitions of unbounded tokens) plus probe strings
+// matching none. The pool realizes the small-model bound for the paper's
+// pattern shapes; pathological rule sets beyond the pool read as
+// inconsistent/unimplied, so the procedures are sound for "consistent"
+// and "refuted" answers.
+
+// maxTuples caps the Cartesian search.
+const maxTuples = 200000
+
+// attrsOf collects every attribute mentioned by the rules.
+func attrsOf(rules []*Rule) []string {
+	set := map[string]bool{}
+	for _, r := range rules {
+		for a := range r.LHS {
+			set[a] = true
+		}
+		for a := range r.RHS {
+			set[a] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// candidateValues builds the per-attribute value pool.
+func candidateValues(rules []*Rule, attr string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, r := range rules {
+		for a, c := range r.LHS {
+			if a == attr && !c.IsWildcard() {
+				for _, s := range c.Pattern.Instantiate() {
+					add(s)
+				}
+			}
+		}
+		for a, c := range r.RHS {
+			if a == attr && !c.IsWildcard() {
+				for _, s := range c.Pattern.Instantiate() {
+					add(s)
+				}
+			}
+		}
+	}
+	// Probes that typically match no code/name/constant pattern.
+	add("~")
+	add("~~")
+	add("")
+	if len(out) > 60 {
+		out = out[:60]
+	}
+	return out
+}
+
+// tupleSatisfies checks the single-tuple semantics: whenever the tuple
+// matches every LHS cell of a rule, it must match every RHS cell.
+// (With one tuple, the pair semantics t1=t2 is vacuous, so this is exactly
+// {t} |= Ψ — the small-model check of Theorem 3.)
+func tupleSatisfies(rules []*Rule, attrs []string, vals map[string]string) bool {
+	for _, r := range rules {
+		matches := true
+		for a, c := range r.LHS {
+			if !c.Match(vals[a]) {
+				matches = false
+				break
+			}
+		}
+		if !matches {
+			continue
+		}
+		for a, c := range r.RHS {
+			if !c.Match(vals[a]) {
+				return false
+			}
+		}
+	}
+	_ = attrs
+	return true
+}
+
+// Consistent decides whether some nonempty instance satisfies all rules
+// (Theorem 3), searching single-tuple witnesses over the candidate pools.
+// It returns the witness tuple when consistent.
+func Consistent(rules []*Rule) (map[string]string, bool) {
+	attrs := attrsOf(rules)
+	if len(attrs) == 0 {
+		return map[string]string{}, true
+	}
+	pools := make([][]string, len(attrs))
+	total := 1
+	for i, a := range attrs {
+		pools[i] = candidateValues(rules, a)
+		total *= len(pools[i])
+		if total > maxTuples {
+			total = maxTuples
+		}
+	}
+	vals := make(map[string]string, len(attrs))
+	var search func(i, budget int) bool
+	count := 0
+	search = func(i, budget int) bool {
+		if count >= maxTuples {
+			return false
+		}
+		if i == len(attrs) {
+			count++
+			return tupleSatisfies(rules, attrs, vals)
+		}
+		for _, v := range pools[i] {
+			vals[attrs[i]] = v
+			if search(i+1, budget) {
+				return true
+			}
+			if count >= maxTuples {
+				return false
+			}
+		}
+		return false
+	}
+	if search(0, maxTuples) {
+		out := make(map[string]string, len(vals))
+		for k, v := range vals {
+			out[k] = v
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// Counterexample is a two-tuple instance refuting an implication.
+type Counterexample struct {
+	T1, T2 map[string]string
+}
+
+// FindCounterexample searches for a two-tuple instance satisfying every
+// rule of Ψ but violating ψ — the coNP refutation of Theorem 2. It
+// returns nil when no counterexample exists within the candidate pools
+// (which, combined with Implies, decides implication for the paper's
+// pattern shapes).
+func FindCounterexample(rules []*Rule, psi *Rule) *Counterexample {
+	all := append(append([]*Rule{}, rules...), psi)
+	attrs := attrsOf(all)
+	pools := make([][]string, len(attrs))
+	for i, a := range attrs {
+		pools[i] = candidateValues(all, a)
+	}
+	t1 := make(map[string]string, len(attrs))
+	t2 := make(map[string]string, len(attrs))
+	count := 0
+	var search func(i int, second bool) bool
+	check := func() bool {
+		if !pairSatisfies(rules, t1, t2) {
+			return false
+		}
+		return !pairSatisfiesRule(psi, t1, t2)
+	}
+	search = func(i int, second bool) bool {
+		if count >= maxTuples {
+			return false
+		}
+		cur := t1
+		if second {
+			cur = t2
+		}
+		if i == len(attrs) {
+			if !second {
+				return search(0, true)
+			}
+			count++
+			return check()
+		}
+		for _, v := range pools[i] {
+			cur[attrs[i]] = v
+			if search(i+1, second) {
+				return true
+			}
+			if count >= maxTuples {
+				return false
+			}
+		}
+		return false
+	}
+	if search(0, false) {
+		return &Counterexample{T1: copyMap(t1), T2: copyMap(t2)}
+	}
+	return nil
+}
+
+func copyMap(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// pairSatisfies checks {t1, t2} |= Ψ.
+func pairSatisfies(rules []*Rule, t1, t2 map[string]string) bool {
+	for _, r := range rules {
+		if !pairSatisfiesRule(r, t1, t2) {
+			return false
+		}
+	}
+	return true
+}
+
+// pairSatisfiesRule implements the Section 2.2 semantics on a two-tuple
+// instance: single-tuple checks for each tuple, and the pair check when
+// both tuples match and are equivalent on every LHS cell.
+func pairSatisfiesRule(r *Rule, t1, t2 map[string]string) bool {
+	for _, t := range []map[string]string{t1, t2} {
+		if !singleSatisfiesRule(r, t) {
+			return false
+		}
+	}
+	agree := true
+	for a, c := range r.LHS {
+		if !c.Match(t1[a]) || !c.Match(t2[a]) || !c.Equivalent(t1[a], t2[a]) {
+			agree = false
+			break
+		}
+	}
+	if !agree {
+		return true
+	}
+	for a, c := range r.RHS {
+		if !c.Match(t1[a]) || !c.Match(t2[a]) || !c.Equivalent(t1[a], t2[a]) {
+			return false
+		}
+	}
+	return true
+}
+
+// singleSatisfiesRule applies the constant-row single-tuple semantics.
+func singleSatisfiesRule(r *Rule, t map[string]string) bool {
+	constant := len(r.LHS) > 0
+	for _, c := range r.LHS {
+		if _, ok := c.Constant(); !ok {
+			constant = false
+			break
+		}
+	}
+	if !constant {
+		return true
+	}
+	for a, c := range r.LHS {
+		if !c.Match(t[a]) {
+			return true
+		}
+	}
+	for a, c := range r.RHS {
+		if !c.Match(t[a]) {
+			return false
+		}
+	}
+	return true
+}

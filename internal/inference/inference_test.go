@@ -1,0 +1,260 @@
+package inference
+
+import (
+	"strings"
+	"testing"
+
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+)
+
+func cellP(src string) pfd.Cell { return pfd.Pat(pattern.MustParse(src)) }
+
+// johnRule: Name([name = (John\ )\A*] -> [gender = M])
+func johnRule() *Rule {
+	return NewRule("Name").
+		WithLHS("name", cellP(`(John\ )\A*`)).
+		WithRHS("gender", cellP(`(M)`))
+}
+
+// firstNameRule: Name([name = (\LU\LL*\ )\A*] -> [gender = ⊥]) (λ4)
+func firstNameRule() *Rule {
+	return NewRule("Name").
+		WithLHS("name", cellP(`(\LU\LL*\ )\A*`)).
+		WithRHS("gender", pfd.Wildcard())
+}
+
+func TestReflexivity(t *testing.T) {
+	lhs := map[string]pfd.Cell{"name": cellP(`(John\ )\A*`)}
+	r := Reflexivity("Name", lhs)
+	if !sameCell(r.RHS["name"], lhs["name"]) {
+		t.Errorf("Reflexivity RHS = %s", r.RHS["name"])
+	}
+	// The derived rule is trivially implied by the empty set.
+	if !Implies(nil, r) {
+		t.Error("X -> X must be implied by the empty set")
+	}
+}
+
+func TestAugmentation(t *testing.T) {
+	r, err := Augmentation(johnRule(), "zip", pfd.Wildcard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.LHS["zip"]; !ok {
+		t.Error("zip missing from LHS")
+	}
+	if !sameCell(r.LHS["zip"], r.RHS["zip"]) {
+		t.Error("augmented attribute must have t'p[AL] = t'p[AR]")
+	}
+	if _, err := Augmentation(johnRule(), "name", pfd.Wildcard()); err == nil {
+		t.Error("augmenting an existing attribute must fail")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	// zip -> city (constant prefix), city -> state via containment.
+	r1 := NewRule("Z").
+		WithLHS("zip", cellP(`(900)\D{2}`)).
+		WithRHS("city", cellP(`(Los\ Angeles)`))
+	r2 := NewRule("Z").
+		WithLHS("city", cellP(`(\A*)`)). // any city, fully constrained
+		WithRHS("state", cellP(`(CA)`))
+	out, err := Transitivity(r1, r2)
+	if err != nil {
+		t.Fatalf("Transitivity: %v", err)
+	}
+	if _, ok := out.LHS["zip"]; !ok {
+		t.Error("result LHS must be the first rule's LHS")
+	}
+	if _, ok := out.RHS["state"]; !ok {
+		t.Error("result RHS must be the second rule's RHS")
+	}
+	// Patterns that do not subsume must fail: city constant "Chicago"
+	// does not contain "Los Angeles".
+	r3 := NewRule("Z").
+		WithLHS("city", cellP(`(Chicago)`)).
+		WithRHS("state", cellP(`(IL)`))
+	if _, err := Transitivity(r1, r3); err == nil {
+		t.Error("non-subsuming transitivity must fail")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	r := NewRule("R").
+		WithLHS("a", cellP(`(x)`)).
+		WithLHS("b", pfd.Wildcard()).
+		WithRHS("c", cellP(`(k)`))
+	out, err := Reduction(r, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out.LHS["b"]; ok {
+		t.Error("b must be dropped")
+	}
+	if _, err := Reduction(r, "a"); err == nil {
+		t.Error("reducing a non-wildcard must fail")
+	}
+	vr := NewRule("R").
+		WithLHS("a", cellP(`(x)`)).
+		WithLHS("b", pfd.Wildcard()).
+		WithRHS("c", pfd.Wildcard())
+	if _, err := Reduction(vr, "b"); err == nil {
+		t.Error("reduction requires a constant RHS")
+	}
+}
+
+func TestLHSGeneralization(t *testing.T) {
+	// Two rules identical except the zip prefix: (900)\D{2} vs (9000)\D.
+	// L((900)\D{2}) contains L((9000)\D), so the union is the former.
+	r1 := NewRule("Z").
+		WithLHS("zip", cellP(`(900)\D{2}`)).
+		WithLHS("x", cellP(`(k)`)).
+		WithRHS("city", cellP(`(LA)`))
+	r2 := NewRule("Z").
+		WithLHS("zip", cellP(`(9000)\D`)).
+		WithLHS("x", cellP(`(k)`)).
+		WithRHS("city", cellP(`(LA)`))
+	out, err := LHSGeneralization(r1, r2, "zip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.LHS["zip"].Pattern.Equal(pattern.MustParse(`(900)\D{2}`)) {
+		t.Errorf("union = %s", out.LHS["zip"])
+	}
+	// Disjoint languages are not expressible.
+	r3 := NewRule("Z").
+		WithLHS("zip", cellP(`(606)\D{2}`)).
+		WithLHS("x", cellP(`(k)`)).
+		WithRHS("city", cellP(`(LA)`))
+	if _, err := LHSGeneralization(r1, r3, "zip"); err == nil {
+		t.Error("disjoint union must fail in the restricted language")
+	}
+	// Rules disagreeing elsewhere must fail.
+	r4 := r2.Clone()
+	r4.RHS["city"] = cellP(`(NY)`)
+	if _, err := LHSGeneralization(r1, r4, "zip"); err == nil {
+		t.Error("rules with different RHS must not combine")
+	}
+}
+
+func TestClosureAndImplies(t *testing.T) {
+	// Ψ: (John )\A* -> M; (M) -> (Male-ish flag). Transitive closure must
+	// derive the flag from the name.
+	psi := []*Rule{
+		johnRule(),
+		NewRule("Name").WithLHS("gender", cellP(`(M)`)).WithRHS("flag", cellP(`(1)`)),
+	}
+	closure := Closure(psi, map[string]pfd.Cell{"name": cellP(`(John\ )\A*`)})
+	if c, ok := closure["gender"]; !ok {
+		t.Fatalf("gender not derived; closure = %v", Items(closure))
+	} else if s, _ := c.Constant(); s != "M" {
+		t.Errorf("gender cell = %s", c)
+	}
+	if _, ok := closure["flag"]; !ok {
+		t.Errorf("flag not derived; closure = %v", Items(closure))
+	}
+	goal := NewRule("Name").
+		WithLHS("name", cellP(`(John\ )\A*`)).
+		WithRHS("flag", cellP(`(1)`))
+	if !Implies(psi, goal) {
+		t.Error("Ψ must imply name -> flag")
+	}
+	bad := NewRule("Name").
+		WithLHS("name", cellP(`(John\ )\A*`)).
+		WithRHS("flag", cellP(`(2)`))
+	if Implies(psi, bad) {
+		t.Error("Ψ must not imply flag = 2")
+	}
+}
+
+func TestImpliesRestrictedLHS(t *testing.T) {
+	// A more specific LHS still triggers the rule: (John )\A* refines
+	// (\LU\LL*\ )\A*, so first-name rules fire for John.
+	psi := []*Rule{firstNameRule()}
+	goal := NewRule("Name").
+		WithLHS("name", cellP(`(John\ )\A*`)).
+		WithRHS("gender", pfd.Wildcard())
+	if !Implies(psi, goal) {
+		t.Error("restricted LHS must inherit the variable dependency")
+	}
+}
+
+func TestConsistency(t *testing.T) {
+	// Consistent set: the paper's λ1, λ3.
+	ok := []*Rule{
+		johnRule(),
+		NewRule("Z").WithLHS("zip", cellP(`(900)\D{2}`)).WithRHS("city", cellP(`(Los\ Angeles)`)),
+	}
+	if _, consistent := Consistent(ok); !consistent {
+		t.Error("λ1+λ3 must be consistent")
+	}
+	// Inconsistent: gender must be both M and F for the same constant LHS.
+	bad := []*Rule{
+		johnRule(),
+		NewRule("Name").WithLHS("name", cellP(`(John\ )\A*`)).WithRHS("gender", cellP(`(F)`)),
+		// Force every name to start with John: name must match the LHS.
+		NewRule("Name").WithLHS("name", pfd.Wildcard()).WithRHS("name", cellP(`(John\ )\A*`)),
+	}
+	if w, consistent := Consistent(bad); consistent {
+		t.Errorf("contradictory set read as consistent, witness %v", w)
+	}
+	// The empty set is consistent.
+	if _, consistent := Consistent(nil); !consistent {
+		t.Error("empty set must be consistent")
+	}
+}
+
+func TestFindCounterexample(t *testing.T) {
+	// Ψ = {John -> M} does not imply Susan -> F; two tuples named Susan
+	// with different genders satisfy Ψ and violate the goal.
+	psi := []*Rule{johnRule()}
+	goal := NewRule("Name").
+		WithLHS("name", cellP(`(Susan\ )\A*`)).
+		WithRHS("gender", cellP(`(F)`))
+	ce := FindCounterexample(psi, goal)
+	if ce == nil {
+		t.Fatal("counterexample must exist")
+	}
+	if !pairSatisfies(psi, ce.T1, ce.T2) {
+		t.Error("counterexample must satisfy Ψ")
+	}
+	if pairSatisfiesRule(goal, ce.T1, ce.T2) {
+		t.Error("counterexample must violate the goal")
+	}
+	// Implied goals have no counterexample.
+	implied := NewRule("Name").
+		WithLHS("name", cellP(`(John\ )\A*`)).
+		WithRHS("gender", cellP(`(M)`))
+	if ce := FindCounterexample(psi, implied); ce != nil {
+		t.Errorf("implied goal refuted: %+v", ce)
+	}
+}
+
+func TestSoundnessClosureVsCounterexample(t *testing.T) {
+	// Whatever Implies accepts must never be refutable by the small-model
+	// search — the two procedures approach Theorem 2 from both sides.
+	psi := []*Rule{
+		johnRule(),
+		firstNameRule(),
+		NewRule("Name").WithLHS("gender", cellP(`(M)`)).WithRHS("flag", cellP(`(1)`)),
+	}
+	goals := []*Rule{
+		NewRule("Name").WithLHS("name", cellP(`(John\ )\A*`)).WithRHS("flag", cellP(`(1)`)),
+		NewRule("Name").WithLHS("name", cellP(`(John\ )\A*`)).WithRHS("gender", cellP(`(M)`)),
+		NewRule("Name").WithLHS("name", cellP(`(Susan\ )\A*`)).WithRHS("gender", cellP(`(F)`)),
+		NewRule("Name").WithLHS("name", cellP(`(\LU\LL*\ )\A*`)).WithRHS("gender", pfd.Wildcard()),
+	}
+	for i, g := range goals {
+		if Implies(psi, g) && FindCounterexample(psi, g) != nil {
+			t.Errorf("goal %d: Implies and FindCounterexample disagree", i)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	s := johnRule().String()
+	if !strings.Contains(s, "name = (John") || !strings.Contains(s, "gender = (M)") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,144 @@
+package inference
+
+import (
+	"fmt"
+	"strings"
+
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+)
+
+// ParseRule reads the paper's textual constraint notation:
+//
+//	Name([name = (John\ )\A*] -> [gender = M])
+//	Zip([zip = (\D{3})\D{2}] -> [city = _])
+//
+// Each side is a bracketed, comma-separated list of "attr = cell", where
+// a cell is '_' (the unnamed variable ⊥), a constrained pattern in the
+// pattern syntax, or — when it contains no pattern meta-runes — a bare
+// constant treated as a fully-constrained literal (M above).
+func ParseRule(src string) (*Rule, error) {
+	s := strings.TrimSpace(src)
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("inference: rule %q: want Relation([...] -> [...])", src)
+	}
+	rel := strings.TrimSpace(s[:open])
+	body := s[open+1 : len(s)-1]
+	lhsPart, rhsPart, found := cutArrow(body)
+	if !found {
+		return nil, fmt.Errorf("inference: rule %q: missing ->", src)
+	}
+	r := NewRule(rel)
+	if err := parseSide(lhsPart, r.LHS); err != nil {
+		return nil, fmt.Errorf("inference: rule %q LHS: %w", src, err)
+	}
+	if err := parseSide(rhsPart, r.RHS); err != nil {
+		return nil, fmt.Errorf("inference: rule %q RHS: %w", src, err)
+	}
+	if len(r.LHS) == 0 || len(r.RHS) == 0 {
+		return nil, fmt.Errorf("inference: rule %q: empty side", src)
+	}
+	return r, nil
+}
+
+// MustParseRule is ParseRule that panics, for tests and examples.
+func MustParseRule(src string) *Rule {
+	r, err := ParseRule(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// cutArrow splits at the top-level "->" (outside brackets).
+func cutArrow(s string) (string, string, bool) {
+	depth := 0
+	for i := 0; i+1 < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case '-':
+			if depth == 0 && s[i+1] == '>' {
+				return s[:i], s[i+2:], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// parseSide reads "[a = cell, b = cell]" into the map.
+func parseSide(s string, into map[string]pfd.Cell) error {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return fmt.Errorf("want [attr = cell, ...], got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	for _, item := range splitTop(body) {
+		attr, cellSrc, found := strings.Cut(item, "=")
+		if !found {
+			// A bare attribute name means the unnamed variable.
+			name := strings.TrimSpace(item)
+			if name == "" {
+				continue
+			}
+			into[name] = pfd.Wildcard()
+			continue
+		}
+		name := strings.TrimSpace(attr)
+		cell, err := parseCell(strings.TrimSpace(cellSrc))
+		if err != nil {
+			return fmt.Errorf("attribute %q: %w", name, err)
+		}
+		into[name] = cell
+	}
+	return nil
+}
+
+// splitTop splits on commas not inside braces (pattern {N} quantifiers)
+// and not escaped.
+func splitTop(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped rune
+		case '{':
+			depth++
+		case '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// parseCell reads one tableau cell.
+func parseCell(s string) (pfd.Cell, error) {
+	if s == "_" || s == "⊥" {
+		return pfd.Wildcard(), nil
+	}
+	if !strings.ContainsAny(s, `\()*+{}`) {
+		// Bare constant: fully-constrained literal.
+		return pfd.Pat(pattern.Constant(s)), nil
+	}
+	p, err := pattern.Parse(s)
+	if err != nil {
+		return pfd.Cell{}, err
+	}
+	if !p.Constrained() {
+		// Patterns without an explicit region compare whole values;
+		// make that explicit by constraining the whole pattern.
+		p = pattern.NewConstrained(p.Tokens, 0, len(p.Tokens))
+	}
+	return pfd.Pat(p), nil
+}

@@ -1,0 +1,187 @@
+package inference
+
+import (
+	"fmt"
+	"strings"
+
+	"pfd/internal/pfd"
+)
+
+// This file materializes proofs in the sense of Section 3.1: "a proof of
+// ψ from Ψ using set I of axioms is a sequence of PFDs ψ1..ψn = ψ such
+// that each ψi is in Ψ or follows from earlier ones by a rule of I". The
+// closure computation is instrumented to emit one proof step per closure
+// extension, following the constructive completeness argument of §7.1
+// ("from PFD-closure to inference proof").
+
+// Axiom names the inference rules of Figure 3.
+type Axiom string
+
+// The axioms of Figure 3, plus "Premise" for members of Ψ.
+const (
+	AxPremise          Axiom = "Premise"
+	AxReflexivity      Axiom = "Reflexivity"
+	AxAugmentation     Axiom = "Augmentation"
+	AxTransitivity     Axiom = "Transitivity"
+	AxReduction        Axiom = "Reduction"
+	AxLHSGeneral       Axiom = "LHS-Generalization"
+	AxInconsistencyEFQ Axiom = "Inconsistency-EFQ"
+)
+
+// A Step is one line of a proof: the derived rule, the axiom used, and
+// the indices of the earlier steps it depends on.
+type Step struct {
+	Rule  *Rule
+	By    Axiom
+	From  []int
+	Note  string
+	Index int
+}
+
+// A Proof is a derivation sequence ending at the goal.
+type Proof struct {
+	Steps []Step
+}
+
+// String renders the proof one numbered line at a time.
+func (p *Proof) String() string {
+	var b strings.Builder
+	for _, s := range p.Steps {
+		fmt.Fprintf(&b, "(%d) %s", s.Index+1, s.Rule)
+		fmt.Fprintf(&b, "   [%s", s.By)
+		if len(s.From) > 0 {
+			refs := make([]string, len(s.From))
+			for i, f := range s.From {
+				refs[i] = fmt.Sprintf("%d", f+1)
+			}
+			fmt.Fprintf(&b, " from %s", strings.Join(refs, ","))
+		}
+		b.WriteString("]")
+		if s.Note != "" {
+			fmt.Fprintf(&b, " — %s", s.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Prove attempts to construct a proof of psi from the rules using the
+// instrumented closure computation. It returns nil when the (sound,
+// incomplete — see closure.go) procedure cannot derive psi.
+func Prove(rules []*Rule, psi *Rule) *Proof {
+	pr := &Proof{}
+	add := func(r *Rule, by Axiom, from []int, note string) int {
+		idx := len(pr.Steps)
+		pr.Steps = append(pr.Steps, Step{Rule: r, By: by, From: from, Note: note, Index: idx})
+		return idx
+	}
+
+	// Step 1: Reflexivity gives X -> X from the goal's LHS.
+	refl := Reflexivity(psi.Relation, psi.LHS)
+	reflIdx := add(refl, AxReflexivity, nil, "X -> X from the goal's LHS")
+
+	// closure tracks, per attribute, the tightest derived cell and the
+	// proof step deriving "LHS(psi) -> attr" with that cell.
+	type derived struct {
+		cell pfd.Cell
+		step int
+	}
+	closure := map[string]derived{}
+	for a, c := range psi.LHS {
+		closure[a] = derived{cell: c, step: reflIdx}
+	}
+
+	// Premises enter the proof lazily, only when used.
+	premiseIdx := map[int]int{}
+	getPremise := func(i int) int {
+		if idx, ok := premiseIdx[i]; ok {
+			return idx
+		}
+		idx := add(rules[i], AxPremise, nil, "")
+		premiseIdx[i] = idx
+		return idx
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i, r := range rules {
+			// Check the (a.i)/(b) trigger against current closure cells.
+			cells := map[string]pfd.Cell{}
+			steps := map[string]bool{}
+			deps := []int{}
+			ok := true
+			for a, c := range r.LHS {
+				d, have := closure[a]
+				if have && cellRestricts(d.cell, c) {
+					cells[a] = d.cell
+					if !steps[fmt.Sprint(d.step)] {
+						steps[fmt.Sprint(d.step)] = true
+						deps = append(deps, d.step)
+					}
+					continue
+				}
+				// Condition (b): wildcard LHS with constant RHS drops via
+				// Reduction.
+				constRHS := true
+				for _, rc := range r.RHS {
+					if _, isConst := rc.Constant(); !isConst {
+						constRHS = false
+					}
+				}
+				if !have && c.IsWildcard() && constRHS {
+					continue
+				}
+				ok = false
+				break
+			}
+			if !ok {
+				continue
+			}
+			for a, c := range r.RHS {
+				cur, have := closure[a]
+				if have && (sameCell(cur.cell, c) || cellRestricts(cur.cell, c)) {
+					continue // nothing tighter to derive
+				}
+				pIdx := getPremise(i)
+				out := NewRule(psi.Relation)
+				for la, lc := range psi.LHS {
+					out.LHS[la] = lc
+				}
+				out.RHS[a] = c
+				note := fmt.Sprintf("derives %s via the premise's LHS patterns", a)
+				by := AxTransitivity
+				if len(cells) < len(r.LHS) {
+					by = AxReduction
+					note = "wildcard LHS attributes dropped (constant RHS)"
+				}
+				stepIdx := add(out, by, append(append([]int{}, deps...), pIdx), note)
+				closure[a] = derived{cell: c, step: stepIdx}
+				changed = true
+			}
+		}
+	}
+
+	// Assemble the goal: every RHS attribute must be derived tightly.
+	var goalDeps []int
+	for a, want := range psi.RHS {
+		d, ok := closure[a]
+		if !ok || !cellRestricts(d.cell, want) {
+			return nil
+		}
+		goalDeps = append(goalDeps, d.step)
+	}
+	add(psi, AxTransitivity, dedupeInts(goalDeps), "goal")
+	return pr
+}
+
+func dedupeInts(in []int) []int {
+	seen := map[int]bool{}
+	out := in[:0]
+	for _, x := range in {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package inference
+
+import (
+	"strings"
+	"testing"
+
+	"pfd/internal/pfd"
+)
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule(`Name([name = (John\ )\A*] -> [gender = M])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Relation != "Name" {
+		t.Errorf("relation = %q", r.Relation)
+	}
+	c := r.LHS["name"]
+	if c.IsWildcard() || !c.Match("John Smith") || c.Match("Susan Smith") {
+		t.Errorf("LHS cell wrong: %s", c)
+	}
+	g := r.RHS["gender"]
+	if v, ok := g.Constant(); !ok || v != "M" {
+		t.Errorf("RHS cell = %s", g)
+	}
+}
+
+func TestParseRuleWildcardAndMulti(t *testing.T) {
+	r, err := ParseRule(`T([name = (\LU\LL*\ )\A*, country = _] -> [gender = _])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.LHS) != 2 || !r.LHS["country"].IsWildcard() || !r.RHS["gender"].IsWildcard() {
+		t.Errorf("parsed rule = %s", r)
+	}
+	// Bare attribute = wildcard.
+	r, err = ParseRule(`T([zip = (\D{3})\D{2}, city] -> [state])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.LHS["city"].IsWildcard() || !r.RHS["state"].IsWildcard() {
+		t.Errorf("bare attributes must be wildcards: %s", r)
+	}
+}
+
+func TestParseRuleQuantifierCommas(t *testing.T) {
+	r, err := ParseRule(`T([zip = (\D{2,4})\D] -> [x = _])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.LHS["zip"].Match("12345") {
+		t.Errorf("brace-comma cell wrong: %s", r.LHS["zip"])
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`NoParens`,
+		`R(no arrow here)`,
+		`R([a = x] -> )`,
+		`R([] -> [b = y])`,
+		`R([a = (unclosed] -> [b = y])`,
+	}
+	for _, src := range bad {
+		if _, err := ParseRule(src); err == nil {
+			t.Errorf("ParseRule(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseRuleRoundTripsThroughString(t *testing.T) {
+	srcs := []string{
+		`Name([name = (John\ )\A*] -> [gender = M])`,
+		`Zip([zip = (900)\D{2}] -> [city = Los Angeles])`,
+		`T([a = _] -> [b = _])`,
+	}
+	for _, src := range srcs {
+		r := MustParseRule(src)
+		back, err := ParseRule(r.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q -> %q: %v", src, r.String(), err)
+		}
+		if back.String() != r.String() {
+			t.Errorf("round trip %q -> %q -> %q", src, r.String(), back.String())
+		}
+	}
+}
+
+func TestProveTransitiveChain(t *testing.T) {
+	psi := []*Rule{
+		MustParseRule(`Name([name = (John\ )\A*] -> [gender = M])`),
+		MustParseRule(`Name([gender = M] -> [title = Mr])`),
+	}
+	goal := MustParseRule(`Name([name = (John\ )\A*] -> [title = Mr])`)
+	proof := Prove(psi, goal)
+	if proof == nil {
+		t.Fatal("no proof found")
+	}
+	// The proof must end at the goal and use premises + transitivity.
+	last := proof.Steps[len(proof.Steps)-1]
+	if last.Rule != goal {
+		t.Errorf("last step is %s", last.Rule)
+	}
+	text := proof.String()
+	if !strings.Contains(text, string(AxTransitivity)) || !strings.Contains(text, string(AxPremise)) {
+		t.Errorf("proof lacks expected axioms:\n%s", text)
+	}
+	if !strings.Contains(text, string(AxReflexivity)) {
+		t.Errorf("proof must start from Reflexivity:\n%s", text)
+	}
+	// Every From reference points backwards.
+	for i, s := range proof.Steps {
+		for _, f := range s.From {
+			if f >= i {
+				t.Errorf("step %d references later step %d", i, f)
+			}
+		}
+	}
+}
+
+func TestProveAgreesWithImplies(t *testing.T) {
+	psi := []*Rule{
+		MustParseRule(`Name([name = (John\ )\A*] -> [gender = M])`),
+		MustParseRule(`Name([name = (\LU\LL*\ )\A*] -> [gender = _])`),
+		MustParseRule(`Name([gender = M] -> [flag = 1])`),
+	}
+	goals := []string{
+		`Name([name = (John\ )\A*] -> [flag = 1])`,
+		`Name([name = (John\ )\A*] -> [gender = M])`,
+		`Name([name = (Susan\ )\A*] -> [gender = F])`,
+		`Name([name = (John\ )\A*] -> [flag = 2])`,
+	}
+	for _, src := range goals {
+		g := MustParseRule(src)
+		implied := Implies(psi, g)
+		proved := Prove(psi, g) != nil
+		if implied != proved {
+			t.Errorf("goal %s: Implies=%v but Prove=%v", src, implied, proved)
+		}
+	}
+}
+
+func TestProveReductionPath(t *testing.T) {
+	// Constant-RHS rule with a wildcard LHS attribute not in the goal's
+	// LHS: Reduction drops it.
+	psi := []*Rule{
+		NewRule("R").
+			WithLHS("a", cellP(`(x)`)).
+			WithLHS("b", pfd.Wildcard()).
+			WithRHS("c", cellP(`(k)`)),
+	}
+	goal := MustParseRule(`R([a = x] -> [c = k])`)
+	proof := Prove(psi, goal)
+	if proof == nil {
+		t.Fatal("reduction-based proof not found")
+	}
+	if !strings.Contains(proof.String(), string(AxReduction)) {
+		t.Errorf("expected a Reduction step:\n%s", proof)
+	}
+}

@@ -1,0 +1,123 @@
+package inference
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+)
+
+// randomRule draws a small rule over a fixed attribute universe with
+// pattern shapes from the paper.
+func randomRule(r *rand.Rand) *Rule {
+	attrs := []string{"a", "b", "c"}
+	pats := []string{
+		`(John\ )\A*`, `(\LU\LL*\ )\A*`, `(900)\D{2}`, `(\D{3})\D{2}`,
+		`(M)`, `(F)`, `(\D{5})`,
+	}
+	cell := func() pfd.Cell {
+		if r.Intn(4) == 0 {
+			return pfd.Wildcard()
+		}
+		return pfd.Pat(pattern.MustParse(pats[r.Intn(len(pats))]))
+	}
+	rule := NewRule("R")
+	lhs := attrs[r.Intn(len(attrs))]
+	rule.WithLHS(lhs, cell())
+	rhs := attrs[r.Intn(len(attrs))]
+	for rhs == lhs {
+		rhs = attrs[r.Intn(len(attrs))]
+	}
+	rule.WithRHS(rhs, cell())
+	return rule
+}
+
+// TestQuickImpliesSoundAgainstCounterexample is the central soundness
+// property of the reasoning stack: whenever the closure-based Implies
+// accepts, the small-model search must fail to refute.
+func TestQuickImpliesSoundAgainstCounterexample(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	f := func() bool {
+		n := 1 + r.Intn(3)
+		rules := make([]*Rule, n)
+		for i := range rules {
+			rules[i] = randomRule(r)
+		}
+		goal := randomRule(r)
+		if !Implies(rules, goal) {
+			return true
+		}
+		if ce := FindCounterexample(rules, goal); ce != nil {
+			t.Logf("UNSOUND: rules=%v goal=%s ce=%+v", rules, goal, ce)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProveMatchesImplies keeps the instrumented proof constructor
+// in lockstep with the closure decision.
+func TestQuickProveMatchesImplies(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	f := func() bool {
+		n := 1 + r.Intn(3)
+		rules := make([]*Rule, n)
+		for i := range rules {
+			rules[i] = randomRule(r)
+		}
+		goal := randomRule(r)
+		implied := Implies(rules, goal)
+		proof := Prove(rules, goal)
+		if implied != (proof != nil) {
+			t.Logf("mismatch: Implies=%v Prove=%v goal=%s", implied, proof != nil, goal)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConsistencyWitnessSatisfies checks that every witness the
+// consistency search returns actually satisfies the rules.
+func TestQuickConsistencyWitnessSatisfies(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	f := func() bool {
+		n := 1 + r.Intn(4)
+		rules := make([]*Rule, n)
+		for i := range rules {
+			rules[i] = randomRule(r)
+		}
+		witness, ok := Consistent(rules)
+		if !ok {
+			return true // inconsistency has no cheap independent check here
+		}
+		return tupleSatisfies(rules, attrsOf(rules), witness)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParsePrintRoundTrip fuzzes rule parse/print stability.
+func TestQuickParsePrintRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(64))
+	f := func() bool {
+		rule := randomRule(r)
+		back, err := ParseRule(rule.String())
+		if err != nil {
+			t.Logf("re-parse of %q: %v", rule.String(), err)
+			return false
+		}
+		return back.String() == rule.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package lattice provides the level-wise attribute-set lattice used by
+// the PFD discovery algorithm (Section 4.2, restriction iv, after TANE
+// [19]): LHS candidates of size n+1 are generated from surviving size-n
+// sets, and supersets of satisfied LHS sets are pruned.
+package lattice
+
+import "sort"
+
+// A Candidate is one LHS attribute set paired with a RHS attribute, both
+// as column indices.
+type Candidate struct {
+	LHS []int
+	RHS int
+}
+
+// Lattice enumerates LHS sets level by level for a fixed universe of
+// usable columns, with per-RHS pruning of supersets of satisfied sets.
+type Lattice struct {
+	universe []int
+	// pruned[rhs] holds satisfied LHS sets (as sorted slices); any
+	// superset of one of them is skipped for that RHS.
+	pruned map[int][][]int
+}
+
+// New creates a lattice over the usable column indices.
+func New(universe []int) *Lattice {
+	u := append([]int(nil), universe...)
+	sort.Ints(u)
+	return &Lattice{universe: u, pruned: map[int][][]int{}}
+}
+
+// Prune records that a dependency with this LHS was satisfied for rhs, so
+// strict supersets are skipped ("remove the children of X in the lattice",
+// Figure 4 line 25).
+func (l *Lattice) Prune(lhs []int, rhs int) {
+	s := append([]int(nil), lhs...)
+	sort.Ints(s)
+	l.pruned[rhs] = append(l.pruned[rhs], s)
+}
+
+// Level yields the candidates with |LHS| = n, excluding trivial ones
+// (RHS in LHS) and pruned supersets, in deterministic order.
+func (l *Lattice) Level(n int) []Candidate {
+	var out []Candidate
+	sets := combinations(l.universe, n)
+	for _, lhs := range sets {
+		for _, rhs := range l.universe {
+			if contains(lhs, rhs) || l.isPruned(lhs, rhs) {
+				continue
+			}
+			out = append(out, Candidate{LHS: lhs, RHS: rhs})
+		}
+	}
+	return out
+}
+
+func (l *Lattice) isPruned(lhs []int, rhs int) bool {
+	for _, p := range l.pruned[rhs] {
+		if subset(p, lhs) {
+			return true
+		}
+	}
+	return false
+}
+
+// combinations enumerates sorted n-subsets of the sorted universe.
+func combinations(u []int, n int) [][]int {
+	if n <= 0 || n > len(u) {
+		return nil
+	}
+	var out [][]int
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		c := make([]int, n)
+		for i, j := range idx {
+			c[i] = u[j]
+		}
+		out = append(out, c)
+		// Advance.
+		i := n - 1
+		for i >= 0 && idx[i] == len(u)-n+i {
+			i--
+		}
+		if i < 0 {
+			return out
+		}
+		idx[i]++
+		for j := i + 1; j < n; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// subset reports whether sorted slice a ⊆ sorted slice b.
+func subset(a, b []int) bool {
+	i := 0
+	for _, x := range b {
+		if i < len(a) && a[i] == x {
+			i++
+		}
+	}
+	return i == len(a)
+}

@@ -1,0 +1,143 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelOne(t *testing.T) {
+	l := New([]int{0, 1, 2})
+	cands := l.Level(1)
+	// 3 LHS singletons x 2 other RHS columns each.
+	if len(cands) != 6 {
+		t.Fatalf("level 1 has %d candidates, want 6", len(cands))
+	}
+	for _, c := range cands {
+		if len(c.LHS) != 1 {
+			t.Errorf("level-1 candidate with LHS %v", c.LHS)
+		}
+		if c.LHS[0] == c.RHS {
+			t.Errorf("trivial candidate %v -> %d", c.LHS, c.RHS)
+		}
+	}
+}
+
+func TestLevelTwo(t *testing.T) {
+	l := New([]int{0, 1, 2, 3})
+	cands := l.Level(2)
+	// C(4,2)=6 pairs x 2 RHS outside each pair.
+	if len(cands) != 12 {
+		t.Fatalf("level 2 has %d candidates, want 12", len(cands))
+	}
+	for _, c := range cands {
+		if len(c.LHS) != 2 || c.LHS[0] >= c.LHS[1] {
+			t.Errorf("malformed LHS %v", c.LHS)
+		}
+	}
+}
+
+func TestPruneRemovesSupersets(t *testing.T) {
+	l := New([]int{0, 1, 2, 3})
+	l.Prune([]int{1}, 3)
+	for _, c := range l.Level(1) {
+		if c.RHS == 3 && len(c.LHS) == 1 && c.LHS[0] == 1 {
+			t.Error("pruned candidate still produced")
+		}
+	}
+	for _, c := range l.Level(2) {
+		if c.RHS == 3 && (c.LHS[0] == 1 || c.LHS[1] == 1) {
+			t.Errorf("superset %v -> %d of pruned {1} -> 3 still produced", c.LHS, c.RHS)
+		}
+	}
+	// Other RHS targets are unaffected.
+	seen := false
+	for _, c := range l.Level(2) {
+		if c.RHS == 2 && c.LHS[0] == 1 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("pruning leaked to other RHS attributes")
+	}
+}
+
+func TestLevelBounds(t *testing.T) {
+	l := New([]int{0, 1})
+	if got := l.Level(0); got != nil {
+		t.Errorf("level 0 = %v", got)
+	}
+	if got := l.Level(3); got != nil {
+		t.Errorf("level beyond universe = %v", got)
+	}
+	// Level == universe size leaves no RHS outside the LHS.
+	if got := l.Level(2); len(got) != 0 {
+		t.Errorf("full-universe level yields %v", got)
+	}
+}
+
+func TestCombinationsCountQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	binom := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		out := 1
+		for i := 0; i < k; i++ {
+			out = out * (n - i) / (i + 1)
+		}
+		return out
+	}
+	f := func() bool {
+		n := 1 + r.Intn(7)
+		k := 1 + r.Intn(n)
+		u := make([]int, n)
+		for i := range u {
+			u[i] = i * 2
+		}
+		combos := combinations(u, k)
+		if len(combos) != binom(n, k) {
+			return false
+		}
+		// All sorted, unique, drawn from u.
+		seen := map[string]bool{}
+		for _, c := range combos {
+			key := ""
+			for i, x := range c {
+				if x%2 != 0 {
+					return false
+				}
+				if i > 0 && c[i-1] >= x {
+					return false
+				}
+				key += string(rune('A' + x))
+			}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{1}, []int{1, 2}, true},
+		{[]int{1, 2}, []int{1, 2}, true},
+		{[]int{2}, []int{1, 3}, false},
+		{nil, []int{1}, true},
+		{[]int{1, 4}, []int{1, 2, 3}, false},
+	}
+	for _, c := range cases {
+		if got := subset(c.a, c.b); got != c.want {
+			t.Errorf("subset(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+package pattern
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file decides language containment and equivalence for patterns.
+// The paper (Section 2.1) notes that the restricted pattern class converts
+// to NFAs in polynomial time and that acceptance, equivalence and
+// containment are PTIME-decidable. We compile each pattern to a Thompson
+// NFA over symbolic labels and run a product search over a finite
+// representative alphabet: every literal mentioned by either pattern plus
+// one fresh representative per character class. Any rune that is not a
+// mentioned literal is indistinguishable from its class representative to
+// both automata, so the reduction is exact.
+
+// nfa is a Thompson automaton with a single start (0) and accept state.
+type nfa struct {
+	accept int
+	eps    [][]int    // eps[s] = epsilon successors of s
+	edges  [][]nfaArc // edges[s] = labelled arcs out of s
+}
+
+type nfaArc struct {
+	label Token // only Class/Lit are meaningful
+	to    int
+}
+
+// compile builds the NFA for a token sequence.
+func compile(tokens []Token) *nfa {
+	a := &nfa{eps: [][]int{nil}, edges: [][]nfaArc{nil}}
+	cur := 0
+	newState := func() int {
+		a.eps = append(a.eps, nil)
+		a.edges = append(a.edges, nil)
+		return len(a.eps) - 1
+	}
+	arc := func(from int, t Token, to int) {
+		a.edges[from] = append(a.edges[from], nfaArc{label: t, to: to})
+	}
+	for _, t := range tokens {
+		for i := 0; i < t.Min; i++ {
+			nx := newState()
+			arc(cur, t, nx)
+			cur = nx
+		}
+		if t.Max == Unbounded {
+			// The Kleene loop lives on a fresh state: putting it on cur
+			// would share the loop state with a preceding unbounded
+			// token and wrongly accept interleavings (\LU+\S* reading
+			// "Q-Q").
+			nx := newState()
+			a.eps[cur] = append(a.eps[cur], nx)
+			arc(nx, t, nx)
+			cur = nx
+		} else {
+			for i := t.Min; i < t.Max; i++ {
+				nx := newState()
+				arc(cur, t, nx)
+				a.eps[cur] = append(a.eps[cur], nx)
+				cur = nx
+			}
+		}
+	}
+	a.accept = cur
+	return a
+}
+
+// closure expands a state set with epsilon transitions, in place.
+func (a *nfa) closure(set map[int]bool) {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.eps[s] {
+			if !set[t] {
+				set[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+}
+
+// move returns the epsilon-closed successor set of set on rune r.
+func (a *nfa) move(set map[int]bool, r rune) map[int]bool {
+	out := make(map[int]bool)
+	for s := range set {
+		for _, e := range a.edges[s] {
+			if e.label.MatchRune(r) {
+				out[e.to] = true
+			}
+		}
+	}
+	a.closure(out)
+	return out
+}
+
+func (a *nfa) start() map[int]bool {
+	set := map[int]bool{0: true}
+	a.closure(set)
+	return set
+}
+
+func fingerprint(sa, sb map[int]bool) string {
+	key := func(m map[int]bool) string {
+		ids := make([]int, 0, len(m))
+		for s := range m {
+			ids = append(ids, s)
+		}
+		sort.Ints(ids)
+		var b strings.Builder
+		for _, id := range ids {
+			b.WriteString(strconv.Itoa(id))
+			b.WriteByte(',')
+		}
+		return b.String()
+	}
+	return key(sa) + "|" + key(sb)
+}
+
+// representatives returns the finite alphabet sufficient to distinguish the
+// two token sequences: all mentioned literals plus one fresh rune per class.
+func representatives(a, b []Token) []rune {
+	lits := map[rune]bool{}
+	for _, seq := range [][]Token{a, b} {
+		for _, t := range seq {
+			if t.Class == Literal {
+				lits[t.Lit] = true
+			}
+		}
+	}
+	out := make([]rune, 0, len(lits)+4)
+	for r := range lits {
+		out = append(out, r)
+	}
+	fresh := func(pool string) {
+		for _, r := range pool {
+			if !lits[r] {
+				out = append(out, r)
+				return
+			}
+		}
+	}
+	fresh("QZXWVKJYUO")                    // upper
+	fresh("qzxwvkjyuo")                    // lower
+	fresh("7391504826")                    // digit
+	fresh(" -_./:#@!%&,;'\"?=~^|<>[]`$\t") // symbol
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LangContains reports whether every string matching p also matches q
+// (L(p) is a subset of L(q)), ignoring constrained regions.
+func LangContains(q, p *Pattern) bool {
+	return nfaContains(compile(p.Tokens), compile(q.Tokens), representatives(p.Tokens, q.Tokens))
+}
+
+// nfaContains reports L(a) subset-of L(b) by a product reachability search
+// for a state where a accepts and b does not.
+func nfaContains(a, b *nfa, alphabet []rune) bool {
+	type pair struct{ sa, sb map[int]bool }
+	sa, sb := a.start(), b.start()
+	seen := map[string]bool{fingerprint(sa, sb): true}
+	queue := []pair{{sa, sb}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.sa[a.accept] && !cur.sb[b.accept] {
+			return false
+		}
+		for _, r := range alphabet {
+			na := a.move(cur.sa, r)
+			if len(na) == 0 {
+				continue // a is dead; containment cannot fail down this path
+			}
+			nb := b.move(cur.sb, r)
+			fp := fingerprint(na, nb)
+			if !seen[fp] {
+				seen[fp] = true
+				queue = append(queue, pair{na, nb})
+			}
+		}
+	}
+	return true
+}
+
+// LangEquivalent reports whether p and q generate exactly the same strings.
+func LangEquivalent(p, q *Pattern) bool {
+	return LangContains(p, q) && LangContains(q, p)
+}
+
+// Restricts implements the paper's restricted-pattern relation Q ⊆ Q'
+// (Section 2.1): it reports whether for all strings s, s' matching p,
+// s ≡p s' implies s ≡q s'. Deciding this in full generality is subtle, so
+// Restricts is sound but incomplete: it returns true only under the
+// conditions below (which cover every pattern shape the paper uses —
+// constants, constrained prefixes and fully-constrained patterns) and
+// conservatively returns false otherwise.
+//
+//  1. L(p) must be contained in L(q); otherwise an s matching p fails to
+//     match q and no implication can hold.
+//  2. If p's equivalence is full string equality (fully constrained, no
+//     constrained region, or a constant pattern), it refines anything.
+//  3. Both regions are prefix-anchored and q's region has fixed rune
+//     length n: equality of p's spans (length >= n) forces equality of the
+//     first n runes, which are exactly q's span.
+//  4. Both regions are prefix-anchored, p's span is a constant string, and
+//     q's greedy extraction cannot extend beyond that constant because
+//     every unbounded token of q's region rejects the constant's final
+//     delimiter rune: then q's span is the same function of the constant
+//     for every s.
+func Restricts(p, q *Pattern) bool {
+	if p.Equal(q) {
+		return true
+	}
+	if !LangContains(q, p) {
+		return false
+	}
+	if !p.Constrained() || p.FullyConstrained() || p.IsConstant() {
+		return true
+	}
+	if c, ok := p.ConstrainedConstant(); ok && p.ConStart == 0 {
+		return prefixExtractionDetermined(q, c)
+	}
+	if p.ConStart == 0 && q.ConStart == 0 && q.Constrained() {
+		n, fixed := fixedRegionLen(q)
+		if fixed && regionMinLen(p) >= n {
+			return true
+		}
+	}
+	return false
+}
+
+// fixedRegionLen returns the rune length of q's constrained region when it
+// is fixed.
+func fixedRegionLen(q *Pattern) (int, bool) {
+	n := 0
+	for _, t := range q.Tokens[q.ConStart:q.ConEnd] {
+		if !t.Fixed() {
+			return 0, false
+		}
+		n += t.Min
+	}
+	return n, true
+}
+
+// regionMinLen returns the minimum rune length of p's constrained region.
+func regionMinLen(p *Pattern) int {
+	n := 0
+	for _, t := range p.Tokens[p.ConStart:p.ConEnd] {
+		n += t.Min
+	}
+	return n
+}
+
+// prefixExtractionDetermined reports whether q's constrained extraction is
+// the same for every string beginning with the constant prefix c. It holds
+// when q's region is prefix-anchored and the greedy span over c+tail always
+// stops within c: either the region has fixed length <= len(c), or the
+// region's final token is a literal delimiter that occurs in c and no
+// earlier unbounded token of the region can consume that delimiter.
+func prefixExtractionDetermined(q *Pattern, c string) bool {
+	if !q.Constrained() || q.ConStart != 0 {
+		// Unconstrained q compares whole strings; a constant prefix does
+		// not determine the tail.
+		return false
+	}
+	if n, ok := fixedRegionLen(q); ok {
+		return n <= len([]rune(c))
+	}
+	region := q.Tokens[q.ConStart:q.ConEnd]
+	last := region[len(region)-1]
+	if last.Class != Literal || !last.Fixed() {
+		return false
+	}
+	if !strings.ContainsRune(c, last.Lit) {
+		return false
+	}
+	for _, t := range region[:len(region)-1] {
+		if t.Max == Unbounded && t.MatchRune(last.Lit) {
+			return false
+		}
+	}
+	// The delimiter must terminate the constant itself so that the greedy
+	// span equals a fixed prefix of c.
+	rs := []rune(c)
+	return rs[len(rs)-1] == last.Lit
+}

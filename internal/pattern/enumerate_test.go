@@ -1,0 +1,108 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInstantiate(t *testing.T) {
+	p := MustParse(`900\D{2}`)
+	ss := p.Instantiate()
+	if len(ss) != 1 || ss[0] != "90077" {
+		t.Errorf("Instantiate fixed = %v", ss)
+	}
+	p = MustParse(`John\ \A*`)
+	ss = p.Instantiate()
+	if len(ss) != 2 || ss[0] != "John " || ss[1] != "John x" {
+		t.Errorf("Instantiate unbounded = %v", ss)
+	}
+	for _, s := range ss {
+		if !p.Match(s) {
+			t.Errorf("instantiation %q does not match its pattern", s)
+		}
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	p := MustParse(`\LU\LL{1,3}`)
+	ss := p.Enumerate(2, 0)
+	if len(ss) != 3 {
+		t.Fatalf("Enumerate = %v", ss)
+	}
+	for _, s := range ss {
+		if !p.Match(s) {
+			t.Errorf("enumerated %q does not match", s)
+		}
+	}
+	// Limit caps output.
+	p = MustParse(`\D*\LL*\LU*`)
+	if got := p.Enumerate(5, 4); len(got) != 4 {
+		t.Errorf("limit ignored: %d strings", len(got))
+	}
+}
+
+func TestQuickEnumerateMatches(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := func() bool {
+		p := randomPattern(r)
+		for _, s := range p.Enumerate(2, 16) {
+			if !p.Match(s) {
+				return false
+			}
+		}
+		for _, s := range p.Instantiate() {
+			if !p.Match(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{`\D{5}`, `\LU{5}`, true},
+		{`\D{5}`, `\D*`, false},
+		{`900\D{2}`, `800\D{2}`, true},
+		{`900\D{2}`, `9\D{4}`, false},
+		{`\A*`, `John`, false},
+		{`M`, `F`, true},
+		{`\LU\LL*`, `\LU+`, false}, // single uppercase is in both
+	}
+	for _, c := range cases {
+		p, q := MustParse(c.p), MustParse(c.q)
+		if got := Disjoint(p, q); got != c.want {
+			t.Errorf("Disjoint(%q, %q) = %v, want %v", c.p, c.q, got, c.want)
+		}
+		if got := Disjoint(q, p); got != c.want {
+			t.Errorf("Disjoint(%q, %q) not symmetric", c.q, c.p)
+		}
+	}
+}
+
+func TestQuickDisjointConsistentWithSamples(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	f := func() bool {
+		p, q := randomPattern(r), randomPattern(r)
+		if !Disjoint(p, q) {
+			return true
+		}
+		// No sample of p may match q and vice versa.
+		for i := 0; i < 6; i++ {
+			if q.Match(sample(r, p)) || p.Match(sample(r, q)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package pattern
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Parse reads a pattern in the paper's textual syntax:
+//
+//	\A \LU \LL \D \S   character classes of the generalization tree
+//	{N} {N,M} + *      quantifiers on the preceding unit
+//	( ... )            the single constrained region (the paper's underline)
+//	\x                 a backslash escapes any meta-rune to a literal
+//
+// any other rune is a literal matching itself. Examples from the paper:
+//
+//	(900)\D{2}             zip starting with 900, first three digits constrained
+//	(John\ )\A*            constant first name "John "
+//	(\LU\LL*\ )\A*         first token of a full name constrained
+//	(\D{3})\D{2}           first three digits of a 5-digit zip constrained
+func Parse(src string) (*Pattern, error) {
+	p := &parser{src: src, conStart: -1, conEnd: -1}
+	for !p.eof() {
+		if err := p.step(); err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", src, err)
+		}
+	}
+	if p.inCon {
+		return nil, fmt.Errorf("pattern %q: unclosed constrained region", src)
+	}
+	return &Pattern{Tokens: p.tokens, ConStart: p.conStart, ConEnd: p.conEnd}, nil
+}
+
+// MustParse is Parse that panics on error; intended for constants and tests.
+func MustParse(src string) *Pattern {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src      string
+	pos      int
+	tokens   []Token
+	inCon    bool
+	conStart int
+	conEnd   int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() rune {
+	r, _ := utf8.DecodeRuneInString(p.src[p.pos:])
+	return r
+}
+
+func (p *parser) next() rune {
+	r, n := utf8.DecodeRuneInString(p.src[p.pos:])
+	p.pos += n
+	return r
+}
+
+func (p *parser) step() error {
+	switch r := p.next(); r {
+	case '(':
+		if p.conStart >= 0 {
+			return fmt.Errorf("more than one constrained region at byte %d", p.pos-1)
+		}
+		p.inCon = true
+		p.conStart = len(p.tokens)
+		return nil
+	case ')':
+		if !p.inCon {
+			return fmt.Errorf("unmatched ')' at byte %d", p.pos-1)
+		}
+		p.inCon = false
+		p.conEnd = len(p.tokens)
+		if p.conEnd == p.conStart {
+			return fmt.Errorf("empty constrained region at byte %d", p.pos-1)
+		}
+		return nil
+	case '\\':
+		return p.escaped()
+	case '{', '}', '+', '*':
+		return fmt.Errorf("dangling quantifier %q at byte %d", r, p.pos-1)
+	default:
+		return p.emit(Token{Class: Literal, Lit: r, Min: 1, Max: 1})
+	}
+}
+
+// escaped handles a backslash sequence: a class name or an escaped literal.
+func (p *parser) escaped() error {
+	if p.eof() {
+		return fmt.Errorf("trailing backslash")
+	}
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "LU"):
+		p.pos += 2
+		return p.emit(One(Upper))
+	case strings.HasPrefix(p.src[p.pos:], "LL"):
+		p.pos += 2
+		return p.emit(One(Lower))
+	case p.peek() == 'D':
+		p.pos++
+		return p.emit(One(Digit))
+	case p.peek() == 'S':
+		p.pos++
+		return p.emit(One(Symbol))
+	case p.peek() == 'A':
+		p.pos++
+		return p.emit(One(Any))
+	default:
+		return p.emit(Token{Class: Literal, Lit: p.next(), Min: 1, Max: 1})
+	}
+}
+
+// emit appends a unit token after applying any trailing quantifier.
+func (p *parser) emit(t Token) error {
+	if !p.eof() {
+		switch p.peek() {
+		case '{':
+			p.pos++
+			if err := p.braces(&t); err != nil {
+				return err
+			}
+		case '+':
+			p.pos++
+			t.Min, t.Max = 1, Unbounded
+		case '*':
+			p.pos++
+			t.Min, t.Max = 0, Unbounded
+		}
+	}
+	p.tokens = append(p.tokens, t)
+	return nil
+}
+
+// braces parses {N}, {N,M} or {N,} (unbounded) after the opening brace
+// has been consumed.
+func (p *parser) braces(t *Token) error {
+	end := strings.IndexByte(p.src[p.pos:], '}')
+	if end < 0 {
+		return fmt.Errorf("unterminated '{' at byte %d", p.pos-1)
+	}
+	body := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	lo, hi, found := strings.Cut(body, ",")
+	n, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil || n < 0 {
+		return fmt.Errorf("bad repetition count %q", body)
+	}
+	t.Min, t.Max = n, n
+	if found {
+		if strings.TrimSpace(hi) == "" {
+			t.Max = Unbounded
+			return nil
+		}
+		m, err := strconv.Atoi(strings.TrimSpace(hi))
+		if err != nil || m < n {
+			return fmt.Errorf("bad repetition range %q", body)
+		}
+		t.Max = m
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package pattern
+
+// Simplify returns an equivalent pattern in a compact normal form:
+//
+//   - adjacent tokens with identical labels merge ((\D{2})(\D{3}) -> \D{5},
+//     \LL*\LL+ -> \LL+), respecting the constrained-region boundaries so
+//     equivalence semantics are unchanged;
+//   - zero-repetition tokens (Min=0, Max=0) disappear.
+//
+// The language is preserved exactly: L(Simplify(p)) == L(p), and the
+// constrained region covers the same spans.
+func Simplify(p *Pattern) *Pattern {
+	type segment struct {
+		tokens []Token
+	}
+	// Split at the constrained-region boundaries, simplify each segment
+	// independently, and reassemble so ConStart/ConEnd stay meaningful.
+	bounds := []int{0, len(p.Tokens)}
+	if p.Constrained() {
+		bounds = []int{0, p.ConStart, p.ConEnd, len(p.Tokens)}
+	}
+	var segs []segment
+	for i := 0; i+1 < len(bounds); i++ {
+		segs = append(segs, segment{tokens: mergeRun(p.Tokens[bounds[i]:bounds[i+1]])})
+	}
+	var toks []Token
+	lo, hi := -1, -1
+	for i, s := range segs {
+		if p.Constrained() && i == 1 {
+			lo = len(toks)
+		}
+		toks = append(toks, s.tokens...)
+		if p.Constrained() && i == 1 {
+			hi = len(toks)
+		}
+	}
+	if !p.Constrained() {
+		return New(toks...)
+	}
+	if lo < 0 { // degenerate: constrained region at the very start
+		lo, hi = 0, 0
+	}
+	return NewConstrained(toks, lo, hi)
+}
+
+// mergeRun merges adjacent tokens with the same label inside one segment.
+func mergeRun(in []Token) []Token {
+	var out []Token
+	for _, t := range in {
+		if t.Min == 0 && t.Max == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && sameLabel(out[n-1], t) {
+			prev := &out[n-1]
+			prev.Min += t.Min
+			if prev.Max == Unbounded || t.Max == Unbounded {
+				prev.Max = Unbounded
+			} else {
+				prev.Max += t.Max
+			}
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func sameLabel(a, b Token) bool {
+	if a.Class != b.Class {
+		return false
+	}
+	return a.Class != Literal || a.Lit == b.Lit
+}

@@ -1,0 +1,99 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyMergesAdjacent(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`\D{2}\D{3}`, `\D{5}`},
+		{`\LL*\LL+`, `\LL+`},
+		{`\A*\A*`, `\A*`},
+		{`aa`, `a{2}`},
+		{`ab`, `ab`},
+		{`\D{2}\LL\D{3}`, `\D{2}\LL\D{3}`},
+	}
+	for _, c := range cases {
+		got := Simplify(MustParse(c.in))
+		want := MustParse(c.want)
+		if !got.Equal(want) {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSimplifyPreservesConstrainedRegion(t *testing.T) {
+	p := MustParse(`(\D\D)\D{2}\D`)
+	s := Simplify(p)
+	if s.String() != `(\D{2})\D{3}` {
+		t.Errorf("Simplify = %q", s)
+	}
+	// Equivalence semantics must be unchanged.
+	if !s.Equivalent("12345", "12999") || s.Equivalent("12345", "13345") {
+		t.Error("constrained semantics changed")
+	}
+	// A merge must never cross the region boundary.
+	p = MustParse(`\D(\D{2})\D`)
+	s = Simplify(p)
+	if s.ConStart != 1 || s.ConEnd != 2 {
+		t.Errorf("region moved: %q (%d,%d)", s, s.ConStart, s.ConEnd)
+	}
+}
+
+func TestQuickSimplifyPreservesLanguage(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	f := func() bool {
+		p := randomPattern(r)
+		s := Simplify(p)
+		if !LangEquivalent(p, s) {
+			t.Logf("language changed: %q vs %q", p, s)
+			return false
+		}
+		// Spans agree on samples.
+		for i := 0; i < 5; i++ {
+			str := sample(r, p)
+			a, okA := p.ConstrainedSpan(str)
+			b, okB := s.ConstrainedSpan(str)
+			if okA != okB || a != b {
+				t.Logf("span changed on %q: (%q,%v) vs (%q,%v) for %q -> %q", str, a, okA, b, okB, p, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSimplifyIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	f := func() bool {
+		p := randomPattern(r)
+		s := Simplify(p)
+		return Simplify(s).Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnboundedBracesRoundTrip(t *testing.T) {
+	p := MustParse(`\LU{3,}\S*`)
+	if p.Tokens[0].Min != 3 || p.Tokens[0].Max != Unbounded {
+		t.Fatalf("parsed token = %+v", p.Tokens[0])
+	}
+	back, err := Parse(p.String())
+	if err != nil || !back.Equal(p) {
+		t.Errorf("round trip %q failed: %v", p, err)
+	}
+	s := Simplify(MustParse(`\LU\LU*\LU{2}`))
+	if s.String() != `\LU{3,}` {
+		t.Errorf("Simplify renders %q", s)
+	}
+	if !s.Match("QQQ") || !s.Match("QQQQQ") || s.Match("QQ") {
+		t.Error("unbounded token matching wrong")
+	}
+}

@@ -1,0 +1,153 @@
+package pfd
+
+import (
+	"strings"
+
+	"pfd/internal/relation"
+)
+
+// A Checker validates tuples against a set of PFDs incrementally: each
+// appended tuple is checked in O(|Ψ|·|tableau|) against the group state
+// accumulated so far, instead of re-scanning the table. This is the
+// ingest-time use of PFDs: a cleaning pipeline validates rows as they
+// arrive, with the same semantics as batch Violations (modulo the
+// batch detector's hindsight — see CheckNext).
+type Checker struct {
+	pfds []*PFD
+	// state[p][tableauRow][lhsKey] tracks the RHS span consensus per
+	// equivalence group.
+	state []map[int]map[string]*groupState
+	rows  int
+}
+
+// groupState is the running consensus of one LHS-equivalence group.
+type groupState struct {
+	spans map[string]int // RHS span -> count
+	total int
+}
+
+// NewChecker creates an incremental checker over the given PFDs.
+func NewChecker(pfds []*PFD) *Checker {
+	c := &Checker{pfds: pfds, state: make([]map[int]map[string]*groupState, len(pfds))}
+	for i := range c.state {
+		c.state[i] = map[int]map[string]*groupState{}
+	}
+	return c
+}
+
+// StreamViolation reports one violation raised at ingest time.
+type StreamViolation struct {
+	PFD        *PFD
+	TableauRow int
+	Cell       relation.Cell
+	// Expected is the current consensus span ("" when the incoming tuple
+	// merely disagrees with a so-far-unanimous group without majority).
+	Expected string
+	// NewTuple reports whether the incoming tuple (rather than an
+	// earlier one) is the likely culprit: its span deviates from a
+	// strict-majority consensus.
+	NewTuple bool
+}
+
+// CheckNext validates one tuple (a map from column name to value) and
+// folds it into the state. It returns the violations the tuple raises
+// now; errors in *earlier* tuples that only become apparent later (the
+// majority forming after the dirty tuple arrived) are reported against
+// the earlier row id as NewTuple=false findings.
+//
+// Semantics note: single-tuple (constant-row) checks are exact; pair
+// semantics is approximated by majority — identical to the batch
+// detector's consensus rule, but order-dependent for tie groups.
+func (c *Checker) CheckNext(tuple map[string]string) []StreamViolation {
+	row := c.rows
+	c.rows++
+	var out []StreamViolation
+	for pi, p := range c.pfds {
+		for ri, tr := range p.Tableau {
+			key, ok := c.lhsKeyOf(p, tr, tuple)
+			if !ok {
+				continue
+			}
+			// Constant rows fire immediately on RHS mismatch.
+			if tr.ConstantLHS() {
+				if !tr.RHS.Match(tuple[p.RHS]) {
+					exp, _ := tr.RHS.Constant()
+					out = append(out, StreamViolation{
+						PFD: p, TableauRow: ri,
+						Cell:     relation.Cell{Row: row, Col: p.RHS},
+						Expected: exp, NewTuple: true,
+					})
+					continue
+				}
+			}
+			span, ok := tr.RHS.Span(tuple[p.RHS])
+			if !ok {
+				out = append(out, StreamViolation{
+					PFD: p, TableauRow: ri,
+					Cell:     relation.Cell{Row: row, Col: p.RHS},
+					NewTuple: true,
+				})
+				continue
+			}
+			groups := c.state[pi][ri]
+			if groups == nil {
+				groups = map[string]*groupState{}
+				c.state[pi][ri] = groups
+			}
+			g := groups[key]
+			if g == nil {
+				g = &groupState{spans: map[string]int{}}
+				groups[key] = g
+			}
+			g.total++
+			g.spans[span]++
+			if len(g.spans) > 1 {
+				// Disagreement: blame the minority side if a strict
+				// majority exists.
+				if maj, n := majoritySpan(g); 2*n > g.total && maj != span {
+					out = append(out, StreamViolation{
+						PFD: p, TableauRow: ri,
+						Cell:     relation.Cell{Row: row, Col: p.RHS},
+						Expected: maj, NewTuple: true,
+					})
+				} else if 2*n > g.total && maj == span {
+					// The new tuple tipped the majority; earlier
+					// minority tuples are now suspect (row unknown at
+					// this layer — reported with Row = -1 sentinel).
+					out = append(out, StreamViolation{
+						PFD: p, TableauRow: ri,
+						Cell:     relation.Cell{Row: -1, Col: p.RHS},
+						Expected: maj, NewTuple: false,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Rows returns how many tuples have been folded in.
+func (c *Checker) Rows() int { return c.rows }
+
+func (c *Checker) lhsKeyOf(p *PFD, tr Row, tuple map[string]string) (string, bool) {
+	var b strings.Builder
+	for j, a := range p.LHS {
+		span, ok := tr.LHS[j].Span(tuple[a])
+		if !ok {
+			return "", false
+		}
+		b.WriteString(span)
+		b.WriteByte('\x00')
+	}
+	return b.String(), true
+}
+
+func majoritySpan(g *groupState) (string, int) {
+	best, n := "", 0
+	for s, c := range g.spans {
+		if c > n || (c == n && s < best) {
+			best, n = s, c
+		}
+	}
+	return best, n
+}

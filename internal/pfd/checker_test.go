@@ -1,0 +1,132 @@
+package pfd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pfd/internal/pattern"
+	"pfd/internal/relation"
+)
+
+func streamPFDs() []*PFD {
+	constant := MustNew("Zip", []string{"zip"}, "city", Row{
+		LHS: []Cell{Pat(pattern.MustParse(`(900)\D{2}`))},
+		RHS: Pat(pattern.Constant("Los Angeles")),
+	})
+	variable := MustNew("Zip", []string{"zip"}, "city", Row{
+		LHS: []Cell{Pat(pattern.MustParse(`(\D{3})\D{2}`))},
+		RHS: Wildcard(),
+	})
+	return []*PFD{constant, variable}
+}
+
+func TestCheckerConstantRowFiresImmediately(t *testing.T) {
+	c := NewChecker(streamPFDs())
+	if vs := c.CheckNext(map[string]string{"zip": "90001", "city": "Los Angeles"}); len(vs) != 0 {
+		t.Fatalf("clean tuple flagged: %+v", vs)
+	}
+	vs := c.CheckNext(map[string]string{"zip": "90002", "city": "New York"})
+	var constHit bool
+	for _, v := range vs {
+		if v.Expected == "Los Angeles" && v.NewTuple && v.Cell.Row == 1 {
+			constHit = true
+		}
+	}
+	if !constHit {
+		t.Errorf("constant row must fire on the second tuple: %+v", vs)
+	}
+}
+
+func TestCheckerMajorityBlame(t *testing.T) {
+	variable := MustNew("Zip", []string{"zip"}, "state", Row{
+		LHS: []Cell{Pat(pattern.MustParse(`(\D{3})\D{2}`))},
+		RHS: Wildcard(),
+	})
+	c := NewChecker([]*PFD{variable})
+	c.CheckNext(map[string]string{"zip": "60601", "state": "IL"})
+	c.CheckNext(map[string]string{"zip": "60602", "state": "IL"})
+	vs := c.CheckNext(map[string]string{"zip": "60603", "state": "XX"})
+	if len(vs) != 1 || !vs[0].NewTuple || vs[0].Expected != "IL" || vs[0].Cell.Row != 2 {
+		t.Fatalf("minority newcomer not blamed: %+v", vs)
+	}
+	// An early dirty tuple is flagged retroactively once the majority
+	// forms (with the sentinel row -1 pointing backwards).
+	c2 := NewChecker([]*PFD{variable})
+	c2.CheckNext(map[string]string{"zip": "10001", "state": "XX"}) // dirty first
+	vs = c2.CheckNext(map[string]string{"zip": "10002", "state": "NY"})
+	if len(vs) != 0 {
+		t.Fatalf("tie must not fire: %+v", vs)
+	}
+	vs = c2.CheckNext(map[string]string{"zip": "10003", "state": "NY"})
+	if len(vs) != 1 || vs[0].NewTuple || vs[0].Cell.Row != -1 || vs[0].Expected != "NY" {
+		t.Fatalf("retroactive blame missing: %+v", vs)
+	}
+}
+
+func TestCheckerNonMatchingLHSIgnored(t *testing.T) {
+	c := NewChecker(streamPFDs())
+	if vs := c.CheckNext(map[string]string{"zip": "ABCDE", "city": "Nowhere"}); len(vs) != 0 {
+		t.Errorf("non-matching tuple flagged: %+v", vs)
+	}
+	if c.Rows() != 1 {
+		t.Errorf("Rows = %d", c.Rows())
+	}
+}
+
+// TestQuickCheckerAgreesWithBatch streams random tables through the
+// checker and cross-checks completeness against the batch detector:
+// every batch violation whose group has a strict final majority must
+// surface in the stream — either the dirty tuple was flagged on arrival
+// (the majority already existed) or a retroactive signal fired when a
+// later tuple tipped the majority. (The converse does not hold: a
+// transient mid-stream majority may blame a tuple the final tie
+// forgives; streaming has no hindsight.)
+func TestQuickCheckerAgreesWithBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	variable := MustNew("T", []string{"a"}, "b", Row{
+		LHS: []Cell{Pat(pattern.MustParse(`(\D{2})\D`))},
+		RHS: Wildcard(),
+	})
+	f := func() bool {
+		tb := relation.New("T", "a", "b")
+		n := 5 + r.Intn(15)
+		for i := 0; i < n; i++ {
+			prefix := []string{"111", "222"}[r.Intn(2)]
+			label := []string{"x", "x", "x", "y"}[r.Intn(4)]
+			tb.Append(prefix, label)
+		}
+		batch := variable.Violations(tb)
+		batchRows := map[int]bool{}
+		for _, v := range batch {
+			if v.HasConsensus {
+				batchRows[v.ErrorCell.Row] = true
+			}
+		}
+		c := NewChecker([]*PFD{variable})
+		streamed := map[int]bool{}
+		retro := 0
+		for i := 0; i < n; i++ {
+			vs := c.CheckNext(map[string]string{"a": tb.Value(i, "a"), "b": tb.Value(i, "b")})
+			for _, v := range vs {
+				if v.NewTuple {
+					streamed[v.Cell.Row] = true
+				} else {
+					retro++
+				}
+			}
+		}
+		// Completeness: every batch-consensus error row is either
+		// stream-flagged directly or covered by a retroactive signal.
+		for row := range batchRows {
+			if !streamed[row] && retro == 0 {
+				t.Logf("batch error row %d escaped the stream (batch=%v stream=%v)", row, batchRows, streamed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+package pfd
+
+import (
+	"strings"
+	"testing"
+
+	"pfd/internal/pattern"
+	"pfd/internal/relation"
+)
+
+// nameTable is Table 1 of the paper (D1: Name), with the seeded error
+// r4[gender] = M (should be F). Rows here are 0-based: r4 is row 3.
+func nameTable() *relation.Table {
+	t := relation.New("Name", "name", "gender")
+	t.Append("John Charles", "M")
+	t.Append("John Bosco", "M")
+	t.Append("Susan Orlean", "F")
+	t.Append("Susan Boyle", "M") // erroneous: should be F
+	return t
+}
+
+// zipTable is Table 2 of the paper (D2: Zip), with the seeded error
+// s4[city] = New York (should be Los Angeles).
+func zipTable() *relation.Table {
+	t := relation.New("Zip", "zip", "city")
+	t.Append("90001", "Los Angeles")
+	t.Append("90002", "Los Angeles")
+	t.Append("90003", "Los Angeles")
+	t.Append("90004", "New York") // erroneous
+	return t
+}
+
+// psi1 is ψ1 of Figure 2: constant first-name rows John -> M, Susan -> F.
+func psi1() *PFD {
+	return MustNew("Name", []string{"name"}, "gender",
+		Row{LHS: []Cell{Pat(pattern.MustParse(`(John\ )\A*`))}, RHS: Pat(pattern.Constant("M"))},
+		Row{LHS: []Cell{Pat(pattern.MustParse(`(Susan\ )\A*`))}, RHS: Pat(pattern.Constant("F"))},
+	)
+}
+
+// psi2 is ψ2 of Figure 2: variable first-name row with wildcard RHS (λ4).
+func psi2() *PFD {
+	return MustNew("Name", []string{"name"}, "gender",
+		Row{LHS: []Cell{Pat(pattern.MustParse(`(\LU\LL*\ )\A*`))}, RHS: Wildcard()},
+	)
+}
+
+// psi3 is ψ3 of Figure 2: 900\D{2} -> Los Angeles (λ3).
+func psi3() *PFD {
+	return MustNew("Zip", []string{"zip"}, "city",
+		Row{LHS: []Cell{Pat(pattern.MustParse(`(900)\D{2}`))}, RHS: Pat(pattern.Constant("Los Angeles"))},
+	)
+}
+
+// psi4 is ψ4 of Figure 2: (\D{3})\D{2} -> ⊥ (λ5).
+func psi4() *PFD {
+	return MustNew("Zip", []string{"zip"}, "city",
+		Row{LHS: []Cell{Pat(pattern.MustParse(`(\D{3})\D{2}`))}, RHS: Wildcard()},
+	)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("R", nil, "b"); err == nil {
+		t.Error("empty LHS must fail")
+	}
+	if _, err := New("R", []string{"a"}, "a"); err == nil {
+		t.Error("trivial PFD must fail")
+	}
+	if _, err := New("R", []string{"a"}, "b", Row{LHS: []Cell{Wildcard(), Wildcard()}}); err == nil {
+		t.Error("wrong tableau arity must fail")
+	}
+}
+
+func TestSingleTupleViolation(t *testing.T) {
+	// Example 6: r1 |= ψ1 but r4 violates ψ1 (first name Susan, gender M).
+	tb := nameTable()
+	vs := psi1().Violations(tb)
+	if len(vs) != 1 {
+		t.Fatalf("ψ1 violations = %d, want 1: %+v", len(vs), vs)
+	}
+	v := vs[0]
+	if v.ErrorCell != (relation.Cell{Row: 3, Col: "gender"}) {
+		t.Errorf("ErrorCell = %v, want r3[gender]", v.ErrorCell)
+	}
+	if !v.HasConsensus || v.Expected != "F" {
+		t.Errorf("expected consensus F, got %+v", v)
+	}
+	if v.TableauRow != 1 {
+		t.Errorf("TableauRow = %d, want 1 (the Susan row)", v.TableauRow)
+	}
+}
+
+func TestPairViolation(t *testing.T) {
+	// Example 6: (r3, r4) violate ψ2 — same first name Susan, genders F/M.
+	tb := nameTable()
+	vs := psi2().Violations(tb)
+	if len(vs) == 0 {
+		t.Fatal("ψ2 must be violated")
+	}
+	// Susan group has spans {F:1, M:1} — a tie, so no consensus repair.
+	for _, v := range vs {
+		if v.HasConsensus {
+			t.Errorf("tie group must have no consensus: %+v", v)
+		}
+	}
+	if psi2().Satisfied(tb) {
+		t.Error("Satisfied must be false")
+	}
+	// Removing the error satisfies ψ2.
+	tb.Rows[3][1] = "F"
+	if !psi2().Satisfied(tb) {
+		t.Error("clean table must satisfy ψ2")
+	}
+}
+
+func TestZipViolations(t *testing.T) {
+	tb := zipTable()
+	// Constant PFD ψ3 detects s4 directly.
+	vs := psi3().Violations(tb)
+	if len(vs) != 1 || vs[0].ErrorCell != (relation.Cell{Row: 3, Col: "city"}) {
+		t.Fatalf("ψ3 violations = %+v", vs)
+	}
+	if vs[0].Expected != "Los Angeles" {
+		t.Errorf("Expected = %q", vs[0].Expected)
+	}
+	// Variable PFD ψ4 detects s4 via majority (3 LA vs 1 NY).
+	vs = psi4().Violations(tb)
+	if len(vs) != 1 {
+		t.Fatalf("ψ4 violations = %+v", vs)
+	}
+	v := vs[0]
+	if v.ErrorCell != (relation.Cell{Row: 3, Col: "city"}) || !v.HasConsensus || v.Expected != "Los Angeles" {
+		t.Errorf("ψ4 violation = %+v", v)
+	}
+	if v.WitnessRow < 0 || v.WitnessRow > 2 {
+		t.Errorf("WitnessRow = %d", v.WitnessRow)
+	}
+	// A pair violation involves four cells (both tuples, both columns).
+	if len(v.Cells) != 4 {
+		t.Errorf("violation cells = %v, want 4", v.Cells)
+	}
+}
+
+func TestNoRedundancyNoPairViolation(t *testing.T) {
+	// ψ2 cannot fire without a second Susan (the paper's first notable
+	// case after Example 6), while ψ1 still can.
+	tb := relation.New("Name", "name", "gender")
+	tb.Append("John Charles", "M")
+	tb.Append("Susan Boyle", "M") // wrong, but no redundant partner
+	if n := len(psi2().Violations(tb)); n != 0 {
+		t.Errorf("ψ2 violations = %d, want 0 (no redundancy)", n)
+	}
+	if n := len(psi1().Violations(tb)); n != 1 {
+		t.Errorf("ψ1 violations = %d, want 1 (constant rows fire alone)", n)
+	}
+}
+
+func TestConstantLHSNonMatchingRHSPattern(t *testing.T) {
+	// Constant LHS with a non-constant RHS pattern: format violations
+	// fire on single tuples.
+	p := MustNew("Zip", []string{"zip"}, "city",
+		Row{LHS: []Cell{Pat(pattern.MustParse(`(900)\D{2}`))}, RHS: Pat(pattern.MustParse(`\LU\A*`))},
+	)
+	tb := relation.New("Zip", "zip", "city")
+	tb.Append("90001", "los angeles") // lowercase violates \LU\A*
+	vs := p.Violations(tb)
+	if len(vs) != 1 || vs[0].ErrorCell != (relation.Cell{Row: 0, Col: "city"}) {
+		t.Fatalf("format violations = %+v", vs)
+	}
+}
+
+func TestMultiAttributeLHS(t *testing.T) {
+	// Example 8's λ1: [name = (Tayseer\ )\A*, country = Egypt] -> F.
+	p := MustNew("T", []string{"name", "country"}, "gender",
+		Row{
+			LHS: []Cell{
+				Pat(pattern.MustParse(`(Tayseer\ )\A*`)),
+				Pat(pattern.Constant("Egypt")),
+			},
+			RHS: Pat(pattern.Constant("F")),
+		},
+	)
+	tb := relation.New("T", "name", "country", "gender")
+	tb.Append("Tayseer Fahmi", "Egypt", "F")
+	tb.Append("Tayseer Qasem", "Yemen", "M") // different country: no match
+	tb.Append("Tayseer Salem", "Egypt", "M") // violation
+	vs := p.Violations(tb)
+	if len(vs) != 1 || vs[0].ErrorCell != (relation.Cell{Row: 2, Col: "gender"}) {
+		t.Fatalf("multi-LHS violations = %+v", vs)
+	}
+}
+
+func TestCellBehaviour(t *testing.T) {
+	w := Wildcard()
+	if !w.Match("anything") {
+		t.Error("wildcard must match anything")
+	}
+	if s, ok := w.Span("v"); !ok || s != "v" {
+		t.Error("wildcard span must be the whole value")
+	}
+	if !w.Equivalent("a", "a") || w.Equivalent("a", "b") {
+		t.Error("wildcard equivalence must be equality")
+	}
+	if _, ok := w.Constant(); ok {
+		t.Error("wildcard must not be constant")
+	}
+	if w.String() != "_" {
+		t.Errorf("wildcard renders %q", w.String())
+	}
+	c := Pat(pattern.MustParse(`(900)\D{2}`))
+	if s, ok := c.Constant(); !ok || s != "900" {
+		t.Errorf("constant span = %q, %v", s, ok)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := psi3().String()
+	if !strings.Contains(s, "zip = (900)") || !strings.Contains(s, "-> [city = ") {
+		t.Errorf("String = %q", s)
+	}
+	empty := MustNew("R", []string{"a"}, "b")
+	if !strings.Contains(empty.String(), "Tp=∅") {
+		t.Errorf("empty tableau renders %q", empty.String())
+	}
+	if got := psi1().Embedded(); got != "[name] -> [gender]" {
+		t.Errorf("Embedded = %q", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	tb := nameTable()
+	p := psi1()
+	cov := Coverage(tb.NumRows(), len(p.Tableau), func(ri, id int) bool {
+		return p.MatchesLHS(tb, ri, id)
+	})
+	if cov != 4 {
+		t.Errorf("coverage = %d, want 4 (every row is a John or Susan)", cov)
+	}
+}

@@ -1,0 +1,169 @@
+package pfd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pfd/internal/pattern"
+	"pfd/internal/relation"
+)
+
+// naiveSatisfied is a direct transcription of the Section 2.2 semantics,
+// quadratic over tuple pairs, used as an oracle for the grouped
+// implementation in satisfy.go.
+func naiveSatisfied(p *PFD, t *relation.Table) bool {
+	for _, row := range p.Tableau {
+		constant := row.ConstantLHS()
+		// Single-tuple semantics for constant rows.
+		if constant {
+			for id := range t.Rows {
+				if !naiveMatchLHS(p, row, t, id) {
+					continue
+				}
+				if !row.RHS.Match(t.Value(id, p.RHS)) {
+					return false
+				}
+			}
+		}
+		// Pair semantics.
+		for i := range t.Rows {
+			for j := range t.Rows {
+				if i == j {
+					continue
+				}
+				if !naiveMatchLHS(p, row, t, i) || !naiveMatchLHS(p, row, t, j) {
+					continue
+				}
+				equiv := true
+				for k, a := range p.LHS {
+					if !row.LHS[k].Equivalent(t.Value(i, a), t.Value(j, a)) {
+						equiv = false
+						break
+					}
+				}
+				if !equiv {
+					continue
+				}
+				vi, vj := t.Value(i, p.RHS), t.Value(j, p.RHS)
+				if !row.RHS.Match(vi) || !row.RHS.Match(vj) || !row.RHS.Equivalent(vi, vj) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func naiveMatchLHS(p *PFD, row Row, t *relation.Table, id int) bool {
+	for k, a := range p.LHS {
+		if !row.LHS[k].Match(t.Value(id, a)) {
+			return false
+		}
+	}
+	return true
+}
+
+// randomPFDTable builds a random small table and a random PFD over it.
+func randomPFDTable(r *rand.Rand) (*PFD, *relation.Table) {
+	t := relation.New("T", "a", "b")
+	zips := []string{"90001", "90002", "60601", "60602", "10001", "XYZ"}
+	cities := []string{"LA", "CHI", "NY", "LA"}
+	n := 2 + r.Intn(8)
+	for i := 0; i < n; i++ {
+		t.Append(zips[r.Intn(len(zips))], cities[r.Intn(len(cities))])
+	}
+	pats := []string{`(\D{3})\D{2}`, `(900)\D{2}`, `(\D{2})\D*`, `(\A+)`}
+	var rows []Row
+	for k := 0; k < 1+r.Intn(2); k++ {
+		lhs := Pat(pattern.MustParse(pats[r.Intn(len(pats))]))
+		var rhs Cell
+		switch r.Intn(3) {
+		case 0:
+			rhs = Wildcard()
+		case 1:
+			rhs = Pat(pattern.Constant(cities[r.Intn(len(cities))]))
+		default:
+			rhs = Pat(pattern.MustParse(`(\LU+)`))
+		}
+		rows = append(rows, Row{LHS: []Cell{lhs}, RHS: rhs})
+	}
+	return MustNew("T", []string{"a"}, "b", rows...), t
+}
+
+func TestQuickSatisfiedMatchesNaiveOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	f := func() bool {
+		p, tb := randomPFDTable(r)
+		fast := p.Satisfied(tb)
+		slow := naiveSatisfied(p, tb)
+		if fast != slow {
+			t.Logf("mismatch: fast=%v slow=%v pfd=%s table=%v", fast, slow, p, tb.Rows)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickViolationCellsAreOnRHS(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	f := func() bool {
+		p, tb := randomPFDTable(r)
+		for _, v := range p.Violations(tb) {
+			if v.ErrorCell.Col != p.RHS {
+				return false
+			}
+			if v.ErrorCell.Row < 0 || v.ErrorCell.Row >= tb.NumRows() {
+				return false
+			}
+			if v.WitnessRow >= tb.NumRows() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickConsensusRepairResolvesViolation(t *testing.T) {
+	// Rewriting the flagged cell to the witness's value must strictly
+	// reduce (or at least not increase) the violation count.
+	r := rand.New(rand.NewSource(33))
+	f := func() bool {
+		p, tb := randomPFDTable(r)
+		vs := p.Violations(tb)
+		for _, v := range vs {
+			if !v.HasConsensus || v.WitnessRow < 0 {
+				continue
+			}
+			fixed := tb.Clone()
+			fixed.Rows[v.ErrorCell.Row][fixed.MustCol(p.RHS)] = fixed.Value(v.WitnessRow, p.RHS)
+			if len(p.Violations(fixed)) > len(vs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(34))
+	f := func() bool {
+		p, _ := randomPFDTable(r)
+		_ = p.String()
+		_ = fmt.Sprintf("%v", p.Embedded())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+package pfd
+
+import (
+	"sort"
+	"strings"
+
+	"pfd/internal/relation"
+)
+
+// A Violation reports one breach of a PFD on a table, in terms of the
+// cells involved — the paper's Example 2 reports the four cells
+// (r3[name], r3[gender], r4[name], r4[gender]) for a pair violation, and
+// the offending tuple's cells for a single-tuple violation.
+type Violation struct {
+	// TableauRow indexes the tableau tuple that fired.
+	TableauRow int
+	// ErrorCell is the most likely erroneous cell (the minority RHS).
+	ErrorCell relation.Cell
+	// Cells are all cells participating in the violation.
+	Cells []relation.Cell
+	// Expected is the consensus RHS span the erroneous tuple deviated
+	// from ("" when no strict majority exists).
+	Expected string
+	// HasConsensus reports whether a strict majority existed in the
+	// violating group; repairs are only proposed when it does.
+	HasConsensus bool
+	// WitnessRow is a tuple agreeing with the consensus (-1 for
+	// single-tuple violations of constant rows).
+	WitnessRow int
+}
+
+// lhsKey computes the joint equivalence key of tuple id under row's LHS
+// cells; ok is false when any LHS value fails to match its cell.
+func (p *PFD) lhsKey(t *relation.Table, row Row, id int) (string, bool) {
+	var b strings.Builder
+	for j, a := range p.LHS {
+		v := t.Value(id, a)
+		span, ok := row.LHS[j].Span(v)
+		if !ok {
+			return "", false
+		}
+		b.WriteString(span)
+		b.WriteByte('\x00') // unambiguous separator
+	}
+	return b.String(), true
+}
+
+// MatchesLHS reports whether table row id matches every LHS cell of
+// tableau row ri.
+func (p *PFD) MatchesLHS(t *relation.Table, ri, id int) bool {
+	_, ok := p.lhsKey(t, p.Tableau[ri], id)
+	return ok
+}
+
+// Satisfied reports T |= ψ per Section 2.2: for every tableau row, any two
+// matching tuples with equivalent LHS spans must match the RHS cell and
+// have equivalent RHS spans; rows with all-constant LHS additionally fire
+// on single tuples.
+func (p *PFD) Satisfied(t *relation.Table) bool {
+	return len(p.Violations(t)) == 0
+}
+
+// Violations enumerates all violations of the PFD on t.
+//
+// The check runs in O(|T|) per tableau row by grouping tuples on their
+// joint LHS equivalence key instead of enumerating pairs: two tuples
+// violate iff they share a group and their RHS spans differ (or fail to
+// match the RHS cell). Within a violating group the strict-majority span,
+// when one exists, is taken as the consensus and each deviating tuple
+// yields one Violation whose ErrorCell is its RHS cell.
+func (p *PFD) Violations(t *relation.Table) []Violation {
+	var out []Violation
+	for ri, row := range p.Tableau {
+		constant := row.ConstantLHS()
+		groups := map[string][]int{}
+		for id := range t.Rows {
+			key, ok := p.lhsKey(t, row, id)
+			if !ok {
+				continue
+			}
+			groups[key] = append(groups[key], id)
+		}
+		keys := make([]string, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			ids := groups[k]
+			out = append(out, p.groupViolations(t, ri, row, ids, constant)...)
+		}
+	}
+	return out
+}
+
+// groupViolations checks one LHS-equivalence group.
+// spanInfo groups the tuple ids sharing one RHS span.
+type spanInfo struct {
+	ids []int
+}
+
+func (p *PFD) groupViolations(t *relation.Table, ri int, row Row, ids []int, constant bool) []Violation {
+	var out []Violation
+	spans := map[string]*spanInfo{}
+	var nonMatching []int
+	for _, id := range ids {
+		v := t.Value(id, p.RHS)
+		if !row.RHS.Match(v) {
+			nonMatching = append(nonMatching, id)
+			continue
+		}
+		span, _ := row.RHS.Span(v)
+		si := spans[span]
+		if si == nil {
+			si = &spanInfo{}
+			spans[span] = si
+		}
+		si.ids = append(si.ids, id)
+	}
+
+	// Constant-LHS rows fire on single tuples: a non-matching RHS is a
+	// violation even with no second tuple (Example 6, "r4 violates ψ1").
+	if constant {
+		for _, id := range nonMatching {
+			out = append(out, Violation{
+				TableauRow:   ri,
+				ErrorCell:    relation.Cell{Row: id, Col: p.RHS},
+				Cells:        p.tupleCells(id),
+				Expected:     p.constantExpectation(row),
+				HasConsensus: p.constantExpectation(row) != "",
+				WitnessRow:   -1,
+			})
+		}
+	} else {
+		// Variable rows need a matching partner to witness the breach.
+		for _, id := range nonMatching {
+			if len(ids) < 2 {
+				continue
+			}
+			w := witnessOther(ids, id)
+			out = append(out, Violation{
+				TableauRow: ri,
+				ErrorCell:  relation.Cell{Row: id, Col: p.RHS},
+				Cells:      append(p.tupleCells(id), p.tupleCells(w)...),
+				WitnessRow: w,
+			})
+		}
+	}
+
+	if len(spans) <= 1 {
+		return out
+	}
+	// Conflicting spans within one equivalence group: every pair across
+	// different spans violates. Report the minority tuples against the
+	// strict-majority consensus when one exists.
+	consensus, consensusIDs, ok := strictMajority(spans)
+	ordered := make([]string, 0, len(spans))
+	for s := range spans {
+		ordered = append(ordered, s)
+	}
+	sort.Strings(ordered)
+	for _, s := range ordered {
+		if ok && s == consensus {
+			continue
+		}
+		for _, id := range spans[s].ids {
+			v := Violation{
+				TableauRow:   ri,
+				ErrorCell:    relation.Cell{Row: id, Col: p.RHS},
+				Expected:     consensus,
+				HasConsensus: ok,
+				WitnessRow:   -1,
+			}
+			if ok {
+				v.WitnessRow = consensusIDs[0]
+				v.Cells = append(p.tupleCells(id), p.tupleCells(v.WitnessRow)...)
+			} else {
+				v.Cells = p.tupleCells(id)
+			}
+			out = append(out, v)
+		}
+	}
+	if !ok {
+		// No majority: flag every tuple in the group once (tie groups are
+		// reported but carry no repair).
+		return out
+	}
+	return out
+}
+
+// constantExpectation returns the RHS constant when the row pins it.
+func (p *PFD) constantExpectation(row Row) string {
+	if c, ok := row.RHS.Constant(); ok {
+		return c
+	}
+	return ""
+}
+
+// tupleCells lists the LHS and RHS cells of tuple id, as the paper counts
+// violation cells.
+func (p *PFD) tupleCells(id int) []relation.Cell {
+	out := make([]relation.Cell, 0, len(p.LHS)+1)
+	for _, a := range p.LHS {
+		out = append(out, relation.Cell{Row: id, Col: a})
+	}
+	out = append(out, relation.Cell{Row: id, Col: p.RHS})
+	return out
+}
+
+// strictMajority returns the span held by more than half the group.
+func strictMajority(spans map[string]*spanInfo) (string, []int, bool) {
+	total := 0
+	for _, si := range spans {
+		total += len(si.ids)
+	}
+	for s, si := range spans {
+		if 2*len(si.ids) > total {
+			return s, si.ids, true
+		}
+	}
+	return "", nil, false
+}
+
+func witnessOther(ids []int, not int) int {
+	for _, id := range ids {
+		if id != not {
+			return id
+		}
+	}
+	return -1
+}

@@ -1,0 +1,201 @@
+package relation
+
+import (
+	"strings"
+	"unicode"
+)
+
+// ExtractMode says how partial patterns are extracted from a column's
+// values — the Tokenize-or-NGrams decision of Figure 4, lines 2-3.
+type ExtractMode uint8
+
+const (
+	// ModeTokenize splits values at special-character signals (§4.2,
+	// restriction i) such as spaces, dashes and commas.
+	ModeTokenize ExtractMode = iota
+	// ModeNGrams enumerates all n-grams up to the longest value length.
+	ModeNGrams
+)
+
+func (m ExtractMode) String() string {
+	if m == ModeTokenize {
+		return "tokenize"
+	}
+	return "ngrams"
+}
+
+// ColumnProfile summarizes one column for the discovery algorithm's
+// profiling step (Figure 4, line 1, and the §5.4 numeric-code heuristic).
+type ColumnProfile struct {
+	Name string
+	Mode ExtractMode
+
+	// Quantitative columns (pure measurements/counts) are pruned: PFDs are
+	// defined on qualitative values only (Section 2.1, Remark).
+	Quantitative bool
+
+	// Code reports a numeric column kept because it looks like an
+	// identifier (zip, phone): digit strings of few distinct lengths.
+	Code bool
+
+	Distinct  int
+	MaxRunes  int
+	Separator rune // dominant separator when Mode == ModeTokenize
+}
+
+// Separators are the special characters treated as tokenization signals.
+const Separators = " -_,/.;:()&"
+
+// IsSeparator reports whether r is a tokenization signal.
+func IsSeparator(r rune) bool { return strings.ContainsRune(Separators, r) }
+
+// ProfileColumn inspects the values of one column and decides whether it
+// can carry PFDs and how to extract its partial patterns.
+func ProfileColumn(name string, values []string) ColumnProfile {
+	p := ColumnProfile{Name: name}
+	distinct := make(map[string]struct{}, len(values))
+	lengths := make(map[int]int)
+	numeric, nonEmpty := 0, 0
+	sepCount := map[rune]int{}
+	for _, v := range values {
+		if v == "" {
+			continue
+		}
+		nonEmpty++
+		distinct[v] = struct{}{}
+		if n := len([]rune(v)); n > p.MaxRunes {
+			p.MaxRunes = n
+		}
+		if isNumeric(v) {
+			numeric++
+			lengths[len(v)]++
+		}
+		seen := map[rune]bool{}
+		for _, r := range v {
+			if IsSeparator(r) && !seen[r] {
+				sepCount[r]++
+				seen[r] = true
+			}
+		}
+	}
+	p.Distinct = len(distinct)
+	if nonEmpty == 0 {
+		p.Quantitative = false
+		p.Mode = ModeNGrams
+		return p
+	}
+
+	if numeric == nonEmpty {
+		// All-numeric column: keep it only when it looks like a code
+		// (§5.4): values have at most two distinct lengths, like 5- or
+		// 9-digit zips and 10-digit phones.
+		if len(lengths) <= 2 && dominantLength(lengths) >= 3 {
+			p.Code = true
+		} else {
+			p.Quantitative = true
+		}
+	}
+
+	// Tokenize when a separator appears in at least half the values;
+	// otherwise enumerate n-grams.
+	best, bestN := rune(0), 0
+	for r, n := range sepCount {
+		if n > bestN || (n == bestN && r < best) {
+			best, bestN = r, n
+		}
+	}
+	if bestN*2 >= nonEmpty && bestN > 0 && !p.Code {
+		p.Mode = ModeTokenize
+		p.Separator = best
+	} else {
+		p.Mode = ModeNGrams
+	}
+	return p
+}
+
+// ProfileTable profiles every column of t.
+func ProfileTable(t *Table) []ColumnProfile {
+	out := make([]ColumnProfile, len(t.Cols))
+	for i, c := range t.Cols {
+		out[i] = ProfileColumn(c, t.Column(c))
+	}
+	return out
+}
+
+// isNumeric reports whether s is a non-empty digit string, optionally with
+// a leading sign or one decimal point.
+func isNumeric(s string) bool {
+	digits := 0
+	dot := false
+	for i, r := range s {
+		switch {
+		case unicode.IsDigit(r):
+			digits++
+		case (r == '-' || r == '+') && i == 0:
+		case r == '.' && !dot:
+			dot = true
+		default:
+			return false
+		}
+	}
+	return digits > 0
+}
+
+// dominantLength returns the most frequent value length.
+func dominantLength(lengths map[int]int) int {
+	best, bestN := 0, 0
+	for l, n := range lengths {
+		if n > bestN {
+			best, bestN = l, n
+		}
+	}
+	return best
+}
+
+// Tokenize splits v at separator runes, returning the tokens and the rune
+// offset of each token within v. Separators themselves are dropped; they
+// act as boundaries only.
+func Tokenize(v string) (tokens []string, offsets []int) {
+	rs := []rune(v)
+	start := -1
+	for i, r := range rs {
+		if IsSeparator(r) {
+			if start >= 0 {
+				tokens = append(tokens, string(rs[start:i]))
+				offsets = append(offsets, start)
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		tokens = append(tokens, string(rs[start:]))
+		offsets = append(offsets, start)
+	}
+	return tokens, offsets
+}
+
+// NGrams enumerates the prefix n-grams of v used by the discovery index:
+// substrings starting at position 0 of every length 1..len(v), plus the
+// full value. The paper's Example 8 shows that non-anchored grams of a
+// value co-occur with the anchored ones and are pruned anyway, so the
+// index only materializes position-0 grams plus whole-value grams, which
+// is what the substring-pruning optimization (§4.4) leaves alive.
+func NGrams(v string, maxLen int) []string {
+	rs := []rune(v)
+	n := len(rs)
+	if n == 0 {
+		return nil
+	}
+	if maxLen <= 0 || maxLen > n {
+		maxLen = n
+	}
+	out := make([]string, 0, maxLen)
+	for l := 1; l <= maxLen; l++ {
+		out = append(out, string(rs[:l]))
+	}
+	return out
+}

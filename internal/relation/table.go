@@ -1,0 +1,169 @@
+// Package relation provides the relational substrate the paper's
+// algorithms run on: string-typed tables with named columns, CSV I/O,
+// cell addressing, and the column profiling of Sections 4.3 and 5.4
+// (quantitative-column pruning, code detection, tokenizer selection).
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// A Table is a named relation instance: a header of column names and rows
+// of string cells. All attribute values are strings, as in the paper —
+// patterns operate on the textual representation.
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]string
+
+	colIdx map[string]int
+}
+
+// New creates an empty table with the given name and columns.
+func New(name string, cols ...string) *Table {
+	t := &Table{Name: name, Cols: append([]string(nil), cols...)}
+	t.reindex()
+	return t
+}
+
+func (t *Table) reindex() {
+	t.colIdx = make(map[string]int, len(t.Cols))
+	for i, c := range t.Cols {
+		t.colIdx[c] = i
+	}
+}
+
+// Append adds a row. It panics if the arity is wrong, which is always a
+// programming error in this codebase.
+func (t *Table) Append(row ...string) {
+	if len(row) != len(t.Cols) {
+		panic(fmt.Sprintf("relation: row arity %d != %d columns", len(row), len(t.Cols)))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols returns the number of attributes.
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// Col returns the index of the named column, or -1.
+func (t *Table) Col(name string) int {
+	if t.colIdx == nil {
+		t.reindex()
+	}
+	if i, ok := t.colIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustCol is Col but panics on unknown names.
+func (t *Table) MustCol(name string) int {
+	i := t.Col(name)
+	if i < 0 {
+		panic(fmt.Sprintf("relation: no column %q in table %q", name, t.Name))
+	}
+	return i
+}
+
+// Value returns the cell at (row, named column).
+func (t *Table) Value(row int, col string) string {
+	return t.Rows[row][t.MustCol(col)]
+}
+
+// Column returns a copy of all values of the named column.
+func (t *Table) Column(name string) []string {
+	i := t.MustCol(name)
+	out := make([]string, len(t.Rows))
+	for r, row := range t.Rows {
+		out[r] = row[i]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := New(t.Name, t.Cols...)
+	c.Rows = make([][]string, len(t.Rows))
+	for i, row := range t.Rows {
+		c.Rows[i] = append([]string(nil), row...)
+	}
+	return c
+}
+
+// Project returns a new table containing only the given columns, in order.
+func (t *Table) Project(cols ...string) *Table {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = t.MustCol(c)
+	}
+	p := New(t.Name, cols...)
+	for _, row := range t.Rows {
+		nr := make([]string, len(idx))
+		for i, j := range idx {
+			nr[i] = row[j]
+		}
+		p.Rows = append(p.Rows, nr)
+	}
+	return p
+}
+
+// A Cell addresses one value of the table, for violation reporting.
+type Cell struct {
+	Row int
+	Col string
+}
+
+// String renders the cell like "r4[gender]", matching the paper's notation.
+func (c Cell) String() string { return fmt.Sprintf("r%d[%s]", c.Row, c.Col) }
+
+// SortCells orders cells by row then column for deterministic output.
+func SortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].Row != cells[j].Row {
+			return cells[i].Row < cells[j].Row
+		}
+		return cells[i].Col < cells[j].Col
+	})
+}
+
+// ReadCSV loads a table from CSV with a header line.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading csv for %q: %w", name, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("relation: csv for %q has no header", name)
+	}
+	t := New(name, recs[0]...)
+	for i, rec := range recs[1:] {
+		if len(rec) != len(t.Cols) {
+			return nil, fmt.Errorf("relation: csv row %d has %d fields, want %d", i+2, len(rec), len(t.Cols))
+		}
+		t.Rows = append(t.Rows, rec)
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table as CSV with a header line.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Cols); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,147 @@
+// Package repair implements the error-detection and explainable-repair
+// workflow of Section 5.3: validated PFDs are applied to a table, each
+// violation pinpoints an erroneous cell, and — because PFD semantics pin
+// the expected RHS — every detection comes with a proposed fix that can be
+// explained by the violated constraint (the paper's "automatic and
+// explainable repairs", §4.5).
+package repair
+
+import (
+	"sort"
+
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+)
+
+// A Finding is one detected cell error with its proposed repair.
+type Finding struct {
+	Cell relation.Cell
+	// Observed is the current (suspect) value.
+	Observed string
+	// Proposed is the repair ("" when the PFD only pins the constrained
+	// span, not the full value).
+	Proposed string
+	// Expected is the consensus constrained span the cell deviates from.
+	Expected string
+	// By is the PFD that fired, for explainability.
+	By *pfd.PFD
+	// TableauRow indexes the violated tableau row of By.
+	TableauRow int
+}
+
+// Detect applies every PFD to the table and returns one finding per
+// distinct erroneous cell (multiple PFDs or tableau rows flagging the same
+// cell are deduplicated, keeping the finding with a concrete repair when
+// one exists). Violations without a consensus (tied groups) are skipped:
+// with no majority there is no defensible repair, matching the paper's
+// requirement of a predefined support for the PFD to apply.
+func Detect(t *relation.Table, pfds []*pfd.PFD) []Finding {
+	byCell := map[relation.Cell]Finding{}
+	for _, p := range pfds {
+		for _, v := range p.Violations(t) {
+			if !v.HasConsensus {
+				continue
+			}
+			f := Finding{
+				Cell:       v.ErrorCell,
+				Observed:   t.Value(v.ErrorCell.Row, v.ErrorCell.Col),
+				Expected:   v.Expected,
+				By:         p,
+				TableauRow: v.TableauRow,
+			}
+			f.Proposed = proposeRepair(t, p, v)
+			if prev, ok := byCell[f.Cell]; ok && (prev.Proposed != "" || f.Proposed == "") {
+				continue
+			}
+			byCell[f.Cell] = f
+		}
+	}
+	out := make([]Finding, 0, len(byCell))
+	for _, f := range byCell {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cell.Row != out[j].Cell.Row {
+			return out[i].Cell.Row < out[j].Cell.Row
+		}
+		return out[i].Cell.Col < out[j].Cell.Col
+	})
+	return out
+}
+
+// proposeRepair derives the full replacement value for a violation.
+//
+//   - If the violated tableau row's RHS cell is a whole-value constant,
+//     the repair is that constant (ψ1-style: gender must be F).
+//   - Otherwise, when a witness tuple from the consensus group exists and
+//     the RHS cell compares whole values (wildcard), the repair copies the
+//     witness's value (ψ4-style: city must equal Los Angeles).
+//   - Otherwise only the constrained span is pinned and no full-value
+//     repair is proposed.
+func proposeRepair(t *relation.Table, p *pfd.PFD, v pfd.Violation) string {
+	row := p.Tableau[v.TableauRow]
+	if c, ok := row.RHS.Constant(); ok && row.RHS.Pattern != nil && row.RHS.Pattern.FullyConstrained() {
+		return c
+	}
+	if v.WitnessRow >= 0 {
+		if row.RHS.IsWildcard() {
+			return t.Value(v.WitnessRow, p.RHS)
+		}
+		// Pattern RHS: repair only when the witness's whole value equals
+		// the expected span extension... the safe subset: span == value.
+		wv := t.Value(v.WitnessRow, p.RHS)
+		if span, ok := row.RHS.Span(wv); ok && span == wv {
+			return wv
+		}
+	}
+	if v.Expected != "" && v.WitnessRow < 0 && row.RHS.IsWildcard() {
+		return v.Expected
+	}
+	return ""
+}
+
+// Apply writes the proposed repairs into a copy of the table and returns
+// it along with the number of cells changed. Findings without a proposal
+// are left untouched.
+func Apply(t *relation.Table, findings []Finding) (*relation.Table, int) {
+	out := t.Clone()
+	n := 0
+	for _, f := range findings {
+		if f.Proposed == "" || f.Proposed == f.Observed {
+			continue
+		}
+		out.Rows[f.Cell.Row][out.MustCol(f.Cell.Col)] = f.Proposed
+		n++
+	}
+	return out, n
+}
+
+// Score compares findings against ground-truth error cells, returning
+// detection precision and recall — the §5.3 measures. truth maps each
+// genuinely erroneous cell to its correct value ("" when unknown).
+func Score(findings []Finding, truth map[relation.Cell]string) (precision, recall float64, correctRepairs int) {
+	if len(findings) == 0 {
+		if len(truth) == 0 {
+			return 1, 1, 0
+		}
+		return 0, 0, 0
+	}
+	tp := 0
+	for _, f := range findings {
+		want, isErr := truth[f.Cell]
+		if !isErr {
+			continue
+		}
+		tp++
+		if f.Proposed != "" && f.Proposed == want {
+			correctRepairs++
+		}
+	}
+	precision = float64(tp) / float64(len(findings))
+	if len(truth) == 0 {
+		recall = 1
+	} else {
+		recall = float64(tp) / float64(len(truth))
+	}
+	return precision, recall, correctRepairs
+}

@@ -1,0 +1,121 @@
+package repair
+
+import (
+	"testing"
+
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+)
+
+func zipTable() *relation.Table {
+	t := relation.New("Zip", "zip", "city")
+	t.Append("90001", "Los Angeles")
+	t.Append("90002", "Los Angeles")
+	t.Append("90003", "Los Angeles")
+	t.Append("90004", "New York") // seeded error
+	return t
+}
+
+func constPFD() *pfd.PFD {
+	return pfd.MustNew("Zip", []string{"zip"}, "city",
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(900)\D{2}`))}, RHS: pfd.Pat(pattern.Constant("Los Angeles"))},
+	)
+}
+
+func varPFD() *pfd.PFD {
+	return pfd.MustNew("Zip", []string{"zip"}, "city",
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(\D{3})\D{2}`))}, RHS: pfd.Wildcard()},
+	)
+}
+
+func TestDetectConstant(t *testing.T) {
+	tb := zipTable()
+	fs := Detect(tb, []*pfd.PFD{constPFD()})
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v", fs)
+	}
+	f := fs[0]
+	if f.Cell != (relation.Cell{Row: 3, Col: "city"}) || f.Observed != "New York" {
+		t.Errorf("finding = %+v", f)
+	}
+	if f.Proposed != "Los Angeles" {
+		t.Errorf("Proposed = %q, want constant repair", f.Proposed)
+	}
+	if f.By == nil || f.TableauRow != 0 {
+		t.Errorf("explainability fields missing: %+v", f)
+	}
+}
+
+func TestDetectVariableUsesWitness(t *testing.T) {
+	tb := zipTable()
+	fs := Detect(tb, []*pfd.PFD{varPFD()})
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if fs[0].Proposed != "Los Angeles" {
+		t.Errorf("witness repair = %q", fs[0].Proposed)
+	}
+}
+
+func TestDetectDeduplicatesAcrossPFDs(t *testing.T) {
+	tb := zipTable()
+	fs := Detect(tb, []*pfd.PFD{constPFD(), varPFD()})
+	if len(fs) != 1 {
+		t.Errorf("same cell flagged %d times", len(fs))
+	}
+}
+
+func TestDetectSkipsTies(t *testing.T) {
+	tb := relation.New("Zip", "zip", "city")
+	tb.Append("90001", "Los Angeles")
+	tb.Append("90002", "San Diego") // 1-1 tie within prefix 900
+	fs := Detect(tb, []*pfd.PFD{varPFD()})
+	if len(fs) != 0 {
+		t.Errorf("tie group must yield no findings: %+v", fs)
+	}
+}
+
+func TestApply(t *testing.T) {
+	tb := zipTable()
+	fs := Detect(tb, []*pfd.PFD{constPFD()})
+	fixed, n := Apply(tb, fs)
+	if n != 1 {
+		t.Fatalf("applied %d repairs", n)
+	}
+	if fixed.Value(3, "city") != "Los Angeles" {
+		t.Error("repair not applied")
+	}
+	if tb.Value(3, "city") != "New York" {
+		t.Error("Apply must not mutate the input table")
+	}
+	if !constPFD().Satisfied(fixed) {
+		t.Error("repaired table must satisfy the PFD")
+	}
+}
+
+func TestScore(t *testing.T) {
+	tb := zipTable()
+	fs := Detect(tb, []*pfd.PFD{constPFD()})
+	truth := map[relation.Cell]string{
+		{Row: 3, Col: "city"}: "Los Angeles",
+	}
+	p, r, fixes := Score(fs, truth)
+	if p != 1 || r != 1 || fixes != 1 {
+		t.Errorf("score = %v %v %v", p, r, fixes)
+	}
+	// A spurious finding drops precision; a missed error drops recall.
+	truth[relation.Cell{Row: 0, Col: "zip"}] = "90009"
+	p, r, _ = Score(fs, truth)
+	if r != 0.5 || p != 1 {
+		t.Errorf("score with missed error = %v %v", p, r)
+	}
+	p, r, _ = Score(nil, truth)
+	if p != 0 || r != 0 {
+		t.Errorf("empty findings score = %v %v", p, r)
+	}
+	p, r, _ = Score(nil, nil)
+	if p != 1 || r != 1 {
+		t.Errorf("empty-empty score = %v %v", p, r)
+	}
+}

@@ -1,0 +1,204 @@
+// Package pfd is the public API of this reproduction of "Pattern
+// Functional Dependencies for Data Cleaning" (Qahtan, Tang, Ouzzani, Cao,
+// Stonebraker; PVLDB 13(5), 2020). It re-exports the pattern language,
+// the PFD constraint class, the discovery algorithm, PFD-based error
+// detection and repair, and the inference system, from the internal
+// packages that implement them.
+//
+// A minimal end-to-end use:
+//
+//	t, _ := pfd.ReadCSVFile("Zip", "zips.csv")
+//	res := pfd.Discover(t, pfd.DefaultParams())
+//	for _, dep := range res.Dependencies {
+//	    fmt.Println(dep.Embedded(), dep.PFD)
+//	}
+//	findings := pfd.Detect(t, res.PFDs())
+//	for _, f := range findings {
+//	    fmt.Printf("%s: %q should be %q\n", f.Cell, f.Observed, f.Proposed)
+//	}
+//
+// See examples/ for runnable programs and DESIGN.md for the map from
+// paper sections to packages.
+package pfd
+
+import (
+	"os"
+
+	"pfd/internal/discovery"
+	"pfd/internal/formatdetect"
+	"pfd/internal/inference"
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+	"pfd/internal/repair"
+)
+
+// Pattern is a constrained pattern of the restricted regex language
+// (Section 2.1): classes \A \LU \LL \D \S, quantifiers {N} + *, and one
+// optional constrained region written in parentheses, e.g. `(900)\D{2}`.
+type Pattern = pattern.Pattern
+
+// ParsePattern parses the textual pattern syntax.
+func ParsePattern(src string) (*Pattern, error) { return pattern.Parse(src) }
+
+// MustParsePattern is ParsePattern that panics on error.
+func MustParsePattern(src string) *Pattern { return pattern.MustParse(src) }
+
+// ConstantPattern builds a fully-constrained constant pattern matching
+// exactly s.
+func ConstantPattern(s string) *Pattern { return pattern.Constant(s) }
+
+// GeneralizeStrings returns the most specific pattern matching every
+// input, or nil when the inputs share no run structure.
+func GeneralizeStrings(ss []string) *Pattern { return pattern.GeneralizeStrings(ss) }
+
+// LangContains reports L(small) ⊆ L(big) for two patterns.
+func LangContains(big, small *Pattern) bool { return pattern.LangContains(big, small) }
+
+// Restricts reports the restricted-constrained-pattern relation Q ⊆ Q'
+// (sound, conservatively incomplete; see internal/pattern).
+func Restricts(p, q *Pattern) bool { return pattern.Restricts(p, q) }
+
+// SimplifyPattern returns an equivalent pattern in compact normal form
+// (adjacent same-label tokens merged, zero tokens dropped).
+func SimplifyPattern(p *Pattern) *Pattern { return pattern.Simplify(p) }
+
+// Table is a string-typed relation instance.
+type Table = relation.Table
+
+// Cell addresses one value of a table.
+type Cell = relation.Cell
+
+// NewTable creates an empty table with the given columns.
+func NewTable(name string, cols ...string) *Table { return relation.New(name, cols...) }
+
+// ReadCSVFile loads a table from a CSV file with a header row.
+func ReadCSVFile(name, path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return relation.ReadCSV(name, f)
+}
+
+// PFD is a pattern functional dependency R(X -> B, Tp) in normal form.
+type PFD = pfd.PFD
+
+// TableauCell is one tableau entry: a constrained pattern or the
+// wildcard.
+type TableauCell = pfd.Cell
+
+// TableauRow is one tableau tuple.
+type TableauRow = pfd.Row
+
+// Violation reports one breach of a PFD on a table.
+type Violation = pfd.Violation
+
+// NewPFD constructs a PFD after validating the tableau.
+func NewPFD(relname string, lhs []string, rhs string, rows ...TableauRow) (*PFD, error) {
+	return pfd.New(relname, lhs, rhs, rows...)
+}
+
+// Wildcard returns the '⊥' tableau cell.
+func Wildcard() TableauCell { return pfd.Wildcard() }
+
+// Pat wraps a pattern in a tableau cell.
+func Pat(p *Pattern) TableauCell { return pfd.Pat(p) }
+
+// Params are the discovery knobs (K, δ, γ, LHS size).
+type Params = discovery.Params
+
+// DefaultParams returns the paper's §5.1 setting: K=5, δ=5%, γ=10%,
+// single-attribute LHS.
+func DefaultParams() Params { return discovery.DefaultParams() }
+
+// Dependency is one discovered embedded dependency with its PFD.
+type Dependency = discovery.Dependency
+
+// DiscoveryResult is the output of Discover.
+type DiscoveryResult struct {
+	*discovery.Result
+}
+
+// Discover runs the paper's Figure 4 algorithm.
+func Discover(t *Table, params Params) DiscoveryResult {
+	return DiscoveryResult{discovery.Discover(t, params)}
+}
+
+// PFDs returns the discovered PFDs.
+func (r DiscoveryResult) PFDs() []*PFD {
+	out := make([]*PFD, len(r.Dependencies))
+	for i, d := range r.Dependencies {
+		out[i] = d.PFD
+	}
+	return out
+}
+
+// Finding is one detected cell error with its proposed repair.
+type Finding = repair.Finding
+
+// Detect applies PFDs to a table and returns deduplicated findings.
+func Detect(t *Table, pfds []*PFD) []Finding { return repair.Detect(t, pfds) }
+
+// Repair applies the proposed fixes to a copy of the table, returning the
+// repaired copy and the number of cells changed.
+func Repair(t *Table, findings []Finding) (*Table, int) { return repair.Apply(t, findings) }
+
+// HolisticResult reports a fixpoint repair run.
+type HolisticResult = repair.HolisticResult
+
+// RepairToFixpoint runs detect-repair rounds until no proposable repair
+// remains (chained errors such as a wrong zip masking a wrong city need
+// more than one pass). maxRounds <= 0 uses the default budget.
+func RepairToFixpoint(t *Table, pfds []*PFD, maxRounds int) HolisticResult {
+	return repair.Holistic(t, pfds, repair.HolisticOptions{MaxRounds: maxRounds})
+}
+
+// Checker validates tuples against PFDs incrementally, for ingest-time
+// cleaning; see NewChecker.
+type Checker = pfd.Checker
+
+// StreamViolation is a violation raised by the incremental Checker.
+type StreamViolation = pfd.StreamViolation
+
+// NewChecker creates an incremental checker: each CheckNext call
+// validates one tuple against the group state accumulated so far, with
+// the same consensus semantics as the batch detector.
+func NewChecker(pfds []*PFD) *Checker { return pfd.NewChecker(pfds) }
+
+// FormatFinding is a single-column format outlier.
+type FormatFinding = formatdetect.Finding
+
+// DetectFormatOutliers runs the single-column pattern-profile detector —
+// the Section 6 comparison class (Trifacta/FAHES-style). It catches
+// malformed values but not cross-attribute errors; use Detect with PFDs
+// for those.
+func DetectFormatOutliers(t *Table) []FormatFinding {
+	return formatdetect.Detect(t, formatdetect.Options{})
+}
+
+// ParseRule reads a rule in the paper's textual notation, e.g.
+// "Name([name = (John\ )\A*] -> [gender = M])".
+func ParseRule(src string) (*Rule, error) { return inference.ParseRule(src) }
+
+// Proof is a derivation sequence in the axiom system of Figure 3.
+type Proof = inference.Proof
+
+// Prove constructs an axiomatic proof that the rules imply psi, or nil
+// when the (sound) closure procedure cannot derive it.
+func Prove(rules []*Rule, psi *Rule) *Proof { return inference.Prove(rules, psi) }
+
+// Rule is a single-row PFD used by the inference system (Section 3).
+type Rule = inference.Rule
+
+// NewRule starts building an inference rule.
+func NewRule(relname string) *Rule { return inference.NewRule(relname) }
+
+// Implies reports whether the rule set logically implies psi, via the
+// PFD-closure of Figure 7 (sound; see internal/inference for caveats).
+func Implies(rules []*Rule, psi *Rule) bool { return inference.Implies(rules, psi) }
+
+// Consistent decides whether some nonempty instance satisfies all rules
+// (Theorem 3), returning a single-tuple witness when one exists.
+func Consistent(rules []*Rule) (map[string]string, bool) { return inference.Consistent(rules) }
