@@ -21,6 +21,7 @@ import (
 	"pfd/internal/discovery"
 	"pfd/internal/experiments"
 	"pfd/internal/fd"
+	"pfd/internal/index"
 	"pfd/internal/pattern"
 	"pfd/internal/pfd"
 	"pfd/internal/relation"
@@ -216,18 +217,52 @@ func BenchmarkAblationSupport(b *testing.B) {
 	}
 }
 
-// Micro-benchmarks for the hot substrate paths.
+// Micro-benchmarks for the hot substrate paths. All report allocations:
+// the compiled matchers (internal/pattern/compile.go) are pinned to zero
+// steady-state allocs by regression tests, and these benchmarks keep the
+// perf trajectory visible (see BENCH_PR1.json via cmd/pfdbench -exp bench).
 
 func BenchmarkPatternMatch(b *testing.B) {
 	p := pattern.MustParse(`(\LU\LL*\ )\A*`)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Match("Tayseer Fahmi")
 	}
 }
 
+func BenchmarkPatternMatchFixed(b *testing.B) {
+	p := pattern.MustParse(`(\D{3})\D{2}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Match("90012")
+	}
+}
+
+func BenchmarkPatternMatchPrefix(b *testing.B) {
+	p := pattern.MustParse(`(John\ )\A*`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Match("John Smith")
+	}
+}
+
+func BenchmarkPatternMatchGeneralDP(b *testing.B) {
+	// \LL+ followed by \A* shares labels, so this stays on the scratch-
+	// buffer DP rather than the greedy fast path.
+	p := pattern.MustParse(`\D+(\LU\LL+)\A*`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Match("42Fahmi-rest")
+	}
+}
+
 func BenchmarkPatternConstrainedSpan(b *testing.B) {
 	p := pattern.MustParse(`(\LU\LL*\ )\A*`)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.ConstrainedSpan("Tayseer Fahmi")
@@ -237,6 +272,7 @@ func BenchmarkPatternConstrainedSpan(b *testing.B) {
 func BenchmarkLangContains(b *testing.B) {
 	big := pattern.MustParse(`\LU\LL*\ \A*`)
 	small := pattern.MustParse(`John\ \A*`)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pattern.LangContains(big, small)
@@ -250,9 +286,35 @@ func BenchmarkViolationsVariablePFD(b *testing.B) {
 		LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(\D{3})\D{2}`))},
 		RHS: pfd.Wildcard(),
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Violations(t)
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	t, _ := datagen.ZipState(912, 1)
+	profs := relation.ProfileTable(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.Build(t, profs, nil, index.Options{MinIDs: 5})
+	}
+}
+
+func BenchmarkRepairDetect(b *testing.B) {
+	t, _ := datagen.ZipState(912, 1)
+	datagen.InjectErrors(t, "state", 0.05, false, 2)
+	p := pfd.MustNew("ZipState", []string{"zip"}, "state", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(\D{3})\D{2}`))},
+		RHS: pfd.Wildcard(),
+	})
+	pfds := []*pfd.PFD{p}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		repair.Detect(t, pfds)
 	}
 }
 

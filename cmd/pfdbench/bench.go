@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pfd/internal/datagen"
+	"pfd/internal/discovery"
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+	"pfd/internal/repair"
+)
+
+// The bench experiment writes a machine-readable performance snapshot
+// (default BENCH_PR1.json) so successive PRs carry a perf trajectory:
+// micro timings of the compiled-matcher hot paths and macro timings of
+// discovery/detection per dataset, with the headline quality metrics.
+
+type benchResult struct {
+	Name    string             `json:"name"`
+	Iters   int                `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchReport struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	Scale       float64       `json:"scale"`
+	Results     []benchResult `json:"results"`
+}
+
+// measure times fn, growing the iteration count until the run lasts at
+// least minDur (one warm-up call excluded).
+func measure(name string, minDur time.Duration, fn func()) benchResult {
+	fn() // warm-up: compile matchers, fill scratch pools
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minDur || iters > 1<<24 {
+			return benchResult{
+				Name:    name,
+				Iters:   iters,
+				NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
+			}
+		}
+		iters *= 4
+	}
+}
+
+func runBench(scale float64, seed int64, dirt float64, out string) error {
+	rep := benchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Scale:       scale,
+	}
+
+	// Micro: the pattern-matching substrate.
+	greedy := pattern.MustParse(`(\LU\LL*\ )\A*`)
+	fixed := pattern.MustParse(`(\D{3})\D{2}`)
+	prefix := pattern.MustParse(`(John\ )\A*`)
+	general := pattern.MustParse(`\D+(\LU\LL+)\A*`)
+	rep.Results = append(rep.Results,
+		measure("pattern/Match/greedy", 50*time.Millisecond, func() { greedy.Match("Tayseer Fahmi") }),
+		measure("pattern/Match/fixed", 50*time.Millisecond, func() { fixed.Match("90012") }),
+		measure("pattern/Match/prefix", 50*time.Millisecond, func() { prefix.Match("John Smith") }),
+		measure("pattern/Match/generalDP", 50*time.Millisecond, func() { general.Match("42Fahmi-rest") }),
+		measure("pattern/ConstrainedSpan/greedy", 50*time.Millisecond, func() { greedy.ConstrainedSpan("Tayseer Fahmi") }),
+	)
+
+	// Micro: violation detection on a variable PFD.
+	vt, _ := datagen.ZipState(912, seed)
+	datagen.InjectErrors(vt, "state", 0.05, false, 2)
+	vp := pfd.MustNew("ZipState", []string{"zip"}, "state", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(\D{3})\D{2}`))},
+		RHS: pfd.Wildcard(),
+	})
+	rep.Results = append(rep.Results,
+		measure("pfd/Violations/zipState", 100*time.Millisecond, func() { vp.Violations(vt) }),
+		measure("repair/Detect/zipState", 100*time.Millisecond, func() { repair.Detect(vt, []*pfd.PFD{vp}) }),
+	)
+
+	// Macro: full discovery per dataset with the headline quality metrics.
+	for _, spec := range datagen.Specs() {
+		rows := int(float64(spec.PaperRows) * scale)
+		if rows < 300 {
+			rows = 300
+		}
+		t, truth := spec.Build(rows, seed, dirt)
+		var res *discovery.Result
+		r := measure("discovery/Discover/"+spec.ID, 200*time.Millisecond, func() {
+			res = discovery.Discover(t, discovery.DefaultParams())
+		})
+		var keys []string
+		for _, d := range res.Dependencies {
+			keys = append(keys, d.Embedded())
+		}
+		p, rc := precisionRecall(keys, truth.DepKeys())
+		r.Metrics = map[string]float64{
+			"rows":      float64(rows),
+			"deps":      float64(len(res.Dependencies)),
+			"precision": p,
+			"recall":    rc,
+		}
+		rep.Results = append(rep.Results, r)
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", out, len(rep.Results))
+	return nil
+}
+
+// precisionRecall computes discovered-vs-truth precision and recall.
+func precisionRecall(got, want []string) (float64, float64) {
+	ws := map[string]bool{}
+	for _, w := range want {
+		ws[w] = true
+	}
+	seen := map[string]bool{}
+	tp := 0
+	for _, g := range got {
+		if !seen[g] {
+			seen[g] = true
+			if ws[g] {
+				tp++
+			}
+		}
+	}
+	var p, r float64
+	if len(seen) > 0 {
+		p = float64(tp) / float64(len(seen))
+	}
+	if len(want) > 0 {
+		r = float64(tp) / float64(len(want))
+	}
+	return p, r
+}

@@ -10,6 +10,11 @@
 //
 // Scale 1.0 reproduces the paper's row counts; the default 0.1 finishes
 // in about a minute on a laptop.
+//
+// The extra experiment "bench" times the hot paths (compiled pattern
+// matchers, violation detection, full discovery per dataset) and writes a
+// machine-readable snapshot (-benchout, default BENCH_PR1.json) so the
+// performance trajectory is tracked across PRs.
 package main
 
 import (
@@ -21,11 +26,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, table3, table7, table8, fig5, fig6, ablation")
+	exp := flag.String("exp", "all", "experiment: all, table3, table7, table8, fig5, fig6, ablation, bench")
 	scale := flag.Float64("scale", 0.1, "fraction of the paper's row counts")
 	seed := flag.Int64("seed", 1, "generator seed")
 	dirt := flag.Float64("dirt", 0.01, "generator dirt rate")
 	only := flag.String("table", "", "restrict table7 to one dataset id (e.g. T13)")
+	benchout := flag.String("benchout", "BENCH_PR1.json", "output path for -exp bench")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Dirt: *dirt}
@@ -58,6 +64,10 @@ func main() {
 			fmt.Print(experiments.FormatDesignAblations(experiments.RunDesignAblations(cfg)))
 		case "detectcmp":
 			fmt.Print(experiments.FormatDetectComparison(experiments.RunDetectComparison(cfg)))
+		case "bench":
+			if err := runBench(*scale, *seed, *dirt, *benchout); err != nil {
+				fail(err)
+			}
 		default:
 			fail(fmt.Errorf("unknown experiment %q", name))
 		}

@@ -1,0 +1,3 @@
+module pfd
+
+go 1.24

@@ -15,11 +15,15 @@ func mkDiscoverer(col string, values []string, delta float64) *discoverer {
 		t.Append(v)
 	}
 	profs := relation.ProfileTable(t)
-	return &discoverer{
+	byName := make(map[string]relation.ColumnProfile, len(profs))
+	for _, p := range profs {
+		byName[p.Name] = p
+	}
+	return &discoverer{sharedState: sharedState{
 		t:        t,
 		params:   Params{MinSupport: 2, Delta: delta, MinCoverage: 0.1, MaxLHS: 1}.normalize(),
-		profiles: profs,
-	}
+		profiles: byName,
+	}}
 }
 
 func allRows(n int) []int32 {

@@ -2,8 +2,11 @@ package discovery
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pfd/internal/index"
 	"pfd/internal/lattice"
@@ -66,20 +69,30 @@ func Discover(t *relation.Table, params Params) *Result {
 		DisablePrune: params.DisableSubstringPrune,
 	})
 
-	d := &discoverer{t: t, inv: inv, params: params, profiles: res.Profiles}
+	profByName := make(map[string]relation.ColumnProfile, len(res.Profiles))
+	for _, p := range res.Profiles {
+		profByName[p.Name] = p
+	}
+	shared := sharedState{t: t, inv: inv, params: params, profiles: profByName}
 
-	// Lines 13-28: walk the candidate lattice level by level.
+	// Lines 13-28: walk the candidate lattice level by level. Candidates
+	// within one level are independent — pruning a satisfied LHS only
+	// removes supersets, which live in later levels — so each level is
+	// evaluated on a worker pool and the variable-row prunes are applied in
+	// candidate order at the level barrier. The output is byte-identical
+	// to the sequential walk.
 	lat := lattice.New(usable)
 	for level := 1; level <= params.MaxLHS; level++ {
-		for _, cand := range lat.Level(level) {
-			dep := d.tryCandidate(cand.LHS, cand.RHS)
+		cands := lat.Level(level)
+		deps := evalCandidates(shared, cands)
+		for i, dep := range deps {
 			if dep == nil {
 				continue
 			}
 			res.Dependencies = append(res.Dependencies, dep)
 			if dep.Variable {
 				// Line 25: remove the children of X in the lattice.
-				lat.Prune(cand.LHS, cand.RHS)
+				lat.Prune(cands[i].LHS, cands[i].RHS)
 			}
 		}
 	}
@@ -89,20 +102,87 @@ func Discover(t *relation.Table, params Params) *Result {
 	return res
 }
 
-type discoverer struct {
+// numWorkers sizes the candidate-evaluation pool; a var so tests can force
+// a multi-worker pool on single-core machines. GOMAXPROCS (not NumCPU)
+// respects CPU quotas and user limits.
+var numWorkers = runtime.GOMAXPROCS(0)
+
+// evalCandidates evaluates one lattice level's candidates, fanning out to
+// numWorkers workers when there is enough work. Each worker owns a
+// discoverer whose scratch (count buffers, draft bitset) is reused across
+// its candidates; results land in candidate order.
+func evalCandidates(shared sharedState, cands []lattice.Candidate) []*Dependency {
+	deps := make([]*Dependency, len(cands))
+	workers := numWorkers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		d := &discoverer{sharedState: shared}
+		for i, cand := range cands {
+			deps[i] = d.tryCandidate(cand.LHS, cand.RHS)
+		}
+		return deps
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := &discoverer{sharedState: shared}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				deps[i] = d.tryCandidate(cands[i].LHS, cands[i].RHS)
+			}
+		}()
+	}
+	wg.Wait()
+	return deps
+}
+
+// sharedState is the read-only context every worker shares.
+type sharedState struct {
 	t        *relation.Table
 	inv      *index.Inverted
 	params   Params
-	profiles []relation.ColumnProfile
+	profiles map[string]relation.ColumnProfile
+}
+
+// discoverer is one worker's view of the search: the shared read-only
+// state plus private scratch reused across candidates.
+type discoverer struct {
+	sharedState
+	// rhsCounts is the CountWithinInto buffer for the per-draft RHS tally.
+	rhsCounts []int32
+	// countsFree recycles extend's per-recursion-level count buffers.
+	countsFree [][]int32
+	// draftIDs is the reusable bitset materializing a draft's row set; it
+	// is cloned only when the draft is accepted.
+	draftIDs *index.Bitset
 }
 
 func (d *discoverer) profile(col string) relation.ColumnProfile {
-	for _, p := range d.profiles {
-		if p.Name == col {
-			return p
-		}
+	if p, ok := d.profiles[col]; ok {
+		return p
 	}
 	return relation.ColumnProfile{Name: col}
+}
+
+func (d *discoverer) getCounts() []int32 {
+	if n := len(d.countsFree); n > 0 {
+		c := d.countsFree[n-1]
+		d.countsFree = d.countsFree[:n-1]
+		return c
+	}
+	return nil
+}
+
+func (d *discoverer) putCounts(c []int32) {
+	d.countsFree = append(d.countsFree, c)
 }
 
 // rowDraft is one tableau row under construction: the chosen index entry
@@ -170,6 +250,9 @@ func (d *discoverer) tryCandidate(lhsIdx []int, rhsIdx int) *Dependency {
 	var acc []accepted
 	seen := map[string]bool{}
 	rhsAttr := d.inv.Attrs[rhs]
+	if d.draftIDs == nil || d.draftIDs.Cap() != t.NumRows() {
+		d.draftIDs = index.NewBitset(t.NumRows())
+	}
 	for _, dr := range drafts {
 		n := len(dr.rows)
 		if n < d.params.MinSupport {
@@ -177,23 +260,23 @@ func (d *discoverer) tryCandidate(lhsIdx []int, rhsIdx int) *Dependency {
 		}
 		// The most specific non-vacuous RHS pattern covering all but the
 		// δ-allowance of the draft's rows — the decision function f.
-		counts := rhsAttr.CountWithin(dr.rows)
+		d.rhsCounts = rhsAttr.CountWithinInto(d.rhsCounts, dr.rows)
 		need := int32(n - d.params.allowed(n))
 		if need < 1 {
 			need = 1
 		}
-		be := bestEntry(rhsAttr, counts, need, vacuousLimit)
+		be := bestEntry(rhsAttr, d.rhsCounts, need, vacuousLimit)
 		if be < 0 {
 			continue
 		}
 		rhsKey := rhsAttr.Entries[be].Key
-		ids := index.NewBitset(t.NumRows())
+		d.draftIDs.Clear()
 		for _, r := range dr.rows {
-			ids.Set(int(r))
+			d.draftIDs.Set(int(r))
 		}
 		redundant := false
 		for _, a := range acc {
-			if ids.SubsetOf(a.ids) {
+			if d.draftIDs.SubsetOf(a.ids) {
 				redundant = true
 				break
 			}
@@ -206,6 +289,7 @@ func (d *discoverer) tryCandidate(lhsIdx []int, rhsIdx int) *Dependency {
 			continue
 		}
 		seen[key] = true
+		ids := d.draftIDs.Clone()
 		rows = append(rows, *row)
 		acc = append(acc, accepted{ids: ids})
 		covered.OrInPlace(ids)
@@ -255,7 +339,8 @@ func (d *discoverer) extend(base rowDraft, rest []string) []rowDraft {
 		return []rowDraft{base}
 	}
 	attr := d.inv.Attrs[rest[0]]
-	counts := attr.CountWithin(base.rows)
+	// One recycled count buffer per recursion depth (depth <= MaxLHS).
+	counts := attr.CountWithinInto(d.getCounts(), base.rows)
 	var out []rowDraft
 	for ei := range attr.Entries {
 		if int(counts[ei]) < d.params.MinSupport {
@@ -271,6 +356,7 @@ func (d *discoverer) extend(base rowDraft, rest []string) []rowDraft {
 			break
 		}
 	}
+	d.putCounts(counts)
 	return out
 }
 

@@ -1,0 +1,61 @@
+package discovery
+
+import (
+	"testing"
+
+	"pfd/internal/relation"
+)
+
+// withWorkers runs fn with the candidate pool forced to n workers, so the
+// parallel path is exercised (and race-checked) even on single-core CI.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := numWorkers
+	numWorkers = n
+	defer func() { numWorkers = old }()
+	fn()
+}
+
+func discoveryFingerprint(res *Result) []string {
+	out := make([]string, 0, len(res.Dependencies))
+	for _, d := range res.Dependencies {
+		out = append(out, d.PFD.String())
+	}
+	return out
+}
+
+// TestParallelDiscoveryDeterministic asserts the worker pool reproduces
+// the sequential walk exactly: same dependencies, same tableaux, same
+// coverage, in the same order, for every table and worker count.
+func TestParallelDiscoveryDeterministic(t *testing.T) {
+	params := Params{MinSupport: 2, Delta: 0.05, MinCoverage: 0.10, MaxLHS: 2}
+	tables := map[string]*relation.Table{
+		"table6":  table6(),
+		"zipCity": zipCityTable(),
+		"names":   namesTable(),
+	}
+	for name, tbl := range tables {
+		var seq *Result
+		withWorkers(t, 1, func() { seq = Discover(tbl, params) })
+		for _, workers := range []int{2, 4, 8} {
+			var par *Result
+			withWorkers(t, workers, func() { par = Discover(tbl, params) })
+			a, b := discoveryFingerprint(seq), discoveryFingerprint(par)
+			if len(a) != len(b) {
+				t.Fatalf("%s: %d workers found %d deps, sequential %d", name, workers, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Errorf("%s: dep %d differs with %d workers:\n  seq %s\n  par %s",
+						name, i, workers, a[i], b[i])
+				}
+			}
+			for i, d := range par.Dependencies {
+				s := seq.Dependencies[i]
+				if d.Coverage != s.Coverage || d.Support != s.Support || d.Variable != s.Variable {
+					t.Errorf("%s: dep %d metrics differ with %d workers", name, i, workers)
+				}
+			}
+		}
+	}
+}

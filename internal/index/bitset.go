@@ -36,6 +36,20 @@ func (b *Bitset) Count() int {
 // Cap returns the id capacity the set was created with.
 func (b *Bitset) Cap() int { return b.n }
 
+// Clear removes every id, retaining capacity.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	out := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
 // And returns the intersection as a new set.
 func (b *Bitset) And(o *Bitset) *Bitset {
 	out := NewBitset(b.n)

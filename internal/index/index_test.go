@@ -191,3 +191,115 @@ func TestNumPatterns(t *testing.T) {
 		t.Error("city must have postings")
 	}
 }
+
+// naivePruneSubstrings is the seed's O(E²) reference implementation,
+// kept to differential-test the signature-bucketed version.
+func naivePruneSubstrings(entries []Entry) []Entry {
+	var keep []Entry
+	for _, e := range entries {
+		subsumed := false
+		for i := range keep {
+			k := &keep[i]
+			if len(k.Key.Text) > len(e.Key.Text) &&
+				containsText(k.Key.Text, e.Key.Text) && equalLists(k.List, e.List) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			keep = append(keep, e)
+		}
+	}
+	return keep
+}
+
+func containsText(hay, needle string) bool {
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		if hay[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPruneSubstringsMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	words := []string{"900", "9000", "90001", "Los", "Angeles", "Los Angeles", "LA", "os", "el", "A"}
+	f := func() bool {
+		n := 1 + r.Intn(20)
+		entries := make([]Entry, 0, n)
+		for i := 0; i < n; i++ {
+			l := make([]int32, 0, 4)
+			for id := int32(0); id < 6; id++ {
+				if r.Intn(2) == 0 {
+					l = append(l, id)
+				}
+			}
+			if len(l) == 0 {
+				l = append(l, int32(r.Intn(6)))
+			}
+			entries = append(entries, Entry{
+				Key:  Key{Text: words[r.Intn(len(words))], Pos: r.Intn(2)},
+				List: l,
+			})
+		}
+		a := &Attribute{Entries: append([]Entry(nil), entries...)}
+		a.sortEntries()
+		want := naivePruneSubstrings(append([]Entry(nil), a.Entries...))
+		a.pruneSubstrings()
+		if len(a.Entries) != len(want) {
+			return false
+		}
+		for i := range want {
+			if a.Entries[i].Key != want[i].Key || !equalLists(a.Entries[i].List, want[i].List) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupMapBacked(t *testing.T) {
+	tab := relation.New("T", "zip")
+	for _, v := range []string{"90001", "90002", "90001", "60601"} {
+		tab.Append(v)
+	}
+	profs := relation.ProfileTable(tab)
+	inv := Build(tab, profs, nil, Options{})
+	a := inv.Attrs["zip"]
+	for i := range a.Entries {
+		ids := a.Lookup(a.Entries[i].Key)
+		if ids == nil || !ids.Equal(a.Entries[i].IDs) {
+			t.Fatalf("Lookup(%v) mismatch", a.Entries[i].Key)
+		}
+	}
+	if a.Lookup(Key{Text: "nope", Pos: 3}) != nil {
+		t.Error("Lookup of absent key must be nil")
+	}
+}
+
+func TestCountWithinIntoReuse(t *testing.T) {
+	tab := relation.New("T", "zip")
+	for _, v := range []string{"90001", "90002", "90003", "60601"} {
+		tab.Append(v)
+	}
+	profs := relation.ProfileTable(tab)
+	a := Build(tab, profs, nil, Options{}).Attrs["zip"]
+	rows := []int32{0, 1, 2, 3}
+	want := a.CountWithin(rows)
+	buf := make([]int32, 0, len(a.Entries))
+	for trial := 0; trial < 3; trial++ {
+		buf = a.CountWithinInto(buf, rows)
+		if len(buf) != len(want) {
+			t.Fatalf("len = %d, want %d", len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("trial %d: counts[%d] = %d, want %d", trial, i, buf[i], want[i])
+			}
+		}
+	}
+}

@@ -34,6 +34,8 @@ type Attribute struct {
 	// contains the row; it lets callers count pattern frequencies within
 	// a row subset in time linear in the subset.
 	RowEntries [][]int32
+	// byKey maps each surviving entry's key to its index in Entries.
+	byKey map[Key]int32
 }
 
 // Inverted is the per-table index H of Figure 4.
@@ -122,8 +124,10 @@ func buildAttr(t *relation.Table, col string, prof relation.ColumnProfile, opt O
 	if !opt.DisablePrune {
 		a.pruneSubstrings()
 	}
-	// Materialize bitsets and the row -> entries mapping for survivors.
+	// Materialize bitsets, the row -> entries mapping, and the key lookup
+	// for survivors.
 	a.RowEntries = make([][]int32, t.NumRows())
+	a.byKey = make(map[Key]int32, len(a.Entries))
 	for i := range a.Entries {
 		e := &a.Entries[i]
 		e.IDs = NewBitset(t.NumRows())
@@ -131,6 +135,7 @@ func buildAttr(t *relation.Table, col string, prof relation.ColumnProfile, opt O
 			e.IDs.Set(int(id))
 			a.RowEntries[id] = append(a.RowEntries[id], int32(i))
 		}
+		a.byKey[e.Key] = int32(i)
 	}
 	return a
 }
@@ -159,12 +164,24 @@ func (a *Attribute) sortEntries() {
 // the same tuples, only the most specific (longest) survives — e.g. 900
 // and 9000 both covering {s1..s4} keep only 9000, and the token Angeles is
 // dropped in favor of the whole value Los Angeles.
+//
+// Subsumption requires identical posting lists, so candidates are bucketed
+// by a (length, hash) signature of the list and only same-signature kept
+// entries are pairwise compared — near-linear instead of O(E²) over all
+// entries; the equalLists check below still guards against collisions.
 func (a *Attribute) pruneSubstrings() {
+	type listSig struct {
+		n int
+		h uint64
+	}
+	sigOf := func(l []int32) listSig { return listSig{n: len(l), h: hashList(l)} }
+	buckets := make(map[listSig][]int32, len(a.Entries))
 	keep := a.Entries[:0]
 	for _, e := range a.Entries {
+		sig := sigOf(e.List)
 		subsumed := false
-		for i := range keep {
-			k := &keep[i]
+		for _, ki := range buckets[sig] {
+			k := &keep[ki]
 			if len(k.Key.Text) > len(e.Key.Text) &&
 				strings.Contains(k.Key.Text, e.Key.Text) && equalLists(k.List, e.List) {
 				subsumed = true
@@ -172,10 +189,23 @@ func (a *Attribute) pruneSubstrings() {
 			}
 		}
 		if !subsumed {
+			buckets[sig] = append(buckets[sig], int32(len(keep)))
 			keep = append(keep, e)
 		}
 	}
 	a.Entries = keep
+}
+
+// hashList is FNV-1a over the id list.
+func hashList(l []int32) uint64 {
+	h := uint64(14695981039346656037)
+	for _, id := range l {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(id >> s))
+			h *= 1099511628211
+		}
+	}
+	return h
 }
 
 func equalLists(a, b []int32) bool {
@@ -227,6 +257,12 @@ func (a *Attribute) PositionGroups() [][]Entry {
 
 // Lookup returns the posting for a key, or nil.
 func (a *Attribute) Lookup(k Key) *Bitset {
+	if a.byKey != nil {
+		if i, ok := a.byKey[k]; ok {
+			return a.Entries[i].IDs
+		}
+		return nil
+	}
 	for i := range a.Entries {
 		if a.Entries[i].Key == k {
 			return a.Entries[i].IDs
@@ -244,13 +280,27 @@ func (a *Attribute) NumPatterns() int { return len(a.Entries) }
 // given rows it contains, returning a slice indexed like Entries. Cost is
 // linear in len(rows) times the rows' entry degree.
 func (a *Attribute) CountWithin(rows []int32) []int32 {
-	counts := make([]int32, len(a.Entries))
-	for _, r := range rows {
-		for _, ei := range a.RowEntries[r] {
-			counts[ei]++
+	return a.CountWithinInto(nil, rows)
+}
+
+// CountWithinInto is CountWithin with a caller-owned buffer: buf is grown
+// or cleared to len(Entries) and reused, so steady-state callers (the
+// discovery candidate loop) stay off the allocator.
+func (a *Attribute) CountWithinInto(buf []int32, rows []int32) []int32 {
+	if cap(buf) < len(a.Entries) {
+		buf = make([]int32, len(a.Entries))
+	} else {
+		buf = buf[:len(a.Entries)]
+		for i := range buf {
+			buf[i] = 0
 		}
 	}
-	return counts
+	for _, r := range rows {
+		for _, ei := range a.RowEntries[r] {
+			buf[ei]++
+		}
+	}
+	return buf
 }
 
 // Filter returns the subset of rows contained in entry ei, preserving

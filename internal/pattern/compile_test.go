@@ -1,0 +1,177 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Differential tests: the compiled matchers must agree with the reference
+// DP (refMatch / refConstrainedSpan) on every pattern and input.
+
+// randomPatternAnyQuant extends randomPattern with bounded-range
+// quantifiers {m,M} (m < M), which the shared generator never emits but
+// the compiled engine has dedicated Max-clamping branches for.
+func randomPatternAnyQuant(r *rand.Rand) *Pattern {
+	p := randomPattern(r)
+	for i := range p.Tokens {
+		if r.Intn(4) == 0 {
+			p.Tokens[i].Min = r.Intn(3)
+			p.Tokens[i].Max = p.Tokens[i].Min + 1 + r.Intn(3)
+		}
+	}
+	return p
+}
+
+// sampleAnyQuant instantiates one string of p with a repetition count
+// drawn from each token's full [Min, Max] range.
+func sampleAnyQuant(r *rand.Rand, p *Pattern) string {
+	q := p.Clone()
+	for i := range q.Tokens {
+		t := &q.Tokens[i]
+		if t.Max != Unbounded && t.Max > t.Min {
+			t.Min += r.Intn(t.Max - t.Min + 1)
+		}
+	}
+	return sample(r, q)
+}
+
+func TestCompiledMatchAgreesWithReference(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		p := randomPatternAnyQuant(r)
+		// Half matching samples, half arbitrary strings.
+		var s string
+		if r.Intn(2) == 0 {
+			s = sampleAnyQuant(r, p)
+		} else {
+			s = randomString(r, 16)
+		}
+		return p.Match(s) == p.refMatch(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompiledSpanAgreesWithReference(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	f := func() bool {
+		p := randomPatternAnyQuant(r)
+		var s string
+		if r.Intn(2) == 0 {
+			s = sampleAnyQuant(r, p)
+		} else {
+			s = randomString(r, 16)
+		}
+		gotSpan, gotOK := p.ConstrainedSpan(s)
+		wantSpan, wantOK := p.refConstrainedSpan(s)
+		return gotOK == wantOK && gotSpan == wantSpan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// shapedPatterns covers every compiled shape explicitly, including the
+// exact cell forms discovery emits.
+func shapedPatterns(t *testing.T) map[string]*Pattern {
+	t.Helper()
+	src := map[string]string{
+		"constant":      `(Los\ Angeles)`,
+		"constantUncon": `Egypt`,
+		"fixed":         `(\D{3})\D{2}`,
+		"fixedUncon":    `\LU\LL{3}\D{2}`,
+		"prefixToken":   `(John\ )\A*`,
+		"prefixAnchor":  `\A{2}(900)\A*`,
+		"prefixUncon":   `900\A*`,
+		"general":       `(\LU\LL*\ )\A*`,
+		"generalMid":    `\D+(\LU\LL+)\S\A*`,
+		"boundedGreedy": `(\D{2,4})\LL{1,2}`,
+		"boundedDP":     `(\D{1,3})\D*`,
+	}
+	out := make(map[string]*Pattern, len(src))
+	for name, expr := range src {
+		out[name] = MustParse(expr)
+	}
+	return out
+}
+
+func TestCompiledShapesAgainstReferenceOnCrafted(t *testing.T) {
+	inputs := []string{
+		"", " ", "900", "90012", "9001", "900123", "Los Angeles", "Egypt",
+		"John Smith", "John", "XX900YY", "AB900", "Abcd12", "Tayseer Fahmi",
+		"12Abc-rest", "12Abc", "Ab", "a", "Z", "éclair", "Ézra War", "日本 語x",
+	}
+	for name, p := range shapedPatterns(t) {
+		for _, s := range inputs {
+			if got, want := p.Match(s), p.refMatch(s); got != want {
+				t.Errorf("%s: Match(%q) = %v, reference %v", name, s, got, want)
+			}
+			gotSpan, gotOK := p.ConstrainedSpan(s)
+			wantSpan, wantOK := p.refConstrainedSpan(s)
+			if gotOK != wantOK || gotSpan != wantSpan {
+				t.Errorf("%s: ConstrainedSpan(%q) = (%q,%v), reference (%q,%v)",
+					name, s, gotSpan, gotOK, wantSpan, wantOK)
+			}
+		}
+	}
+}
+
+// Steady-state allocation regressions: the hot-path entry points must not
+// allocate once the matcher is compiled and the scratch pool is warm.
+
+func TestMatchAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; zero-alloc assertions don't hold")
+	}
+	for name, p := range shapedPatterns(t) {
+		p.Match("John Smith") // compile + warm scratch
+		n := testing.AllocsPerRun(100, func() {
+			p.Match("John Smith")
+			p.Match("90012")
+			p.Match("no match at all ###")
+		})
+		if n != 0 {
+			t.Errorf("%s: Match allocates %.1f per run, want 0", name, n)
+		}
+	}
+}
+
+func TestConstrainedSpanAllocsZero(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; zero-alloc assertions don't hold")
+	}
+	for name, p := range shapedPatterns(t) {
+		p.ConstrainedSpan("John Smith")
+		n := testing.AllocsPerRun(100, func() {
+			p.ConstrainedSpan("John Smith")
+			p.ConstrainedSpan("90012")
+			p.ConstrainedSpan("no match at all ###")
+		})
+		if n != 0 {
+			t.Errorf("%s: ConstrainedSpan allocates %.1f per run, want 0", name, n)
+		}
+	}
+}
+
+func TestCompiledShapeClassification(t *testing.T) {
+	cases := map[string]shape{
+		`(Los\ Angeles)`:    shapeConstant,
+		`Egypt`:             shapeConstant,
+		`(\D{3})\D{2}`:      shapeFixed,
+		`(John\ )\A*`:       shapePrefix,
+		`\A{2}(900)\A*`:     shapePrefix,
+		`(\LU\LL{3})\D{2}`:  shapeFixed,
+		`(\LU\LL*\ )\A*`:    shapeGreedy,
+		`(\LU\LL+\ )\A*`:    shapeGreedy,
+		`\D+(\LU\LL+)\S\A*`: shapeGreedy,
+		`\D+(\LU\LL+)\A*`:   shapeGeneral,
+		`(\LL*\LL*)\A*`:     shapeGeneral,
+	}
+	for expr, want := range cases {
+		if got := MustParse(expr).Compiled().shape; got != want {
+			t.Errorf("%s compiled to shape %d, want %d", expr, got, want)
+		}
+	}
+}

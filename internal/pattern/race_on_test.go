@@ -1,0 +1,8 @@
+//go:build race
+
+package pattern
+
+// raceEnabled reports whether the race detector is active; under -race
+// sync.Pool deliberately drops items, so zero-alloc assertions on pooled
+// paths don't hold.
+const raceEnabled = true

@@ -2,7 +2,6 @@ package pfd
 
 import (
 	"sort"
-	"strings"
 
 	"pfd/internal/relation"
 )
@@ -29,27 +28,33 @@ type Violation struct {
 	WitnessRow int
 }
 
-// lhsKey computes the joint equivalence key of tuple id under row's LHS
-// cells; ok is false when any LHS value fails to match its cell.
-func (p *PFD) lhsKey(t *relation.Table, row Row, id int) (string, bool) {
-	var b strings.Builder
+// appendLHSKey appends the joint equivalence key of tuple id under row's
+// LHS cells to buf ('\x00'-separated spans); ok is false when any LHS
+// value fails to match its cell. The buffer is reused across tuples so the
+// per-tuple key costs no allocation until a new group is interned.
+func (p *PFD) appendLHSKey(buf []byte, t *relation.Table, row Row, id int) ([]byte, bool) {
 	for j, a := range p.LHS {
 		v := t.Value(id, a)
 		span, ok := row.LHS[j].Span(v)
 		if !ok {
-			return "", false
+			return buf, false
 		}
-		b.WriteString(span)
-		b.WriteByte('\x00') // unambiguous separator
+		buf = append(buf, span...)
+		buf = append(buf, '\x00') // unambiguous separator
 	}
-	return b.String(), true
+	return buf, true
 }
 
 // MatchesLHS reports whether table row id matches every LHS cell of
 // tableau row ri.
 func (p *PFD) MatchesLHS(t *relation.Table, ri, id int) bool {
-	_, ok := p.lhsKey(t, p.Tableau[ri], id)
-	return ok
+	row := p.Tableau[ri]
+	for j, a := range p.LHS {
+		if _, ok := row.LHS[j].Span(t.Value(id, a)); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // Satisfied reports T |= ψ per Section 2.2: for every tableau row, any two
@@ -70,58 +75,106 @@ func (p *PFD) Satisfied(t *relation.Table) bool {
 // yields one Violation whose ErrorCell is its RHS cell.
 func (p *PFD) Violations(t *relation.Table) []Violation {
 	var out []Violation
+	// Grouping state is interned once per tableau row and reused: the map
+	// key is allocated only when a group is first seen, and the per-tuple
+	// key lookup converts the scratch buffer without allocating.
+	var keyBuf []byte
+	groupIdx := map[string]int{}
+	var keys []string
+	var groupIDs [][]int
+	var scan groupScan
 	for ri, row := range p.Tableau {
 		constant := row.ConstantLHS()
-		groups := map[string][]int{}
+		clear(groupIdx)
+		keys = keys[:0]
+		groupIDs = groupIDs[:0]
 		for id := range t.Rows {
-			key, ok := p.lhsKey(t, row, id)
+			var ok bool
+			keyBuf, ok = p.appendLHSKey(keyBuf[:0], t, row, id)
 			if !ok {
 				continue
 			}
-			groups[key] = append(groups[key], id)
+			gi, seen := groupIdx[string(keyBuf)]
+			if !seen {
+				gi = len(groupIDs)
+				k := string(keyBuf)
+				groupIdx[k] = gi
+				keys = append(keys, k)
+				groupIDs = append(groupIDs, nil)
+			}
+			groupIDs[gi] = append(groupIDs[gi], id)
 		}
-		keys := make([]string, 0, len(groups))
-		for k := range groups {
-			keys = append(keys, k)
+		order := make([]int, len(keys))
+		for i := range order {
+			order[i] = i
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			ids := groups[k]
-			out = append(out, p.groupViolations(t, ri, row, ids, constant)...)
+		sort.Slice(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
+		for _, gi := range order {
+			out = append(out, p.groupViolations(t, &scan, ri, row, groupIDs[gi], constant)...)
 		}
 	}
 	return out
 }
 
-// groupViolations checks one LHS-equivalence group.
-// spanInfo groups the tuple ids sharing one RHS span.
-type spanInfo struct {
-	ids []int
+// groupScan is the reusable state for checking one LHS-equivalence group:
+// interned RHS spans with their tuple ids, and the non-matching tuples.
+// Reusing it across groups keeps Violations off the allocator.
+type groupScan struct {
+	spanIdx     map[string]int
+	spanKeys    []string
+	spanIDs     [][]int
+	nonMatching []int
+	order       []int
 }
 
-func (p *PFD) groupViolations(t *relation.Table, ri int, row Row, ids []int, constant bool) []Violation {
+// reset prepares the scan for a new group, retaining capacity.
+func (sc *groupScan) reset() {
+	if sc.spanIdx == nil {
+		sc.spanIdx = map[string]int{}
+	}
+	clear(sc.spanIdx)
+	sc.spanKeys = sc.spanKeys[:0]
+	sc.spanIDs = sc.spanIDs[:0]
+	sc.nonMatching = sc.nonMatching[:0]
+	sc.order = sc.order[:0]
+}
+
+// addSpan records id under span, interning the span on first sight while
+// reusing the id-slice capacity of earlier groups.
+func (sc *groupScan) addSpan(span string, id int) {
+	si, seen := sc.spanIdx[span]
+	if !seen {
+		si = len(sc.spanIDs)
+		sc.spanIdx[span] = si
+		sc.spanKeys = append(sc.spanKeys, span)
+		if len(sc.spanIDs) < cap(sc.spanIDs) {
+			sc.spanIDs = sc.spanIDs[:si+1]
+			sc.spanIDs[si] = sc.spanIDs[si][:0]
+		} else {
+			sc.spanIDs = append(sc.spanIDs, nil)
+		}
+	}
+	sc.spanIDs[si] = append(sc.spanIDs[si], id)
+}
+
+// groupViolations checks one LHS-equivalence group.
+func (p *PFD) groupViolations(t *relation.Table, sc *groupScan, ri int, row Row, ids []int, constant bool) []Violation {
 	var out []Violation
-	spans := map[string]*spanInfo{}
-	var nonMatching []int
+	sc.reset()
 	for _, id := range ids {
 		v := t.Value(id, p.RHS)
 		if !row.RHS.Match(v) {
-			nonMatching = append(nonMatching, id)
+			sc.nonMatching = append(sc.nonMatching, id)
 			continue
 		}
 		span, _ := row.RHS.Span(v)
-		si := spans[span]
-		if si == nil {
-			si = &spanInfo{}
-			spans[span] = si
-		}
-		si.ids = append(si.ids, id)
+		sc.addSpan(span, id)
 	}
 
 	// Constant-LHS rows fire on single tuples: a non-matching RHS is a
 	// violation even with no second tuple (Example 6, "r4 violates ψ1").
 	if constant {
-		for _, id := range nonMatching {
+		for _, id := range sc.nonMatching {
 			out = append(out, Violation{
 				TableauRow:   ri,
 				ErrorCell:    relation.Cell{Row: id, Col: p.RHS},
@@ -133,7 +186,7 @@ func (p *PFD) groupViolations(t *relation.Table, ri int, row Row, ids []int, con
 		}
 	} else {
 		// Variable rows need a matching partner to witness the breach.
-		for _, id := range nonMatching {
+		for _, id := range sc.nonMatching {
 			if len(ids) < 2 {
 				continue
 			}
@@ -147,23 +200,24 @@ func (p *PFD) groupViolations(t *relation.Table, ri int, row Row, ids []int, con
 		}
 	}
 
-	if len(spans) <= 1 {
+	if len(sc.spanKeys) <= 1 {
 		return out
 	}
 	// Conflicting spans within one equivalence group: every pair across
 	// different spans violates. Report the minority tuples against the
-	// strict-majority consensus when one exists.
-	consensus, consensusIDs, ok := strictMajority(spans)
-	ordered := make([]string, 0, len(spans))
-	for s := range spans {
-		ordered = append(ordered, s)
+	// strict-majority consensus when one exists (tie groups are reported
+	// but carry no repair).
+	consensus, consensusIDs, ok := sc.strictMajority()
+	for i := range sc.spanKeys {
+		sc.order = append(sc.order, i)
 	}
-	sort.Strings(ordered)
-	for _, s := range ordered {
+	sort.Slice(sc.order, func(i, j int) bool { return sc.spanKeys[sc.order[i]] < sc.spanKeys[sc.order[j]] })
+	for _, si := range sc.order {
+		s := sc.spanKeys[si]
 		if ok && s == consensus {
 			continue
 		}
-		for _, id := range spans[s].ids {
+		for _, id := range sc.spanIDs[si] {
 			v := Violation{
 				TableauRow:   ri,
 				ErrorCell:    relation.Cell{Row: id, Col: p.RHS},
@@ -179,11 +233,6 @@ func (p *PFD) groupViolations(t *relation.Table, ri int, row Row, ids []int, con
 			}
 			out = append(out, v)
 		}
-	}
-	if !ok {
-		// No majority: flag every tuple in the group once (tie groups are
-		// reported but carry no repair).
-		return out
 	}
 	return out
 }
@@ -208,14 +257,14 @@ func (p *PFD) tupleCells(id int) []relation.Cell {
 }
 
 // strictMajority returns the span held by more than half the group.
-func strictMajority(spans map[string]*spanInfo) (string, []int, bool) {
+func (sc *groupScan) strictMajority() (string, []int, bool) {
 	total := 0
-	for _, si := range spans {
-		total += len(si.ids)
+	for _, ids := range sc.spanIDs {
+		total += len(ids)
 	}
-	for s, si := range spans {
-		if 2*len(si.ids) > total {
-			return s, si.ids, true
+	for si, ids := range sc.spanIDs {
+		if 2*len(ids) > total {
+			return sc.spanKeys[si], ids, true
 		}
 	}
 	return "", nil, false
