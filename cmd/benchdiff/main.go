@@ -1,0 +1,116 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares a
+// fresh performance snapshot (written by `pfdbench -exp bench`) against
+// a committed baseline and fails when any watched hot path regressed by
+// more than the allowed ratio.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_PR1.json -new BENCH_CI.json \
+//	          [-max-ratio 2.0] [-match pattern/,pfd/,repair/]
+//
+// -match is a comma-separated list of result-name prefixes to gate on
+// (default: the compiled-matcher and detection hot paths — deliberately
+// NOT the macro discovery timings or the streaming throughput, which
+// depend on runner core count and dataset scale). A watched baseline
+// result missing from the new snapshot is an error: a renamed benchmark
+// must update the baseline, not silently drop out of the gate.
+//
+// ns/op comparisons are machine-sensitive: the 2x default headroom
+// absorbs same-class CPU variance, but a baseline generated on very
+// different hardware can false-fail (or mask) the gate. benchdiff
+// prints both snapshots' Go version and CPU count to make skew
+// visible; regenerate the committed baseline (`pfdbench -exp bench
+// -micro`) from CI-class hardware when the runner fleet changes.
+//
+// Exit status: 0 when every watched path is within budget, 1 on
+// regression or missing results, 2 on usage/I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pfd/internal/benchfmt"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "baseline snapshot (required)")
+	newPath := flag.String("new", "", "fresh snapshot (required)")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new ns/op > ratio × old ns/op")
+	match := flag.String("match", "pattern/,pfd/,repair/", "comma-separated result-name prefixes to gate on")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldRep, err := benchfmt.Read(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := benchfmt.Read(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var prefixes []string
+	for _, p := range strings.Split(*match, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+
+	fmt.Printf("benchdiff: %s (%s, %d cpu) -> %s (%s, %d cpu), max-ratio %.2f\n",
+		*oldPath, oldRep.GoVersion, oldRep.NumCPU,
+		*newPath, newRep.GoVersion, newRep.NumCPU, *maxRatio)
+
+	failed := 0
+	watched := 0
+	for _, ores := range oldRep.Results {
+		if !matchesAny(ores.Name, prefixes) {
+			continue
+		}
+		watched++
+		nres, ok := newRep.Find(ores.Name)
+		if !ok {
+			fmt.Printf("  MISSING %-40s (in baseline, absent from new snapshot)\n", ores.Name)
+			failed++
+			continue
+		}
+		ratio := nres.NsPerOp / ores.NsPerOp
+		status := "ok"
+		if ratio > *maxRatio {
+			status = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("  %-9s %-40s %12.1f -> %12.1f ns/op  (%.2fx)\n",
+			status, ores.Name, ores.NsPerOp, nres.NsPerOp, ratio)
+	}
+	if watched == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no baseline results match %q — nothing gated\n", *match)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d of %d watched paths failed the %.2fx gate\n",
+			failed, watched, *maxRatio)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: all %d watched paths within %.2fx\n", watched, *maxRatio)
+}
+
+func matchesAny(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -1,12 +1,12 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
+	"pfd/internal/benchfmt"
+	"pfd/internal/benchutil"
 	"pfd/internal/datagen"
 	"pfd/internal/discovery"
 	"pfd/internal/pattern"
@@ -15,28 +15,17 @@ import (
 )
 
 // The bench experiment writes a machine-readable performance snapshot
-// (default BENCH_PR1.json) so successive PRs carry a perf trajectory:
-// micro timings of the compiled-matcher hot paths and macro timings of
-// discovery/detection per dataset, with the headline quality metrics.
-
-type benchResult struct {
-	Name    string             `json:"name"`
-	Iters   int                `json:"iters"`
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-type benchReport struct {
-	GeneratedAt string        `json:"generated_at"`
-	GoVersion   string        `json:"go_version"`
-	NumCPU      int           `json:"num_cpu"`
-	Scale       float64       `json:"scale"`
-	Results     []benchResult `json:"results"`
-}
+// (default BENCH_PR2.json, schema in internal/benchfmt) so successive
+// PRs carry a perf trajectory: micro timings of the compiled-matcher
+// hot paths, streaming-engine throughput at 1/4/8 shards, and macro
+// timings of discovery/detection per dataset with the headline quality
+// metrics. cmd/benchdiff compares two snapshots and gates CI on
+// regressions in the micro hot paths. microOnly skips the per-dataset
+// discovery block (the slow part) for the CI gate.
 
 // measure times fn, growing the iteration count until the run lasts at
 // least minDur (one warm-up call excluded).
-func measure(name string, minDur time.Duration, fn func()) benchResult {
+func measure(name string, minDur time.Duration, fn func()) benchfmt.Result {
 	fn() // warm-up: compile matchers, fill scratch pools
 	iters := 1
 	for {
@@ -46,7 +35,7 @@ func measure(name string, minDur time.Duration, fn func()) benchResult {
 		}
 		elapsed := time.Since(start)
 		if elapsed >= minDur || iters > 1<<24 {
-			return benchResult{
+			return benchfmt.Result{
 				Name:    name,
 				Iters:   iters,
 				NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
@@ -56,8 +45,8 @@ func measure(name string, minDur time.Duration, fn func()) benchResult {
 	}
 }
 
-func runBench(scale float64, seed int64, dirt float64, out string) error {
-	rep := benchReport{
+func runBench(scale float64, seed int64, dirt float64, out string, microOnly bool) error {
+	rep := &benchfmt.Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
@@ -89,43 +78,72 @@ func runBench(scale float64, seed int64, dirt float64, out string) error {
 		measure("repair/Detect/zipState", 100*time.Millisecond, func() { repair.Detect(vt, []*pfd.PFD{vp}) }),
 	)
 
-	// Macro: full discovery per dataset with the headline quality metrics.
-	for _, spec := range datagen.Specs() {
-		rows := int(float64(spec.PaperRows) * scale)
-		if rows < 300 {
-			rows = 300
+	// Streaming engine: tuples/sec at 1/4/8 shards on the T13-scale
+	// stream, producers scaled with shards (the match phase runs in
+	// producer goroutines; the consensus state is shard-partitioned).
+	rep.Results = append(rep.Results, benchStream(scale, seed, dirt)...)
+
+	if !microOnly {
+		// Macro: full discovery per dataset with the headline quality
+		// metrics.
+		for _, spec := range datagen.Specs() {
+			rows := int(float64(spec.PaperRows) * scale)
+			if rows < 300 {
+				rows = 300
+			}
+			t, truth := spec.Build(rows, seed, dirt)
+			var res *discovery.Result
+			r := measure("discovery/Discover/"+spec.ID, 200*time.Millisecond, func() {
+				res = discovery.Discover(t, discovery.DefaultParams())
+			})
+			var keys []string
+			for _, d := range res.Dependencies {
+				keys = append(keys, d.Embedded())
+			}
+			p, rc := precisionRecall(keys, truth.DepKeys())
+			r.Metrics = map[string]float64{
+				"rows":      float64(rows),
+				"deps":      float64(len(res.Dependencies)),
+				"precision": p,
+				"recall":    rc,
+			}
+			rep.Results = append(rep.Results, r)
 		}
-		t, truth := spec.Build(rows, seed, dirt)
-		var res *discovery.Result
-		r := measure("discovery/Discover/"+spec.ID, 200*time.Millisecond, func() {
-			res = discovery.Discover(t, discovery.DefaultParams())
-		})
-		var keys []string
-		for _, d := range res.Dependencies {
-			keys = append(keys, d.Embedded())
-		}
-		p, rc := precisionRecall(keys, truth.DepKeys())
-		r.Metrics = map[string]float64{
-			"rows":      float64(rows),
-			"deps":      float64(len(res.Dependencies)),
-			"precision": p,
-			"recall":    rc,
-		}
-		rep.Results = append(rep.Results, r)
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := benchfmt.Write(out, rep); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d results)\n", out, len(rep.Results))
 	return nil
+}
+
+func benchStream(scale float64, seed int64, dirt float64) []benchfmt.Result {
+	spec, ok := datagen.SpecByID("T13")
+	if !ok {
+		panic("T13 spec missing")
+	}
+	rows := int(float64(spec.PaperRows) * scale)
+	if rows < 2000 {
+		rows = 2000
+	}
+	t, _ := spec.Build(rows, seed, dirt)
+	tuples := benchutil.TableTuples(t)
+	pfds := benchutil.StreamPFDs()
+
+	var out []benchfmt.Result
+	for _, shards := range []int{1, 4, 8} {
+		r := measure(fmt.Sprintf("stream/Check/T13/shards%d", shards), 200*time.Millisecond, func() {
+			benchutil.RunStreamPass(pfds, tuples, shards)
+		})
+		r.Metrics = map[string]float64{
+			"shards":         float64(shards),
+			"rows":           float64(rows),
+			"tuples_per_sec": float64(rows) / (r.NsPerOp / 1e9),
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // precisionRecall computes discovered-vs-truth precision and recall.

@@ -12,9 +12,12 @@
 // in about a minute on a laptop.
 //
 // The extra experiment "bench" times the hot paths (compiled pattern
-// matchers, violation detection, full discovery per dataset) and writes a
-// machine-readable snapshot (-benchout, default BENCH_PR1.json) so the
-// performance trajectory is tracked across PRs.
+// matchers, violation detection, streaming-engine throughput at 1/4/8
+// shards, full discovery per dataset) and writes a machine-readable
+// snapshot (-benchout, default BENCH_PR2.json; schema in
+// internal/benchfmt) so the performance trajectory is tracked across
+// PRs. -micro skips the slow discovery block; cmd/benchdiff compares
+// two snapshots and fails on hot-path regressions (the CI gate).
 package main
 
 import (
@@ -31,7 +34,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	dirt := flag.Float64("dirt", 0.01, "generator dirt rate")
 	only := flag.String("table", "", "restrict table7 to one dataset id (e.g. T13)")
-	benchout := flag.String("benchout", "BENCH_PR1.json", "output path for -exp bench")
+	benchout := flag.String("benchout", "BENCH_PR2.json", "output path for -exp bench")
+	micro := flag.Bool("micro", false, "bench: skip the per-dataset discovery block (fast, for the CI gate)")
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Dirt: *dirt}
@@ -65,7 +69,7 @@ func main() {
 		case "detectcmp":
 			fmt.Print(experiments.FormatDetectComparison(experiments.RunDetectComparison(cfg)))
 		case "bench":
-			if err := runBench(*scale, *seed, *dirt, *benchout); err != nil {
+			if err := runBench(*scale, *seed, *dirt, *benchout, *micro); err != nil {
 				fail(err)
 			}
 		default:

@@ -1,0 +1,283 @@
+// Command pfdstream validates a tuple stream on stdin against PFDs
+// mined from a trusted reference batch, using the sharded streaming
+// engine (internal/stream) at configurable parallelism.
+//
+// Usage:
+//
+//	pfdstream -ref reference.csv [-format csv|jsonl] [-shards N]
+//	          [-workers N] [-batch 64] [-flush 2ms] [-warm] [-quiet]
+//	          [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] < stream
+//
+// The reference CSV (with a header row) is mined offline with the
+// Figure 4 discovery algorithm; the resulting PFDs then guard the
+// stream. With -warm (the default) the reference rows are folded into
+// the engine first, so group consensus exists before the first live
+// tuple. Stdin is CSV with a header row, or JSONL (one flat object per
+// line) with -format jsonl.
+//
+// Violations attributed to live tuples are printed as they are found;
+// retroactive signals (a majority forming after an earlier suspect
+// tuple) are summarized once, since they re-fire per majority-side
+// tuple and may stem from delta-tolerated dirt in the reference batch.
+// A summary with throughput goes to stderr. The exit status is 1 when
+// live tuples raised violations, 2 on usage or I/O errors, 0
+// otherwise — so the command composes as a pipeline gate.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pfd"
+)
+
+func main() {
+	ref := flag.String("ref", "", "trusted reference CSV to mine PFDs from (required)")
+	format := flag.String("format", "csv", "stdin format: csv (header row) or jsonl")
+	shards := flag.Int("shards", 0, "state shards (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "producer goroutines (0 = shard count)")
+	batchSize := flag.Int("batch", 64, "updates per shard batch")
+	flush := flag.Duration("flush", 2*time.Millisecond, "max latency of a partial batch")
+	warm := flag.Bool("warm", true, "fold the reference rows in before validating")
+	quiet := flag.Bool("quiet", false, "suppress per-violation lines")
+	k := flag.Int("k", 5, "discovery: minimum support K")
+	delta := flag.Float64("delta", 0.05, "discovery: allowed violation ratio δ")
+	coverage := flag.Float64("coverage", 0.10, "discovery: minimum coverage γ")
+	lhs := flag.Int("lhs", 1, "discovery: maximum LHS attributes")
+	flag.Parse()
+	if *ref == "" {
+		fmt.Fprintln(os.Stderr, "pfdstream: -ref is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *shards <= 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+
+	table, err := pfd.ReadCSVFile("ref", *ref)
+	if err != nil {
+		fatal(err)
+	}
+	res := pfd.Discover(table, pfd.Params{
+		MinSupport: *k, Delta: *delta, MinCoverage: *coverage, MaxLHS: *lhs,
+	})
+	pfds := res.PFDs()
+	if len(pfds) == 0 {
+		fatal(fmt.Errorf("no dependencies mined from %s; nothing to validate against", *ref))
+	}
+	fmt.Fprintf(os.Stderr, "pfdstream: mined %d dependencies from %s (%d rows)\n",
+		len(pfds), *ref, table.NumRows())
+
+	// The live flag gates violation printing: reference-batch replay
+	// must not spam the output. Only NewTuple findings count as live
+	// violations (and decide the exit status): retroactive signals
+	// (Row=-1) re-fire on every majority-side tuple while a group
+	// disagrees, so a delta-tolerated dirty row in the *reference*
+	// would otherwise flag — and spam — a perfectly clean live stream.
+	// They are tallied separately and summarized once.
+	var live atomic.Bool
+	var liveViolations atomic.Int64
+	var retroSignals atomic.Int64
+	var printMu sync.Mutex
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	warmRows := 0
+	if *warm {
+		warmRows = table.NumRows()
+	}
+	eng := pfd.NewStreamEngine(pfds, pfd.StreamOptions{
+		Shards:        *shards,
+		BatchSize:     *batchSize,
+		FlushInterval: *flush,
+		// The CLI consumes violations through the callback; retaining
+		// them in the engine would grow without bound on long streams.
+		DiscardViolations: true,
+		OnViolation: func(v pfd.StreamViolation) {
+			if !live.Load() {
+				return
+			}
+			if !v.NewTuple {
+				retroSignals.Add(1)
+				return
+			}
+			liveViolations.Add(1)
+			if *quiet {
+				return
+			}
+			printMu.Lock()
+			defer printMu.Unlock()
+			if v.Expected != "" {
+				fmt.Fprintf(out, "row %d: %s should be %q (by %s)\n",
+					v.Cell.Row-warmRows, v.Cell.Col, v.Expected, v.PFD.Embedded())
+			} else {
+				fmt.Fprintf(out, "row %d: %s breaks %s\n",
+					v.Cell.Row-warmRows, v.Cell.Col, v.PFD.Embedded())
+			}
+		},
+	})
+
+	if *warm {
+		for _, row := range table.Rows {
+			tuple := make(map[string]string, len(table.Cols))
+			for j, c := range table.Cols {
+				tuple[c] = row[j]
+			}
+			if err := eng.Submit(tuple); err != nil {
+				fatal(fmt.Errorf("warming from reference: %w", err))
+			}
+		}
+		eng.Snapshot() // barrier: drain the warm batches before going live
+	}
+	live.Store(true)
+
+	nw := *workers
+	if nw <= 0 {
+		nw = *shards
+	}
+	tuples := make(chan map[string]string, 4*nw)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(tuples)
+		var err error
+		switch *format {
+		case "csv":
+			err = readCSVStream(os.Stdin, tuples)
+		case "jsonl":
+			err = readJSONLStream(os.Stdin, tuples)
+		default:
+			err = fmt.Errorf("unknown -format %q (want csv or jsonl)", *format)
+		}
+		if err != nil {
+			errc <- err
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	submitErrc := make(chan error, 1)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tuple := range tuples {
+				if err := eng.Submit(tuple); err != nil {
+					select {
+					case submitErrc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	rep := eng.Close()
+	elapsed := time.Since(start)
+	out.Flush()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	default:
+	}
+	select {
+	case err := <-submitErrc:
+		fatal(err)
+	default:
+	}
+
+	liveRows := rep.Rows - warmRows
+	tps := float64(liveRows) / elapsed.Seconds()
+	fmt.Fprintf(os.Stderr,
+		"pfdstream: checked %d tuples in %s (%.0f tuples/sec, %d shards, %d workers): %d violations\n",
+		liveRows, elapsed.Round(time.Millisecond), tps, *shards, nw, liveViolations.Load())
+	if n := retroSignals.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr,
+			"pfdstream: %d retroactive signals (earlier tuples in disagreeing groups are suspect; not counted as live violations)\n", n)
+	}
+	if liveViolations.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// readCSVStream decodes a header-first CSV into column->value tuples.
+func readCSVStream(r io.Reader, tuples chan<- map[string]string) error {
+	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<20))
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err == io.EOF {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("reading CSV header: %w", err)
+	}
+	cols := append([]string(nil), header...)
+	for {
+		// The reader enforces the header's field count (encoding/csv's
+		// FieldsPerRecord), so a jagged record fails the run here with
+		// a line-numbered error rather than surfacing later as a
+		// confusing per-tuple MissingColumnError.
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("reading CSV record: %w", err)
+		}
+		tuple := make(map[string]string, len(cols))
+		for j, c := range cols {
+			tuple[c] = rec[j]
+		}
+		tuples <- tuple
+	}
+}
+
+// readJSONLStream decodes one flat JSON object per line. Non-string
+// scalars are stringified; nested values are rejected. An explicit
+// null is treated as an absent key — not as "" — so a null in a
+// referenced column surfaces as a *MissingColumnError instead of
+// silently folding an empty value into the consensus state (the same
+// contract the typed CheckNext error establishes for missing keys).
+func readJSONLStream(r io.Reader, tuples chan<- map[string]string) error {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	for line := 1; ; line++ {
+		var raw map[string]any
+		if err := dec.Decode(&raw); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("JSONL object %d: %w", line, err)
+		}
+		tuple := make(map[string]string, len(raw))
+		for k, v := range raw {
+			switch x := v.(type) {
+			case string:
+				tuple[k] = x
+			case float64:
+				tuple[k] = strconv.FormatFloat(x, 'f', -1, 64)
+			case bool:
+				tuple[k] = strconv.FormatBool(x)
+			case nil:
+				// absent key; see doc comment
+			default:
+				return fmt.Errorf("JSONL object %d: field %q is nested (%T); flat objects only", line, k, v)
+			}
+		}
+		tuples <- tuple
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pfdstream:", err)
+	os.Exit(2)
+}

@@ -83,9 +83,46 @@ func ExampleNewChecker() {
 		},
 	)
 	c := pfd.NewChecker([]*pfd.PFD{psi})
-	c.CheckNext(map[string]string{"zip": "90001", "state": "CA"})
-	c.CheckNext(map[string]string{"zip": "90002", "state": "CA"})
-	for _, v := range c.CheckNext(map[string]string{"zip": "90003", "state": "WA"}) {
+	mustStream(c.CheckNext(map[string]string{"zip": "90001", "state": "CA"}))
+	mustStream(c.CheckNext(map[string]string{"zip": "90002", "state": "CA"}))
+	for _, v := range mustStream(c.CheckNext(map[string]string{"zip": "90003", "state": "WA"})) {
+		fmt.Println(v.Cell, "expected", v.Expected)
+	}
+	// Output:
+	// r2[state] expected CA
+}
+
+// mustStream unwraps CheckNext in examples; a missing-column error is a
+// programming mistake there, not data dirt.
+func mustStream(vs []pfd.StreamViolation, err error) []pfd.StreamViolation {
+	if err != nil {
+		panic(err)
+	}
+	return vs
+}
+
+// ExampleNewStreamEngine validates the same stream through the sharded
+// engine: identical consensus semantics, concurrent-producer Submit,
+// and a deterministic snapshot report.
+func ExampleNewStreamEngine() {
+	psi, _ := pfd.NewPFD("Zip", []string{"zip"}, "state",
+		pfd.TableauRow{
+			LHS: []pfd.TableauCell{pfd.Pat(pfd.MustParsePattern(`(\D{3})\D{2}`))},
+			RHS: pfd.Wildcard(),
+		},
+	)
+	eng := pfd.NewStreamEngine([]*pfd.PFD{psi}, pfd.StreamOptions{Shards: 4})
+	for _, t := range []map[string]string{
+		{"zip": "90001", "state": "CA"},
+		{"zip": "90002", "state": "CA"},
+		{"zip": "90003", "state": "WA"},
+	} {
+		if err := eng.Submit(t); err != nil {
+			panic(err)
+		}
+	}
+	rep := eng.Close()
+	for _, v := range rep.Violations {
 		fmt.Println(v.Cell, "expected", v.Expected)
 	}
 	// Output:

@@ -1,6 +1,10 @@
-// streamingingest demonstrates ingest-time cleaning: PFDs mined offline
-// from a trusted batch guard a live tuple stream, flagging each dirty
-// record the moment it arrives instead of in a nightly batch pass.
+// streamingingest demonstrates ingest-time cleaning on the sharded
+// streaming engine: PFDs mined offline from a trusted batch guard a
+// live tuple stream, flagging each dirty record the moment it arrives
+// instead of in a nightly batch pass. Group state is partitioned
+// across shard workers, Submit is called from the producer, and each
+// Snapshot places a barrier that drains the in-flight batches — so
+// every status below reflects exactly the tuples submitted before it.
 package main
 
 import (
@@ -28,12 +32,15 @@ func main() {
 		fmt.Printf("  %s  %s\n", d.Embedded(), d.PFD)
 	}
 
-	// Online: validate a stream, one tuple at a time. Seed the checker
-	// with the reference batch so group consensus exists from the start.
-	checker := pfd.NewChecker(res.PFDs())
+	// Online: a sharded engine validates the stream. Seed it with the
+	// reference batch so group consensus exists from the start.
+	eng := pfd.NewStreamEngine(res.PFDs(), pfd.StreamOptions{Shards: 4, BatchSize: 32})
 	for _, row := range ref.Rows {
-		checker.CheckNext(map[string]string{"zip": row[0], "state": row[1]})
+		if err := eng.Submit(map[string]string{"zip": row[0], "state": row[1]}); err != nil {
+			panic(err)
+		}
 	}
+	warmRows := eng.Snapshot().Rows // barrier: reference batch folded in
 
 	stream := []map[string]string{
 		{"zip": "90055", "state": "CA"}, // clean
@@ -44,14 +51,24 @@ func main() {
 	}
 	fmt.Println("\nvalidating live stream:")
 	for i, tuple := range stream {
-		vs := checker.CheckNext(tuple)
+		if err := eng.Submit(tuple); err != nil {
+			panic(err)
+		}
+		// A per-tuple snapshot barrier makes the demo deterministic; a
+		// real ingest pipeline would use OnViolation for live delivery
+		// and snapshot only periodically.
+		rep := eng.Snapshot()
 		status := "ok"
-		for _, v := range vs {
-			if v.NewTuple {
+		for _, v := range rep.Violations {
+			if v.NewTuple && v.Cell.Row == warmRows+i {
 				status = fmt.Sprintf("REJECTED: %s should be %q (by %s)",
 					v.Cell.Col, v.Expected, v.PFD.Embedded())
 			}
 		}
 		fmt.Printf("  tuple %d %v -> %s\n", i, tuple, status)
 	}
+
+	final := eng.Close()
+	fmt.Printf("\nfinal report: %d tuples checked, %d violations\n",
+		final.Rows, len(final.Violations))
 }

@@ -1,0 +1,59 @@
+// Package benchfmt defines the machine-readable performance-snapshot
+// schema shared by cmd/pfdbench (which writes BENCH_PR*.json) and
+// cmd/benchdiff (the CI regression gate that compares two snapshots).
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Result is one timed experiment.
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int                `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is a full snapshot: environment header plus results.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	NumCPU      int      `json:"num_cpu"`
+	Scale       float64  `json:"scale"`
+	Results     []Result `json:"results"`
+}
+
+// Find returns the named result, if present.
+func (r *Report) Find(name string) (Result, bool) {
+	for _, res := range r.Results {
+		if res.Name == name {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// Read loads a snapshot from path.
+func Read(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// Write stores a snapshot at path, indented for reviewable diffs.
+func Write(path string, rep *Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

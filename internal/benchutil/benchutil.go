@@ -1,0 +1,73 @@
+// Package benchutil holds the streaming-throughput benchmark driver
+// shared by bench_test.go (BenchmarkStreamCheck) and cmd/pfdbench
+// (the stream/Check/T13 entries of -exp bench), so both measure the
+// same workload through the same code path.
+package benchutil
+
+import (
+	"sync"
+
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+	"pfd/internal/stream"
+)
+
+// StreamPFDs are hand-built dependencies over the T13 transcript
+// schema (the course prefix determines the department; the semester
+// code embeds the year), so the stream benchmarks are independent of
+// discovery output.
+func StreamPFDs() []*pfd.PFD {
+	courseDept := pfd.MustNew("T13", []string{"course_id"}, "dept", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(\LU{2})-\D{3}`))},
+		RHS: pfd.Wildcard(),
+	})
+	semesterYear := pfd.MustNew("T13", []string{"semester"}, "year", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`\LU(\D{4})`))},
+		RHS: pfd.Wildcard(),
+	})
+	return []*pfd.PFD{courseDept, semesterYear}
+}
+
+// TableTuples converts a table to the column->value maps the stream
+// engine consumes.
+func TableTuples(t *relation.Table) []map[string]string {
+	out := make([]map[string]string, t.NumRows())
+	for i, row := range t.Rows {
+		tuple := make(map[string]string, len(t.Cols))
+		for j, c := range t.Cols {
+			tuple[c] = row[j]
+		}
+		out[i] = tuple
+	}
+	return out
+}
+
+// RunStreamPass pushes every tuple through a fresh engine with one
+// producer goroutine per shard (the match phase runs producer-side)
+// and waits for the Close drain.
+func RunStreamPass(pfds []*pfd.PFD, tuples []map[string]string, shards int) {
+	eng := stream.New(pfds, stream.Options{Shards: shards, BatchSize: 256, FlushInterval: -1})
+	var wg sync.WaitGroup
+	chunk := (len(tuples) + shards - 1) / shards
+	for p := 0; p < shards; p++ {
+		lo, hi := p*chunk, (p+1)*chunk
+		if hi > len(tuples) {
+			hi = len(tuples)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(part []map[string]string) {
+			defer wg.Done()
+			for _, tuple := range part {
+				if err := eng.Submit(tuple); err != nil {
+					panic(err)
+				}
+			}
+		}(tuples[lo:hi])
+	}
+	wg.Wait()
+	eng.Close()
+}

@@ -1,6 +1,7 @@
 package pfd
 
 import (
+	"fmt"
 	"strings"
 
 	"pfd/internal/relation"
@@ -16,21 +17,124 @@ type Checker struct {
 	pfds []*PFD
 	// state[p][tableauRow][lhsKey] tracks the RHS span consensus per
 	// equivalence group.
-	state []map[int]map[string]*groupState
+	state []map[int]map[string]*GroupState
 	rows  int
+	// required lists every column some PFD references, deduplicated,
+	// with the first PFD that references it (for error reporting).
+	required []RequiredColumn
 }
 
-// groupState is the running consensus of one LHS-equivalence group.
-type groupState struct {
+// RequiredColumn pairs a referenced column with the first PFD that
+// references it, for error reporting.
+type RequiredColumn struct {
+	Column string
+	PFD    *PFD
+}
+
+// RequiredColumnRefs returns every column the PFD set references (LHS
+// attributes and RHS attributes), deduplicated in first-reference
+// order, each with the first PFD referencing it. Both the sequential
+// Checker and the sharded stream engine validate tuples against this
+// list.
+func RequiredColumnRefs(pfds []*PFD) []RequiredColumn {
+	var refs []RequiredColumn
+	seen := map[string]bool{}
+	add := func(col string, p *PFD) {
+		if !seen[col] {
+			seen[col] = true
+			refs = append(refs, RequiredColumn{Column: col, PFD: p})
+		}
+	}
+	for _, p := range pfds {
+		for _, a := range p.LHS {
+			add(a, p)
+		}
+		add(p.RHS, p)
+	}
+	return refs
+}
+
+// MissingColumnError reports a tuple that lacks a column referenced by
+// one of the checked PFDs. The tuple is rejected without being folded
+// into the consensus state.
+type MissingColumnError struct {
+	Column string
+	PFD    *PFD
+}
+
+func (e *MissingColumnError) Error() string {
+	return fmt.Sprintf("pfd: tuple is missing column %q required by %s", e.Column, e.PFD.Embedded())
+}
+
+// GroupState is the running consensus of one LHS-equivalence group —
+// the per-group automaton shared by the sequential Checker and the
+// sharded stream engine (internal/stream): both must raise identical
+// signals for identical per-group span sequences.
+type GroupState struct {
 	spans map[string]int // RHS span -> count
 	total int
 }
 
+// NewGroupState creates an empty consensus group.
+func NewGroupState() *GroupState { return &GroupState{spans: map[string]int{}} }
+
+// FoldOutcome classifies the consensus signal raised by folding one
+// span into a group.
+type FoldOutcome uint8
+
+const (
+	// FoldAgree: no disagreement signal (unanimous group, or a split
+	// with no strict majority — ties never blame anyone).
+	FoldAgree FoldOutcome = iota
+	// FoldMinority: the folded span deviates from a strict majority —
+	// the incoming tuple is the likely culprit.
+	FoldMinority
+	// FoldRetroactive: the folded span confirms a strict majority
+	// while the group still disagrees — earlier minority tuples are
+	// now suspect. This re-fires on every majority-side fold until the
+	// group converges; the stream keeps no memory of reported
+	// findings.
+	FoldRetroactive
+)
+
+// Fold folds one RHS span into the group and reports the verdict,
+// returning the majority span when the outcome is FoldMinority or
+// FoldRetroactive.
+func (g *GroupState) Fold(span string) (FoldOutcome, string) {
+	g.total++
+	g.spans[span]++
+	if len(g.spans) > 1 {
+		if maj, n := g.majority(); 2*n > g.total {
+			if maj != span {
+				return FoldMinority, maj
+			}
+			return FoldRetroactive, maj
+		}
+	}
+	return FoldAgree, ""
+}
+
+// majority returns the most frequent span (ties broken by the smallest
+// span, deterministically) and its count.
+func (g *GroupState) majority() (string, int) {
+	best, n := "", 0
+	for s, c := range g.spans {
+		if c > n || (c == n && s < best) {
+			best, n = s, c
+		}
+	}
+	return best, n
+}
+
 // NewChecker creates an incremental checker over the given PFDs.
 func NewChecker(pfds []*PFD) *Checker {
-	c := &Checker{pfds: pfds, state: make([]map[int]map[string]*groupState, len(pfds))}
+	c := &Checker{
+		pfds:     pfds,
+		state:    make([]map[int]map[string]*GroupState, len(pfds)),
+		required: RequiredColumnRefs(pfds),
+	}
 	for i := range c.state {
-		c.state[i] = map[int]map[string]*groupState{}
+		c.state[i] = map[int]map[string]*GroupState{}
 	}
 	return c
 }
@@ -55,16 +159,28 @@ type StreamViolation struct {
 // majority forming after the dirty tuple arrived) are reported against
 // the earlier row id as NewTuple=false findings.
 //
+// If the tuple lacks a column any PFD references, CheckNext returns a
+// *MissingColumnError and the tuple is NOT folded in: the state and the
+// row counter are unchanged. (A present-but-non-matching value is not
+// an error — the tableau row simply does not apply; only an absent key
+// is rejected, since it almost always signals a schema mismatch rather
+// than dirty data.)
+//
 // Semantics note: single-tuple (constant-row) checks are exact; pair
 // semantics is approximated by majority — identical to the batch
 // detector's consensus rule, but order-dependent for tie groups.
-func (c *Checker) CheckNext(tuple map[string]string) []StreamViolation {
+func (c *Checker) CheckNext(tuple map[string]string) ([]StreamViolation, error) {
+	for _, rc := range c.required {
+		if _, ok := tuple[rc.Column]; !ok {
+			return nil, &MissingColumnError{Column: rc.Column, PFD: rc.PFD}
+		}
+	}
 	row := c.rows
 	c.rows++
 	var out []StreamViolation
 	for pi, p := range c.pfds {
 		for ri, tr := range p.Tableau {
-			key, ok := c.lhsKeyOf(p, tr, tuple)
+			key, ok := LHSKey(p, tr, tuple)
 			if !ok {
 				continue
 			}
@@ -91,45 +207,43 @@ func (c *Checker) CheckNext(tuple map[string]string) []StreamViolation {
 			}
 			groups := c.state[pi][ri]
 			if groups == nil {
-				groups = map[string]*groupState{}
+				groups = map[string]*GroupState{}
 				c.state[pi][ri] = groups
 			}
 			g := groups[key]
 			if g == nil {
-				g = &groupState{spans: map[string]int{}}
+				g = NewGroupState()
 				groups[key] = g
 			}
-			g.total++
-			g.spans[span]++
-			if len(g.spans) > 1 {
-				// Disagreement: blame the minority side if a strict
-				// majority exists.
-				if maj, n := majoritySpan(g); 2*n > g.total && maj != span {
-					out = append(out, StreamViolation{
-						PFD: p, TableauRow: ri,
-						Cell:     relation.Cell{Row: row, Col: p.RHS},
-						Expected: maj, NewTuple: true,
-					})
-				} else if 2*n > g.total && maj == span {
-					// The new tuple tipped the majority; earlier
-					// minority tuples are now suspect (row unknown at
-					// this layer — reported with Row = -1 sentinel).
-					out = append(out, StreamViolation{
-						PFD: p, TableauRow: ri,
-						Cell:     relation.Cell{Row: -1, Col: p.RHS},
-						Expected: maj, NewTuple: false,
-					})
-				}
+			switch outcome, maj := g.Fold(span); outcome {
+			case FoldMinority:
+				out = append(out, StreamViolation{
+					PFD: p, TableauRow: ri,
+					Cell:     relation.Cell{Row: row, Col: p.RHS},
+					Expected: maj, NewTuple: true,
+				})
+			case FoldRetroactive:
+				// Earlier minority tuples are now suspect (row unknown
+				// at this layer — reported with Row = -1 sentinel).
+				out = append(out, StreamViolation{
+					PFD: p, TableauRow: ri,
+					Cell:     relation.Cell{Row: -1, Col: p.RHS},
+					Expected: maj, NewTuple: false,
+				})
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Rows returns how many tuples have been folded in.
 func (c *Checker) Rows() int { return c.rows }
 
-func (c *Checker) lhsKeyOf(p *PFD, tr Row, tuple map[string]string) (string, bool) {
+// LHSKey returns the tuple's LHS-equivalence key under tableau row tr —
+// the NUL-separated concatenation of its constrained LHS spans — or
+// ok=false when the row does not apply to the tuple. The Checker and
+// the stream engine key (and shard) their group state by it.
+func LHSKey(p *PFD, tr Row, tuple map[string]string) (string, bool) {
 	var b strings.Builder
 	for j, a := range p.LHS {
 		span, ok := tr.LHS[j].Span(tuple[a])
@@ -140,14 +254,4 @@ func (c *Checker) lhsKeyOf(p *PFD, tr Row, tuple map[string]string) (string, boo
 		b.WriteByte('\x00')
 	}
 	return b.String(), true
-}
-
-func majoritySpan(g *groupState) (string, int) {
-	best, n := "", 0
-	for s, c := range g.spans {
-		if c > n || (c == n && s < best) {
-			best, n = s, c
-		}
-	}
-	return best, n
 }

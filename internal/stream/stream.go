@@ -1,0 +1,489 @@
+// Package stream is a sharded, batched streaming validation engine
+// over PFDs — the production-scale counterpart of the sequential
+// internal/pfd.Checker prototype.
+//
+// The design separates the write path from the read path (the
+// Polynesia-style split: specialized layouts per access path):
+//
+//   - Write path: Submit matches the tuple against every tableau row
+//     in the calling goroutine (pattern matching is the expensive,
+//     embarrassingly parallel part — concurrent producers scale it),
+//     then routes the resulting consensus updates to shards under a
+//     short critical section that only assigns the row id and appends
+//     to per-shard batch buffers. Buffers flush to the shard's channel
+//     when they reach Options.BatchSize, or when Options.FlushInterval
+//     elapses, amortizing channel overhead across tuples.
+//
+//   - Shard path: group state is partitioned by
+//     hash(pfd, tableauRow, lhsKey) across Options.Shards worker
+//     goroutines. A group's entire history lives on one shard and
+//     arrives in submission order, so each shard replays exactly the
+//     sequential Checker's consensus automaton on its slice of the
+//     group space — the union of shard outputs is identical to the
+//     sequential output for every shard count (pinned by the
+//     differential test in stream_test.go).
+//
+//   - Read path: Snapshot flushes every pending buffer and sends a
+//     barrier op down each shard channel — channel FIFO guarantees the
+//     barrier observes everything submitted before it — then collects
+//     the per-shard violation logs into one deterministically sorted
+//     report.
+package stream
+
+import (
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("stream: engine is closed")
+
+// Options configure the engine. The zero value is usable: it means
+// GOMAXPROCS shards, a 64-update batch, and a 2ms flush interval.
+type Options struct {
+	// Shards is the number of state partitions, each owned by one
+	// worker goroutine. <= 0 means runtime.GOMAXPROCS(0).
+	Shards int
+	// BatchSize is how many routed updates accumulate per shard before
+	// the buffer is handed to the worker. <= 0 means 64.
+	BatchSize int
+	// FlushInterval bounds the latency of partially filled batches
+	// under slow traffic. 0 means 2ms; negative disables timed flushes
+	// (batches then flush only on BatchSize, Snapshot, or Close).
+	FlushInterval time.Duration
+	// OnViolation, when non-nil, is invoked from shard workers as each
+	// violation is found (concurrently — the callback must be safe for
+	// parallel use). It must NOT call back into the engine: Snapshot,
+	// Close, Rows, or Submit from inside the callback can deadlock,
+	// because the callback runs on the worker the engine would need to
+	// make progress.
+	OnViolation func(pfd.StreamViolation)
+	// DiscardViolations stops the engine from retaining violations for
+	// Snapshot/Close reports (their Violations slices stay empty; Rows
+	// is still exact). Set it for long-running engines that consume
+	// violations through OnViolation: retained logs otherwise grow
+	// with every finding — including the retroactive re-fires of a
+	// persistently disagreeing group — for the engine's lifetime.
+	DiscardViolations bool
+}
+
+// DefaultBatchSize is the batch size used when Options.BatchSize <= 0.
+const DefaultBatchSize = 64
+
+// DefaultFlushInterval is used when Options.FlushInterval == 0.
+const DefaultFlushInterval = 2 * time.Millisecond
+
+// Report is a consistent view of the stream at a snapshot barrier.
+type Report struct {
+	// Rows is how many tuples had been submitted when the barrier was
+	// placed.
+	Rows int
+	// Violations are all violations found so far, sorted by
+	// (row, pfd, tableau row, column, expected). Retroactive findings
+	// (NewTuple=false, the sentinel row -1) sort first.
+	Violations []pfd.StreamViolation
+}
+
+// opKind discriminates routed updates. Stateless kinds carry a
+// ready-made verdict; opApply folds into the shard's consensus state.
+type opKind uint8
+
+const (
+	opApply         opKind = iota // fold span into the group consensus
+	opConstMismatch               // constant-row RHS mismatch (exact, stateless)
+	opSpanMiss                    // RHS value outside the row's RHS pattern (stateless)
+)
+
+// update is one routed unit of work: the consequence of one tuple
+// matching one tableau row.
+type update struct {
+	pfdIdx int
+	rowIdx int    // tableau row index
+	row    int    // global tuple id, assigned at routing
+	key    string // LHS equivalence key (shard + group key)
+	span   string // RHS span for opApply; expected constant for opConstMismatch
+	kind   opKind
+}
+
+// batch is the unit sent down a shard channel: a run of updates,
+// optionally followed by a snapshot barrier to acknowledge.
+type batch struct {
+	ups []update
+	// barrier, when non-nil, receives a copy of the shard's violation
+	// log after every earlier update has been applied.
+	barrier chan<- []pfd.StreamViolation
+}
+
+// groupKey identifies one consensus group: (pfd, tableauRow, lhsKey).
+type groupKey struct {
+	pfdIdx, rowIdx int
+	key            string
+}
+
+type shard struct {
+	in chan batch
+	// st holds this shard's slice of the group space; the consensus
+	// automaton itself (pfd.GroupState) is shared with the sequential
+	// Checker, so both raise identical signals by construction.
+	st  map[groupKey]*pfd.GroupState
+	log []pfd.StreamViolation // owned by the worker until it exits
+}
+
+// rowMeta caches the per-tableau-row facts Submit needs on every tuple.
+type rowMeta struct {
+	constantLHS bool
+	// constRHS is the expected constant when constantLHS and the RHS
+	// pins one; "" otherwise — mirroring the sequential Checker, which
+	// reports Expected="" for a non-constant RHS mismatch.
+	constRHS string
+}
+
+// Engine is the sharded streaming validator. Submit may be called from
+// any number of goroutines; Snapshot and Close are also safe for
+// concurrent use.
+type Engine struct {
+	pfds     []*pfd.PFD
+	meta     [][]rowMeta
+	required []pfd.RequiredColumn
+	opts     Options
+
+	shards []*shard
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	rows    int
+	pending [][]update // per-shard fill buffers, guarded by mu
+	closed  bool
+
+	stopFlush chan struct{}
+	closeOnce sync.Once
+	finalRows int
+	final     Report
+
+	batchPool sync.Pool // *[]update with cap >= BatchSize
+	upsPool   sync.Pool // *[]update scratch for Submit's match phase
+}
+
+// New creates and starts an engine validating against pfds. The caller
+// must Close it to release the worker goroutines.
+func New(pfds []*pfd.PFD, opts Options) *Engine {
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = DefaultBatchSize
+	}
+	if opts.FlushInterval == 0 {
+		opts.FlushInterval = DefaultFlushInterval
+	}
+	e := &Engine{
+		pfds:      pfds,
+		meta:      make([][]rowMeta, len(pfds)),
+		required:  pfd.RequiredColumnRefs(pfds),
+		opts:      opts,
+		shards:    make([]*shard, opts.Shards),
+		pending:   make([][]update, opts.Shards),
+		stopFlush: make(chan struct{}),
+	}
+	e.batchPool.New = func() any { s := make([]update, 0, opts.BatchSize); return &s }
+	e.upsPool.New = func() any { s := make([]update, 0, 16); return &s }
+	for pi, p := range pfds {
+		e.meta[pi] = make([]rowMeta, len(p.Tableau))
+		for ri, tr := range p.Tableau {
+			m := &e.meta[pi][ri]
+			m.constantLHS = tr.ConstantLHS()
+			if m.constantLHS {
+				m.constRHS, _ = tr.RHS.Constant()
+			}
+		}
+	}
+	for i := range e.shards {
+		s := &shard{in: make(chan batch, 8), st: map[groupKey]*pfd.GroupState{}}
+		e.shards[i] = s
+		e.pending[i] = *(e.batchPool.Get().(*[]update))
+		e.wg.Add(1)
+		go e.worker(s)
+	}
+	if opts.FlushInterval > 0 {
+		go e.flushLoop(opts.FlushInterval)
+	}
+	return e
+}
+
+// Submit validates one tuple asynchronously. The expensive pattern
+// matching runs in the caller's goroutine (run several producers to
+// scale it); the routed updates are applied by the shard workers. The
+// returned error is non-nil only for schema problems
+// (*pfd.MissingColumnError) or a closed engine — dirty data never
+// errors, it surfaces as violations.
+func (e *Engine) Submit(tuple map[string]string) error {
+	for _, rc := range e.required {
+		if _, ok := tuple[rc.Column]; !ok {
+			return &pfd.MissingColumnError{Column: rc.Column, PFD: rc.PFD}
+		}
+	}
+
+	// Match phase: no shared state touched.
+	upsp := e.upsPool.Get().(*[]update)
+	ups := (*upsp)[:0]
+	for pi, p := range e.pfds {
+		for ri, tr := range p.Tableau {
+			key, ok := pfd.LHSKey(p, tr, tuple)
+			if !ok {
+				continue
+			}
+			m := e.meta[pi][ri]
+			if m.constantLHS && !tr.RHS.Match(tuple[p.RHS]) {
+				ups = append(ups, update{pfdIdx: pi, rowIdx: ri, key: key, span: m.constRHS, kind: opConstMismatch})
+				continue
+			}
+			span, ok := tr.RHS.Span(tuple[p.RHS])
+			if !ok {
+				ups = append(ups, update{pfdIdx: pi, rowIdx: ri, key: key, kind: opSpanMiss})
+				continue
+			}
+			ups = append(ups, update{pfdIdx: pi, rowIdx: ri, key: key, span: span, kind: opApply})
+		}
+	}
+
+	// Route phase: assign the row id and append to shard buffers under
+	// the lock, so every group sees its updates in one global
+	// submission order.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		*upsp = ups
+		e.upsPool.Put(upsp)
+		return ErrClosed
+	}
+	row := e.rows
+	e.rows++
+	for _, u := range ups {
+		u.row = row
+		si := e.shardOf(u)
+		e.pending[si] = append(e.pending[si], u)
+		if len(e.pending[si]) >= e.opts.BatchSize {
+			e.flushLocked(si)
+		}
+	}
+	e.mu.Unlock()
+	*upsp = ups
+	e.upsPool.Put(upsp)
+	return nil
+}
+
+// shardOf hashes the sharding key (pfd, tableauRow, lhsKey) — FNV-1a,
+// inlined to stay allocation-free.
+func (e *Engine) shardOf(u update) int {
+	h := uint32(2166136261)
+	h = (h ^ uint32(u.pfdIdx)) * 16777619
+	h = (h ^ uint32(u.rowIdx)) * 16777619
+	for i := 0; i < len(u.key); i++ {
+		h = (h ^ uint32(u.key[i])) * 16777619
+	}
+	return int(h % uint32(len(e.shards)))
+}
+
+// flushLocked hands shard si's pending buffer to its worker. Caller
+// holds e.mu. The channel send may block when the shard is backlogged —
+// that is the backpressure path: producers stall rather than queue
+// unboundedly.
+func (e *Engine) flushLocked(si int) {
+	if len(e.pending[si]) == 0 {
+		return
+	}
+	e.shards[si].in <- batch{ups: e.pending[si]}
+	e.pending[si] = *(e.batchPool.Get().(*[]update))
+}
+
+// flushLoop bounds batch latency under slow traffic.
+func (e *Engine) flushLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.mu.Lock()
+			if !e.closed {
+				for si := range e.shards {
+					e.flushLocked(si)
+				}
+			}
+			e.mu.Unlock()
+		case <-e.stopFlush:
+			return
+		}
+	}
+}
+
+// worker owns one shard: it applies batches in FIFO order and answers
+// barriers. It is the only goroutine touching s.st and s.log until the
+// channel closes.
+func (e *Engine) worker(s *shard) {
+	defer e.wg.Done()
+	for b := range s.in {
+		for _, u := range b.ups {
+			e.apply(s, u)
+		}
+		if b.ups != nil {
+			ups := b.ups[:0]
+			e.batchPool.Put(&ups)
+		}
+		if b.barrier != nil {
+			cp := make([]pfd.StreamViolation, len(s.log))
+			copy(cp, s.log)
+			b.barrier <- cp
+		}
+	}
+}
+
+// apply replays the sequential Checker's consensus automaton for one
+// update. Any change here must keep the differential test green.
+func (e *Engine) apply(s *shard, u update) {
+	p := e.pfds[u.pfdIdx]
+	switch u.kind {
+	case opConstMismatch:
+		e.emit(s, pfd.StreamViolation{
+			PFD: p, TableauRow: u.rowIdx,
+			Cell:     relation.Cell{Row: u.row, Col: p.RHS},
+			Expected: u.span, NewTuple: true,
+		})
+	case opSpanMiss:
+		e.emit(s, pfd.StreamViolation{
+			PFD: p, TableauRow: u.rowIdx,
+			Cell:     relation.Cell{Row: u.row, Col: p.RHS},
+			NewTuple: true,
+		})
+	case opApply:
+		gk := groupKey{pfdIdx: u.pfdIdx, rowIdx: u.rowIdx, key: u.key}
+		g := s.st[gk]
+		if g == nil {
+			g = pfd.NewGroupState()
+			s.st[gk] = g
+		}
+		switch outcome, maj := g.Fold(u.span); outcome {
+		case pfd.FoldMinority:
+			e.emit(s, pfd.StreamViolation{
+				PFD: p, TableauRow: u.rowIdx,
+				Cell:     relation.Cell{Row: u.row, Col: p.RHS},
+				Expected: maj, NewTuple: true,
+			})
+		case pfd.FoldRetroactive:
+			e.emit(s, pfd.StreamViolation{
+				PFD: p, TableauRow: u.rowIdx,
+				Cell:     relation.Cell{Row: -1, Col: p.RHS},
+				Expected: maj, NewTuple: false,
+			})
+		}
+	}
+}
+
+func (e *Engine) emit(s *shard, v pfd.StreamViolation) {
+	if !e.opts.DiscardViolations {
+		s.log = append(s.log, v)
+	}
+	if e.opts.OnViolation != nil {
+		e.opts.OnViolation(v)
+	}
+}
+
+// Snapshot places a barrier: it flushes every pending buffer, waits for
+// each shard to apply everything submitted before the barrier, and
+// returns the consistent violation report. Tuples submitted
+// concurrently with Snapshot land on one side of the barrier or the
+// other, atomically. On a closed engine it returns the final report.
+func (e *Engine) Snapshot() Report {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return e.Close()
+	}
+	rows := e.rows
+	acks := make([]chan []pfd.StreamViolation, len(e.shards))
+	for si, s := range e.shards {
+		e.flushLocked(si)
+		ack := make(chan []pfd.StreamViolation, 1)
+		acks[si] = ack
+		s.in <- batch{barrier: ack}
+	}
+	e.mu.Unlock()
+	var all []pfd.StreamViolation
+	for _, ack := range acks {
+		all = append(all, <-ack...)
+	}
+	e.sortViolations(all)
+	return Report{Rows: rows, Violations: all}
+}
+
+// Close drains every in-flight batch, stops the workers, and returns
+// the final report. Further Submits return ErrClosed; further Close or
+// Snapshot calls return the same final report.
+func (e *Engine) Close() Report {
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		close(e.stopFlush)
+		for si, s := range e.shards {
+			e.flushLocked(si)
+			close(s.in)
+		}
+		e.finalRows = e.rows
+		e.mu.Unlock()
+		e.wg.Wait()
+		var all []pfd.StreamViolation
+		for _, s := range e.shards {
+			all = append(all, s.log...)
+		}
+		e.sortViolations(all)
+		e.final = Report{Rows: e.finalRows, Violations: all}
+	})
+	return e.final
+}
+
+// Rows returns how many tuples have been submitted so far.
+func (e *Engine) Rows() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rows
+}
+
+// sortViolations orders a violation slice deterministically so reports
+// are comparable across shard counts and runs.
+func (e *Engine) sortViolations(vs []pfd.StreamViolation) {
+	idx := make(map[*pfd.PFD]int, len(e.pfds))
+	for i, p := range e.pfds {
+		idx[p] = i
+	}
+	SortViolations(vs, idx)
+}
+
+// SortViolations orders violations by (row, pfd index, tableau row,
+// column, expected, NewTuple). Exported for the differential tests,
+// which sort sequential-Checker output with the same comparator.
+func SortViolations(vs []pfd.StreamViolation, pfdIdx map[*pfd.PFD]int) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.Cell.Row != b.Cell.Row {
+			return a.Cell.Row < b.Cell.Row
+		}
+		if pi, pj := pfdIdx[a.PFD], pfdIdx[b.PFD]; pi != pj {
+			return pi < pj
+		}
+		if a.TableauRow != b.TableauRow {
+			return a.TableauRow < b.TableauRow
+		}
+		if a.Cell.Col != b.Cell.Col {
+			return a.Cell.Col < b.Cell.Col
+		}
+		if a.Expected != b.Expected {
+			return a.Expected < b.Expected
+		}
+		return !a.NewTuple && b.NewTuple
+	})
+}

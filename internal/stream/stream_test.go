@@ -1,0 +1,307 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+)
+
+// testPFDs exercises every update kind: a constant row with a constant
+// RHS (exact single-tuple checks), a variable row with a wildcard RHS
+// (span consensus on the whole value), and a variable row with a
+// pattern RHS (span consensus + span misses).
+func testPFDs() []*pfd.PFD {
+	constant := pfd.MustNew("Zip", []string{"zip"}, "city", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(900)\D{2}`))},
+		RHS: pfd.Pat(pattern.Constant("Los Angeles")),
+	})
+	variable := pfd.MustNew("Zip", []string{"zip"}, "city", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(\D{3})\D{2}`))},
+		RHS: pfd.Wildcard(),
+	})
+	patternRHS := pfd.MustNew("Zip", []string{"zip"}, "city", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(\D{2})\D{3}`))},
+		RHS: pfd.Pat(pattern.MustParse(`(\LU\LL+)\A*`)),
+	})
+	return []*pfd.PFD{constant, variable, patternRHS}
+}
+
+// randomStream builds a tuple stream with colliding zip groups, mixed
+// city labels, dirty values, and non-matching rows.
+func randomStream(r *rand.Rand, n int) []map[string]string {
+	prefixes := []string{"900", "606", "100", "ABC"}
+	cities := []string{"Los Angeles", "Chicago", "New York", "90x", "Los Angeles", "Chicago"}
+	out := make([]map[string]string, n)
+	for i := range out {
+		out[i] = map[string]string{
+			"zip":  fmt.Sprintf("%s%02d", prefixes[r.Intn(len(prefixes))], r.Intn(4)),
+			"city": cities[r.Intn(len(cities))],
+		}
+	}
+	return out
+}
+
+// sequentialViolations replays the stream through the sequential
+// Checker, the ground truth the engine must reproduce.
+func sequentialViolations(t *testing.T, pfds []*pfd.PFD, stream []map[string]string) []pfd.StreamViolation {
+	t.Helper()
+	c := pfd.NewChecker(pfds)
+	var all []pfd.StreamViolation
+	for _, tuple := range stream {
+		vs, err := c.CheckNext(tuple)
+		if err != nil {
+			t.Fatalf("CheckNext: %v", err)
+		}
+		all = append(all, vs...)
+	}
+	return all
+}
+
+func pfdIndex(pfds []*pfd.PFD) map[*pfd.PFD]int {
+	idx := make(map[*pfd.PFD]int, len(pfds))
+	for i, p := range pfds {
+		idx[p] = i
+	}
+	return idx
+}
+
+// TestDifferentialAgainstChecker is the semantics-equivalence pin: the
+// engine's violation set must equal the sequential Checker's on the
+// same stream, for every shard count and batch size (reporting order
+// excepted — both sides are sorted with the same comparator).
+func TestDifferentialAgainstChecker(t *testing.T) {
+	pfds := testPFDs()
+	idx := pfdIndex(pfds)
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		stream := randomStream(r, 30+r.Intn(120))
+		want := sequentialViolations(t, pfds, stream)
+		SortViolations(want, idx)
+		for _, shards := range []int{1, 4, 8} {
+			for _, batchSize := range []int{1, 3, 64} {
+				e := New(pfds, Options{Shards: shards, BatchSize: batchSize, FlushInterval: -1})
+				for _, tuple := range stream {
+					if err := e.Submit(tuple); err != nil {
+						t.Fatalf("Submit: %v", err)
+					}
+				}
+				rep := e.Close()
+				if rep.Rows != len(stream) {
+					t.Fatalf("shards=%d batch=%d: Rows = %d, want %d", shards, batchSize, rep.Rows, len(stream))
+				}
+				if !reflect.DeepEqual(rep.Violations, want) {
+					t.Fatalf("shards=%d batch=%d trial=%d: violation sets differ\n got %d: %+v\nwant %d: %+v",
+						shards, batchSize, trial, len(rep.Violations), rep.Violations, len(want), want)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotBarrierConsistency verifies a mid-stream snapshot sees
+// exactly the prefix submitted before it, and that later submissions
+// still land in the final report.
+func TestSnapshotBarrierConsistency(t *testing.T) {
+	pfds := testPFDs()
+	idx := pfdIndex(pfds)
+	r := rand.New(rand.NewSource(7))
+	stream := randomStream(r, 80)
+	cut := 37
+
+	wantPrefix := sequentialViolations(t, pfds, stream[:cut])
+	SortViolations(wantPrefix, idx)
+	wantAll := sequentialViolations(t, pfds, stream)
+	SortViolations(wantAll, idx)
+
+	e := New(pfds, Options{Shards: 4, BatchSize: 5, FlushInterval: -1})
+	for _, tuple := range stream[:cut] {
+		if err := e.Submit(tuple); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	snap := e.Snapshot()
+	if snap.Rows != cut {
+		t.Fatalf("snapshot Rows = %d, want %d", snap.Rows, cut)
+	}
+	if !reflect.DeepEqual(snap.Violations, wantPrefix) {
+		t.Fatalf("snapshot violations differ:\n got %+v\nwant %+v", snap.Violations, wantPrefix)
+	}
+	for _, tuple := range stream[cut:] {
+		if err := e.Submit(tuple); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	rep := e.Close()
+	if !reflect.DeepEqual(rep.Violations, wantAll) {
+		t.Fatalf("final violations differ:\n got %+v\nwant %+v", rep.Violations, wantAll)
+	}
+	// Snapshot after Close returns the final report.
+	if again := e.Snapshot(); !reflect.DeepEqual(again, rep) {
+		t.Fatalf("post-close Snapshot != final report")
+	}
+}
+
+// TestConcurrentProducers hammers Submit from many goroutines with the
+// race detector in mind: per-tuple attribution depends on arrival
+// order, but the *number* of stateless constant-row violations is
+// order-independent, so it is asserted exactly.
+func TestConcurrentProducers(t *testing.T) {
+	pfds := testPFDs()
+	const producers = 8
+	const perProducer = 200
+	e := New(pfds, Options{Shards: 4, BatchSize: 16})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(p)))
+			for i := 0; i < perProducer; i++ {
+				tuple := map[string]string{
+					"zip":  fmt.Sprintf("900%02d", r.Intn(10)),
+					"city": []string{"Los Angeles", "Pasadena"}[i%2],
+				}
+				if err := e.Submit(tuple); err != nil {
+					t.Errorf("Submit: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	rep := e.Close()
+	if rep.Rows != producers*perProducer {
+		t.Fatalf("Rows = %d, want %d", rep.Rows, producers*perProducer)
+	}
+	// Every "Pasadena" tuple breaches the constant row exactly once,
+	// regardless of interleaving.
+	constHits := 0
+	for _, v := range rep.Violations {
+		if v.PFD == pfds[0] && v.NewTuple && v.Expected == "Los Angeles" {
+			constHits++
+		}
+	}
+	if want := producers * perProducer / 2; constHits != want {
+		t.Fatalf("constant-row violations = %d, want %d", constHits, want)
+	}
+}
+
+// TestOnViolationCallback checks the live delivery path agrees with the
+// retained log.
+func TestOnViolationCallback(t *testing.T) {
+	pfds := testPFDs()
+	var mu sync.Mutex
+	live := 0
+	e := New(pfds, Options{Shards: 2, BatchSize: 1, FlushInterval: -1, OnViolation: func(pfd.StreamViolation) {
+		mu.Lock()
+		live++
+		mu.Unlock()
+	}})
+	r := rand.New(rand.NewSource(3))
+	for _, tuple := range randomStream(r, 100) {
+		if err := e.Submit(tuple); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	rep := e.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if live != len(rep.Violations) {
+		t.Fatalf("callback saw %d violations, report has %d", live, len(rep.Violations))
+	}
+	if live == 0 {
+		t.Fatal("stream produced no violations; test is vacuous")
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	pfds := testPFDs()
+	e := New(pfds, Options{Shards: 2})
+	var mce *pfd.MissingColumnError
+	if err := e.Submit(map[string]string{"zip": "90001"}); !errors.As(err, &mce) {
+		t.Fatalf("missing column: got %v, want *pfd.MissingColumnError", err)
+	}
+	if mce.Column != "city" {
+		t.Errorf("Column = %q", mce.Column)
+	}
+	if rep := e.Close(); rep.Rows != 0 {
+		t.Fatalf("rejected tuple counted: Rows = %d", rep.Rows)
+	}
+	if err := e.Submit(map[string]string{"zip": "90001", "city": "Los Angeles"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestFlushIntervalDelivers verifies the timed flush path in
+// isolation: the batch size is never reached and no barrier is placed,
+// so only flushLoop can hand the pending buffer to a worker and fire
+// the OnViolation callback.
+func TestFlushIntervalDelivers(t *testing.T) {
+	pfds := testPFDs()
+	fired := make(chan pfd.StreamViolation, 1)
+	e := New(pfds, Options{
+		Shards: 2, BatchSize: 1 << 20, FlushInterval: time.Millisecond,
+		OnViolation: func(v pfd.StreamViolation) {
+			select {
+			case fired <- v:
+			default:
+			}
+		},
+	})
+	defer e.Close()
+	// Breaches the constant row "(900)\D{2} -> Los Angeles".
+	if err := e.Submit(map[string]string{"zip": "90001", "city": "Pasadena"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-fired:
+		if !v.NewTuple || v.Expected != "Los Angeles" {
+			t.Fatalf("unexpected violation from timed flush: %+v", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed flush never delivered the batch")
+	}
+}
+
+// TestDiscardViolations checks the retention opt-out: violations reach
+// the callback but Snapshot/Close reports stay empty (Rows still
+// exact).
+func TestDiscardViolations(t *testing.T) {
+	pfds := testPFDs()
+	var mu sync.Mutex
+	live := 0
+	e := New(pfds, Options{
+		Shards: 2, BatchSize: 1, FlushInterval: -1, DiscardViolations: true,
+		OnViolation: func(pfd.StreamViolation) {
+			mu.Lock()
+			live++
+			mu.Unlock()
+		},
+	})
+	r := rand.New(rand.NewSource(5))
+	stream := randomStream(r, 100)
+	for _, tuple := range stream {
+		if err := e.Submit(tuple); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := e.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if live == 0 {
+		t.Fatal("no violations reached the callback; test is vacuous")
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("discarded engine retained %d violations", len(rep.Violations))
+	}
+	if rep.Rows != len(stream) {
+		t.Fatalf("Rows = %d, want %d", rep.Rows, len(stream))
+	}
+}

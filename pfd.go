@@ -31,6 +31,7 @@ import (
 	"pfd/internal/pfd"
 	"pfd/internal/relation"
 	"pfd/internal/repair"
+	"pfd/internal/stream"
 )
 
 // Pattern is a constrained pattern of the restricted regex language
@@ -162,10 +163,35 @@ type Checker = pfd.Checker
 // StreamViolation is a violation raised by the incremental Checker.
 type StreamViolation = pfd.StreamViolation
 
+// MissingColumnError is returned by Checker.CheckNext and
+// StreamEngine.Submit when a tuple lacks a column some PFD references.
+type MissingColumnError = pfd.MissingColumnError
+
 // NewChecker creates an incremental checker: each CheckNext call
 // validates one tuple against the group state accumulated so far, with
-// the same consensus semantics as the batch detector.
+// the same consensus semantics as the batch detector. For concurrent,
+// high-throughput validation use NewStreamEngine instead.
 func NewChecker(pfds []*PFD) *Checker { return pfd.NewChecker(pfds) }
+
+// StreamEngine is the sharded, batched streaming validator: group
+// state is partitioned by hash(pfd, tableau row, LHS key) across
+// worker-owned shards, Submit is safe for concurrent producers, and
+// Snapshot/Close report violations with exactly the sequential
+// Checker's consensus semantics (pinned by a differential test).
+type StreamEngine = stream.Engine
+
+// StreamOptions configure a StreamEngine (shard count, batch size,
+// flush interval, live violation callback).
+type StreamOptions = stream.Options
+
+// StreamReport is a consistent snapshot of a StreamEngine.
+type StreamReport = stream.Report
+
+// NewStreamEngine starts a sharded streaming validator over the PFDs.
+// Close it to release the shard workers and obtain the final report.
+func NewStreamEngine(pfds []*PFD, opts StreamOptions) *StreamEngine {
+	return stream.New(pfds, opts)
+}
 
 // FormatFinding is a single-column format outlier.
 type FormatFinding = formatdetect.Finding
