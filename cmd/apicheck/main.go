@@ -1,0 +1,248 @@
+// Command apicheck pins the exported surface of the root pfd package
+// against a committed golden file, so a PR cannot change the public
+// API silently: adding, removing, or re-signaturing an exported
+// symbol fails CI until api.txt is regenerated — making the diff an
+// explicit, reviewable part of the change.
+//
+// Usage:
+//
+//	apicheck [-dir .] [-golden api.txt]      # verify (exit 1 on drift)
+//	apicheck -write                          # regenerate the golden
+//
+// The surface is extracted syntactically (go/parser, no type
+// checking): exported funcs and methods with their signatures,
+// exported types (structs reduced to their exported fields), and
+// exported consts/vars. Deprecated symbols are tagged so removing a
+// deprecation marker is also a visible API change.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory of the package to pin")
+	golden := flag.String("golden", "api.txt", "golden file with the pinned surface")
+	write := flag.Bool("write", false, "regenerate the golden file instead of verifying")
+	flag.Parse()
+
+	lines, err := apiLines(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	if *write {
+		if err := os.WriteFile(*golden, []byte(got), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("apicheck: wrote %d symbols to %s\n", len(lines), *golden)
+		return
+	}
+
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run `go run ./cmd/apicheck -write` to create it)", err))
+	}
+	if got == string(want) {
+		fmt.Printf("apicheck: %d symbols match %s\n", len(lines), *golden)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "apicheck: public API surface drifted from %s\n", *golden)
+	diff(strings.Split(strings.TrimSuffix(string(want), "\n"), "\n"), lines)
+	fmt.Fprintln(os.Stderr, "\nIf the change is intentional, regenerate with: go run ./cmd/apicheck -write")
+	os.Exit(1)
+}
+
+// diff prints the symmetric difference of two sorted line sets.
+func diff(want, got []string) {
+	wantSet := make(map[string]bool, len(want))
+	for _, l := range want {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, l := range got {
+		gotSet[l] = true
+	}
+	for _, l := range want {
+		if !gotSet[l] {
+			fmt.Fprintf(os.Stderr, "  - %s\n", l)
+		}
+	}
+	for _, l := range got {
+		if !wantSet[l] {
+			fmt.Fprintf(os.Stderr, "  + %s\n", l)
+		}
+	}
+}
+
+// apiLines extracts the exported surface of the package in dir as
+// sorted, normalized declaration lines.
+func apiLines(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no non-test package found in %s", dir)
+	}
+
+	var lines []string
+	add := func(deprecated bool, format string, args ...any) {
+		l := fmt.Sprintf(format, args...)
+		if deprecated {
+			l += "  [deprecated]"
+		}
+		lines = append(lines, l)
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				dep := isDeprecated(d.Doc)
+				if d.Recv != nil {
+					recv := render(fset, d.Recv.List[0].Type)
+					if !exportedBase(recv) {
+						continue
+					}
+					add(dep, "method (%s) %s%s", recv, d.Name.Name, signature(fset, d.Type))
+					continue
+				}
+				add(dep, "func %s%s", d.Name.Name, signature(fset, d.Type))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						dep := isDeprecated(d.Doc) || isDeprecated(s.Doc) || isDeprecated(s.Comment)
+						eq := ""
+						if s.Assign != token.NoPos {
+							eq = "= "
+						}
+						add(dep, "type %s %s%s", s.Name.Name, eq, typeExpr(fset, s.Type))
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						dep := isDeprecated(d.Doc) || isDeprecated(s.Doc)
+						for _, n := range s.Names {
+							if !n.IsExported() {
+								continue
+							}
+							if s.Type != nil {
+								add(dep, "%s %s %s", kind, n.Name, render(fset, s.Type))
+							} else {
+								add(dep, "%s %s", kind, n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// isDeprecated reports whether a doc comment carries the standard
+// "Deprecated:" marker.
+func isDeprecated(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// signature renders a func type without the leading "func" keyword.
+func signature(fset *token.FileSet, ft *ast.FuncType) string {
+	return strings.TrimPrefix(render(fset, ft), "func")
+}
+
+// typeExpr renders a type's right-hand side. Structs are reduced to
+// their exported fields (unexported fields are implementation detail,
+// not API); interfaces keep every method (all are API).
+func typeExpr(fset *token.FileSet, e ast.Expr) string {
+	if st, ok := e.(*ast.StructType); ok {
+		var fields []string
+		for _, f := range st.Fields.List {
+			ty := render(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				if exportedBase(ty) {
+					fields = append(fields, ty)
+				}
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					fields = append(fields, n.Name+" "+ty)
+				}
+			}
+		}
+		return "struct { " + strings.Join(fields, "; ") + " }"
+	}
+	return render(fset, e)
+}
+
+// exportedBase reports whether a rendered type's base identifier is
+// exported ("*Foo", "pkg.Foo", "Foo" -> true; "bar", "*bar" -> false).
+func exportedBase(ty string) bool {
+	ty = strings.TrimLeft(ty, "*[]")
+	if i := strings.LastIndexByte(ty, '.'); i >= 0 {
+		ty = ty[i+1:]
+	}
+	if ty == "" {
+		return false
+	}
+	c := ty[0]
+	return c >= 'A' && c <= 'Z'
+}
+
+var spaceRE = regexp.MustCompile(`\s+`)
+
+// render prints an AST node on one normalized line.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		fatal(err)
+	}
+	return spaceRE.ReplaceAllString(buf.String(), " ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apicheck:", err)
+	os.Exit(1)
+}

@@ -12,12 +12,18 @@
 // line per suspect cell with the explaining PFD; repair writes a copy of
 // the input with the proposed fixes applied; score evaluates discovery
 // and detection against a ground-truth sidecar written by cmd/datagen.
+//
+// All subcommands run on the v2 API: input flows through a pfd.Source,
+// and SIGINT cancels the run cleanly (discovery stops at the next
+// candidate, exit status 1 with a canceled message).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -42,6 +48,7 @@ func main() {
 	coverage := fs.Float64("coverage", 0.10, "minimum coverage γ")
 	lhs := fs.Int("lhs", 1, "maximum LHS attributes")
 	noGen := fs.Bool("nogeneralize", false, "keep constant PFDs; skip generalization")
+	verbose := fs.Bool("v", false, "report discovery progress per lattice level")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -51,47 +58,57 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	name := strings.TrimSuffix(filepath.Base(*in), filepath.Ext(*in))
-	table, err := pfd.ReadCSVFile(name, *in)
+	opts := []pfd.DiscoverOption{
+		pfd.WithMinSupport(*k),
+		pfd.WithDelta(*delta),
+		pfd.WithMinCoverage(*coverage),
+		pfd.WithMaxLHS(*lhs),
+	}
+	if *noGen {
+		opts = append(opts, pfd.WithoutGeneralization())
+	}
+	if *verbose {
+		opts = append(opts, pfd.WithDiscoverProgress(func(p pfd.DiscoveryProgress) {
+			fmt.Fprintf(os.Stderr, "pfd: level %d/%d: %d candidates, %d dependencies\n",
+				p.Level, p.MaxLevel, p.Candidates, p.Dependencies)
+		}))
+	}
+	disc, err := pfd.Discover(ctx, pfd.FromCSVFile(name, *in), opts...)
 	if err != nil {
 		fatal(err)
 	}
-	params := pfd.Params{
-		MinSupport:        *k,
-		Delta:             *delta,
-		MinCoverage:       *coverage,
-		MaxLHS:            *lhs,
-		DisableGeneralize: *noGen,
-	}
-	res := pfd.Discover(table, params)
 
 	switch cmd {
 	case "discover":
-		runDiscover(res)
+		runDiscover(disc)
 	case "detect":
-		runDetect(table, res)
+		runDetect(ctx, disc)
 	case "repair":
 		if *out == "" {
 			fatal(fmt.Errorf("repair requires -out"))
 		}
-		runRepair(table, res, *out)
+		runRepair(ctx, disc, *out)
 	case "score":
 		if *truthPath == "" {
 			fatal(fmt.Errorf("score requires -truth"))
 		}
-		runScore(table, res, *truthPath)
+		runScore(ctx, disc, *truthPath)
 	default:
 		usage()
 		os.Exit(2)
 	}
 }
 
-func runDiscover(res pfd.DiscoveryResult) {
-	if len(res.Dependencies) == 0 {
+func runDiscover(disc *pfd.Discovery) {
+	if len(disc.Dependencies()) == 0 {
 		fmt.Println("no dependencies found")
 		return
 	}
-	for _, d := range res.Dependencies {
+	for d := range disc.All() {
 		kind := "constant"
 		if d.Variable {
 			kind = "variable"
@@ -112,25 +129,32 @@ func runDiscover(res pfd.DiscoveryResult) {
 	}
 }
 
-func runDetect(table *pfd.Table, res pfd.DiscoveryResult) {
-	findings := pfd.Detect(table, res.PFDs())
-	if len(findings) == 0 {
+func detect(ctx context.Context, disc *pfd.Discovery) *pfd.Detection {
+	det, err := pfd.Detect(ctx, pfd.FromTable(disc.Table()), disc.PFDs())
+	if err != nil {
+		fatal(err)
+	}
+	return det
+}
+
+func runDetect(ctx context.Context, disc *pfd.Discovery) {
+	det := detect(ctx, disc)
+	if len(det.Findings()) == 0 {
 		fmt.Println("no violations found")
 		return
 	}
-	for _, f := range findings {
+	for f := range det.All() {
 		repairNote := "no repair proposed"
 		if f.Proposed != "" {
 			repairNote = fmt.Sprintf("should be %q", f.Proposed)
 		}
 		fmt.Printf("%s: %q %s  (violates %s)\n", f.Cell, f.Observed, repairNote, f.By.Embedded())
 	}
-	fmt.Printf("%d suspect cells\n", len(findings))
+	fmt.Printf("%d suspect cells\n", len(det.Findings()))
 }
 
-func runRepair(table *pfd.Table, res pfd.DiscoveryResult, out string) {
-	findings := pfd.Detect(table, res.PFDs())
-	fixed, n := pfd.Repair(table, findings)
+func runRepair(ctx context.Context, disc *pfd.Discovery, out string) {
+	fixed, n := detect(ctx, disc).Repair()
 	f, err := os.Create(out)
 	if err != nil {
 		fatal(err)
@@ -143,7 +167,7 @@ func runRepair(table *pfd.Table, res pfd.DiscoveryResult, out string) {
 }
 
 // runScore evaluates discovery and detection against a truth sidecar.
-func runScore(table *pfd.Table, res pfd.DiscoveryResult, truthPath string) {
+func runScore(ctx context.Context, disc *pfd.Discovery, truthPath string) {
 	f, err := os.Open(truthPath)
 	if err != nil {
 		fatal(err)
@@ -155,16 +179,16 @@ func runScore(table *pfd.Table, res pfd.DiscoveryResult, truthPath string) {
 	}
 
 	var discovered []string
-	for _, d := range res.Dependencies {
+	for d := range disc.All() {
 		discovered = append(discovered, d.Embedded())
 	}
 	pr := metrics.SetPR(discovered, truth.DepKeys())
 	fmt.Printf("discovery: %d dependencies, %s vs %d ground-truth deps\n",
 		len(discovered), pr, len(truth.Deps))
 
-	findings := pfd.Detect(table, res.PFDs())
+	det := detect(ctx, disc)
 	tp, goodRepairs := 0, 0
-	for _, fd := range findings {
+	for fd := range det.All() {
 		cell := relation.Cell{Row: fd.Cell.Row, Col: fd.Cell.Col}
 		if want, ok := truth.Errors[cell]; ok {
 			tp++
@@ -173,6 +197,7 @@ func runScore(table *pfd.Table, res pfd.DiscoveryResult, truthPath string) {
 			}
 		}
 	}
+	findings := det.Findings()
 	prec, rec := 0.0, 1.0
 	if len(findings) > 0 {
 		prec = float64(tp) / float64(len(findings))
@@ -186,7 +211,7 @@ func runScore(table *pfd.Table, res pfd.DiscoveryResult, truthPath string) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  pfd discover -in data.csv [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] [-nogeneralize]
+  pfd discover -in data.csv [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] [-nogeneralize] [-v]
   pfd detect   -in data.csv [flags]
   pfd repair   -in data.csv -out fixed.csv [flags]
   pfd score    -in data.csv -truth data.truth.csv [flags]`)

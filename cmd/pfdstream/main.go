@@ -10,30 +10,33 @@
 //
 // The reference CSV (with a header row) is mined offline with the
 // Figure 4 discovery algorithm; the resulting PFDs then guard the
-// stream. With -warm (the default) the reference rows are folded into
-// the engine first, so group consensus exists before the first live
-// tuple. Stdin is CSV with a header row, or JSONL (one flat object per
-// line) with -format jsonl.
+// stream through pfd.Validate. With -warm (the default) the reference
+// rows are folded into the engine first, so group consensus exists
+// before the first live tuple. Stdin is CSV with a header row, or
+// JSONL (one flat object per line) with -format jsonl — both are
+// pfd.Source implementations from the shared ingestion layer, so the
+// parsing (and its error reporting) is identical to every other entry
+// point.
 //
 // Violations attributed to live tuples are printed as they are found;
 // retroactive signals (a majority forming after an earlier suspect
 // tuple) are summarized once, since they re-fire per majority-side
 // tuple and may stem from delta-tolerated dirt in the reference batch.
 // A summary with throughput goes to stderr. The exit status is 1 when
-// live tuples raised violations, 2 on usage or I/O errors, 0
-// otherwise — so the command composes as a pipeline gate.
+// live tuples raised violations, 2 on usage, I/O, or cancellation
+// (SIGINT) errors, 0 otherwise — so the command composes as a
+// pipeline gate.
 package main
 
 import (
 	"bufio"
-	"encoding/csv"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
+	"iter"
 	"os"
+	"os/signal"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,28 +68,40 @@ func main() {
 		*shards = runtime.GOMAXPROCS(0)
 	}
 
-	table, err := pfd.ReadCSVFile("ref", *ref)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	disc, err := pfd.Discover(ctx, pfd.FromCSVFile("ref", *ref),
+		pfd.WithMinSupport(*k), pfd.WithDelta(*delta),
+		pfd.WithMinCoverage(*coverage), pfd.WithMaxLHS(*lhs))
 	if err != nil {
 		fatal(err)
 	}
-	res := pfd.Discover(table, pfd.Params{
-		MinSupport: *k, Delta: *delta, MinCoverage: *coverage, MaxLHS: *lhs,
-	})
-	pfds := res.PFDs()
+	pfds := disc.PFDs()
 	if len(pfds) == 0 {
 		fatal(fmt.Errorf("no dependencies mined from %s; nothing to validate against", *ref))
 	}
+	table := disc.Table()
 	fmt.Fprintf(os.Stderr, "pfdstream: mined %d dependencies from %s (%d rows)\n",
 		len(pfds), *ref, table.NumRows())
 
-	// The live flag gates violation printing: reference-batch replay
-	// must not spam the output. Only NewTuple findings count as live
-	// violations (and decide the exit status): retroactive signals
-	// (Row=-1) re-fire on every majority-side tuple while a group
-	// disagrees, so a delta-tolerated dirty row in the *reference*
-	// would otherwise flag — and spam — a perfectly clean live stream.
-	// They are tallied separately and summarized once.
-	var live atomic.Bool
+	var stdin pfd.Source
+	switch *format {
+	case "csv":
+		stdin = pfd.FromCSV("stream", os.Stdin)
+	case "jsonl":
+		stdin = pfd.FromJSONL("stream", os.Stdin)
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want csv or jsonl)", *format))
+	}
+
+	// Only NewTuple findings count as live violations (and decide the
+	// exit status): retroactive signals (Row=-1) re-fire on every
+	// majority-side tuple while a group disagrees, so a delta-tolerated
+	// dirty row in the *reference* would otherwise flag — and spam — a
+	// perfectly clean live stream. They are tallied separately and
+	// summarized once. Warm-replay violations never reach the handler:
+	// Validate suppresses delivery until the live phase starts.
 	var liveViolations atomic.Int64
 	var retroSignals atomic.Int64
 	var printMu sync.Mutex
@@ -96,17 +111,20 @@ func main() {
 	if *warm {
 		warmRows = table.NumRows()
 	}
-	eng := pfd.NewStreamEngine(pfds, pfd.StreamOptions{
-		Shards:        *shards,
-		BatchSize:     *batchSize,
-		FlushInterval: *flush,
-		// The CLI consumes violations through the callback; retaining
+
+	nw := *workers
+	if nw <= 0 {
+		nw = *shards
+	}
+	opts := []pfd.StreamOption{
+		pfd.WithShards(*shards),
+		pfd.WithBatchSize(*batchSize),
+		pfd.WithFlushInterval(*flush),
+		pfd.WithWorkers(nw),
+		// The CLI consumes violations through the handler; retaining
 		// them in the engine would grow without bound on long streams.
-		DiscardViolations: true,
-		OnViolation: func(v pfd.StreamViolation) {
-			if !live.Load() {
-				return
-			}
+		pfd.WithoutViolationLog(),
+		pfd.WithViolationHandler(func(v pfd.StreamViolation) {
 			if !v.NewTuple {
 				retroSignals.Add(1)
 				return
@@ -124,80 +142,28 @@ func main() {
 				fmt.Fprintf(out, "row %d: %s breaks %s\n",
 					v.Cell.Row-warmRows, v.Cell.Col, v.PFD.Embedded())
 			}
-		},
-	})
-
+		}),
+	}
 	if *warm {
-		for _, row := range table.Rows {
-			tuple := make(map[string]string, len(table.Cols))
-			for j, c := range table.Cols {
-				tuple[c] = row[j]
-			}
-			if err := eng.Submit(tuple); err != nil {
-				fatal(fmt.Errorf("warming from reference: %w", err))
-			}
-		}
-		eng.Snapshot() // barrier: drain the warm batches before going live
+		opts = append(opts, pfd.WithWarmup(pfd.FromTable(table)))
 	}
-	live.Store(true)
 
-	nw := *workers
-	if nw <= 0 {
-		nw = *shards
-	}
-	tuples := make(chan map[string]string, 4*nw)
-	errc := make(chan error, 1)
-	go func() {
-		defer close(tuples)
-		var err error
-		switch *format {
-		case "csv":
-			err = readCSVStream(os.Stdin, tuples)
-		case "jsonl":
-			err = readJSONLStream(os.Stdin, tuples)
-		default:
-			err = fmt.Errorf("unknown -format %q (want csv or jsonl)", *format)
-		}
-		if err != nil {
-			errc <- err
-		}
-	}()
-
+	clock := &liveClock{Source: stdin}
 	start := time.Now()
-	var wg sync.WaitGroup
-	submitErrc := make(chan error, 1)
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for tuple := range tuples {
-				if err := eng.Submit(tuple); err != nil {
-					select {
-					case submitErrc <- err:
-					default:
-					}
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	rep := eng.Close()
+	val, err := pfd.Validate(ctx, clock, pfds, opts...)
+	// Throughput is a live-phase number: the warm replay happens inside
+	// Validate, so time from when the live source was first iterated
+	// (i.e. after the warm barrier), not from before Validate.
 	elapsed := time.Since(start)
+	if !clock.start.IsZero() {
+		elapsed = time.Since(clock.start)
+	}
 	out.Flush()
-
-	select {
-	case err := <-errc:
+	if err != nil {
 		fatal(err)
-	default:
-	}
-	select {
-	case err := <-submitErrc:
-		fatal(err)
-	default:
 	}
 
-	liveRows := rep.Rows - warmRows
+	liveRows := val.LiveRows()
 	tps := float64(liveRows) / elapsed.Seconds()
 	fmt.Fprintf(os.Stderr,
 		"pfdstream: checked %d tuples in %s (%.0f tuples/sec, %d shards, %d workers): %d violations\n",
@@ -211,69 +177,23 @@ func main() {
 	}
 }
 
-// readCSVStream decodes a header-first CSV into column->value tuples.
-func readCSVStream(r io.Reader, tuples chan<- map[string]string) error {
-	cr := csv.NewReader(bufio.NewReaderSize(r, 1<<20))
-	cr.ReuseRecord = true
-	header, err := cr.Read()
-	if err == io.EOF {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("reading CSV header: %w", err)
-	}
-	cols := append([]string(nil), header...)
-	for {
-		// The reader enforces the header's field count (encoding/csv's
-		// FieldsPerRecord), so a jagged record fails the run here with
-		// a line-numbered error rather than surfacing later as a
-		// confusing per-tuple MissingColumnError.
-		rec, err := cr.Read()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("reading CSV record: %w", err)
-		}
-		tuple := make(map[string]string, len(cols))
-		for j, c := range cols {
-			tuple[c] = rec[j]
-		}
-		tuples <- tuple
-	}
+// liveClock wraps the stdin source and stamps when its iteration
+// begins. Validate folds the WithWarmup reference in before it first
+// iterates the live source, so the stamp marks the end of warmup; the
+// single producer iterates the source from one goroutine, so the
+// unsynchronized write is safe.
+type liveClock struct {
+	pfd.Source
+	start time.Time
 }
 
-// readJSONLStream decodes one flat JSON object per line. Non-string
-// scalars are stringified; nested values are rejected. An explicit
-// null is treated as an absent key — not as "" — so a null in a
-// referenced column surfaces as a *MissingColumnError instead of
-// silently folding an empty value into the consensus state (the same
-// contract the typed CheckNext error establishes for missing keys).
-func readJSONLStream(r io.Reader, tuples chan<- map[string]string) error {
-	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
-	for line := 1; ; line++ {
-		var raw map[string]any
-		if err := dec.Decode(&raw); err == io.EOF {
-			return nil
-		} else if err != nil {
-			return fmt.Errorf("JSONL object %d: %w", line, err)
+func (s *liveClock) Tuples(ctx context.Context) iter.Seq2[pfd.Tuple, error] {
+	inner := s.Source.Tuples(ctx)
+	return func(yield func(pfd.Tuple, error) bool) {
+		if s.start.IsZero() {
+			s.start = time.Now()
 		}
-		tuple := make(map[string]string, len(raw))
-		for k, v := range raw {
-			switch x := v.(type) {
-			case string:
-				tuple[k] = x
-			case float64:
-				tuple[k] = strconv.FormatFloat(x, 'f', -1, 64)
-			case bool:
-				tuple[k] = strconv.FormatBool(x)
-			case nil:
-				// absent key; see doc comment
-			default:
-				return fmt.Errorf("JSONL object %d: field %q is nested (%T); flat objects only", line, k, v)
-			}
-		}
-		tuples <- tuple
+		inner(yield)
 	}
 }
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -32,19 +33,26 @@ func main() {
 	fmt.Printf("stage 1: landed %s (%d rows, %d dirty cells seeded)\n", dirty, t.NumRows(), len(truth.Errors))
 
 	// Stage 2 — profile and discover constraints on the dirty data.
-	loaded, err := pfd.ReadCSVFile("contacts", dirty)
+	// The CSV file enters through the shared Source layer; Discover
+	// materializes it once and hands the table back for the later
+	// stages.
+	ctx := context.Background()
+	disc, err := pfd.Discover(ctx, pfd.FromCSVFile("contacts", dirty))
 	if err != nil {
 		panic(err)
 	}
-	res := pfd.Discover(loaded, pfd.DefaultParams())
-	fmt.Printf("stage 2: discovered %d dependencies:\n", len(res.Dependencies))
-	for _, d := range res.Dependencies {
+	fmt.Printf("stage 2: discovered %d dependencies:\n", len(disc.Dependencies()))
+	for d := range disc.All() {
 		fmt.Printf("  %s (variable=%v, coverage %.0f%%)\n", d.Embedded(), d.Variable, 100*d.Coverage)
 	}
 
 	// Stage 3 — detect and repair.
-	findings := pfd.Detect(loaded, res.PFDs())
-	fixed, n := pfd.Repair(loaded, findings)
+	det, err := pfd.Detect(ctx, pfd.FromTable(disc.Table()), disc.PFDs())
+	if err != nil {
+		panic(err)
+	}
+	findings := det.Findings()
+	fixed, n := det.Repair()
 	correct := 0
 	for _, fd := range findings {
 		if want, ok := truth.Errors[fd.Cell]; ok && fd.Proposed == want {
@@ -55,7 +63,11 @@ func main() {
 		len(findings), n, correct)
 
 	// Stage 4 — verify the cleaned data and publish.
-	left := pfd.Detect(fixed, res.PFDs())
+	verify, err := pfd.Detect(ctx, pfd.FromTable(fixed), disc.PFDs())
+	if err != nil {
+		panic(err)
+	}
+	left := verify.Findings()
 	clean := filepath.Join(dir, "contacts.clean.csv")
 	out, _ := os.Create(clean)
 	if err := fixed.WriteCSV(out); err != nil {

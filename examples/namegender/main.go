@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -30,13 +31,20 @@ func main() {
 	t.Rows[5][1] = flip(t.Rows[5][1])
 	t.Rows[77][1] = flip(t.Rows[77][1])
 
-	res := pfd.Discover(t, pfd.DefaultParams())
-	for _, d := range res.Dependencies {
+	ctx := context.Background()
+	disc, err := pfd.Discover(ctx, pfd.FromTable(t))
+	if err != nil {
+		panic(err)
+	}
+	for d := range disc.All() {
 		fmt.Printf("discovered %s variable=%v\n  %s\n", d.Embedded(), d.Variable, d.PFD)
 	}
-	findings := pfd.Detect(t, res.PFDs())
-	fmt.Printf("detected %d flipped genders (seeded 2)\n\n", len(findings))
-	for _, f := range findings {
+	det, err := pfd.Detect(ctx, pfd.FromTable(t), disc.PFDs())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("detected %d flipped genders (seeded 2)\n\n", len(det.Findings()))
+	for f := range det.All() {
 		fmt.Printf("  %s: %q should be %q\n", f.Cell, f.Observed, f.Proposed)
 	}
 

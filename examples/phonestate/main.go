@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"pfd"
@@ -16,12 +17,15 @@ func main() {
 	t, truth := spec.Build(2500, 42, 0.01)
 	fmt.Printf("T14 staff directory: %d rows, %d seeded dirty cells\n\n", t.NumRows(), len(truth.Errors))
 
-	params := pfd.DefaultParams()
-	params.DisableGeneralize = true // constant PFDs, like Table 3 shows
-	res := pfd.Discover(t, params)
+	ctx := context.Background()
+	disc, err := pfd.Discover(ctx, pfd.FromTable(t),
+		pfd.WithoutGeneralization()) // constant PFDs, like Table 3 shows
+	if err != nil {
+		panic(err)
+	}
 
 	oracle := datagen.AreaToState()
-	for _, d := range res.Dependencies {
+	for d := range disc.All() {
 		if len(d.LHS) != 1 || d.LHS[0] != "phone" || d.RHS != "state" {
 			continue
 		}
@@ -41,7 +45,11 @@ func main() {
 			fmt.Printf("  %s\\D{7} -> %s   [%s]\n", area, state, mark)
 			shown++
 		}
-		findings := pfd.Detect(t, []*pfd.PFD{d.PFD})
+		det, err := pfd.Detect(ctx, pfd.FromTable(t), []*pfd.PFD{d.PFD})
+		if err != nil {
+			panic(err)
+		}
+		findings := det.Findings()
 		fmt.Printf("\nerrors uncovered (%d):\n", len(findings))
 		shown = 0
 		for _, f := range findings {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"pfd"
@@ -58,15 +59,25 @@ func main() {
 	}
 	zip.Append("90004", "New York") // s4's error
 
-	res := pfd.Discover(zip, pfd.Params{MinSupport: 5, Delta: 0.15, MinCoverage: 0.10})
+	// The v2 entry points take a context and a Source; results come
+	// back as iterators alongside the slice forms.
+	ctx := context.Background()
+	disc, err := pfd.Discover(ctx, pfd.FromTable(zip),
+		pfd.WithMinSupport(5), pfd.WithDelta(0.15), pfd.WithMinCoverage(0.10))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\ndiscovered on Zip:")
-	for _, d := range res.Dependencies {
+	for d := range disc.All() {
 		fmt.Printf("  %s (variable=%v) %s\n", d.Embedded(), d.Variable, d.PFD)
 	}
-	findings := pfd.Detect(zip, res.PFDs())
-	for _, f := range findings {
+	det, err := pfd.Detect(ctx, pfd.FromTable(zip), disc.PFDs())
+	if err != nil {
+		panic(err)
+	}
+	for f := range det.All() {
 		fmt.Printf("  error %s: %q should be %q\n", f.Cell, f.Observed, f.Proposed)
 	}
-	fixed, n := pfd.Repair(zip, findings)
+	fixed, n := det.Repair()
 	fmt.Printf("  repaired %d cell(s); s4 is now %q\n", n, fixed.Value(12, "city"))
 }

@@ -1,13 +1,14 @@
-// streamingingest demonstrates ingest-time cleaning on the sharded
-// streaming engine: PFDs mined offline from a trusted batch guard a
-// live tuple stream, flagging each dirty record the moment it arrives
-// instead of in a nightly batch pass. Group state is partitioned
-// across shard workers, Submit is called from the producer, and each
-// Snapshot places a barrier that drains the in-flight batches — so
-// every status below reflects exactly the tuples submitted before it.
+// streamingingest demonstrates ingest-time cleaning through the v2
+// Validate entry point: PFDs mined offline from a trusted batch guard
+// a live tuple stream, flagging each dirty record instead of waiting
+// for a nightly batch pass. The reference batch is folded in first
+// with WithWarmup (so group consensus exists before the first live
+// tuple), the live stream arrives through a channel-backed Source, and
+// the consistent final report splits warm from live findings.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -26,49 +27,63 @@ func main() {
 		z := zones[rng.Intn(len(zones))]
 		ref.Append(fmt.Sprintf("%s%02d", z.prefix, rng.Intn(100)), z.state)
 	}
-	res := pfd.Discover(ref, pfd.DefaultParams())
-	fmt.Printf("mined %d dependencies from the reference batch:\n", len(res.Dependencies))
-	for _, d := range res.Dependencies {
+	ctx := context.Background()
+	disc, err := pfd.Discover(ctx, pfd.FromTable(ref))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mined %d dependencies from the reference batch:\n", len(disc.Dependencies()))
+	for d := range disc.All() {
 		fmt.Printf("  %s  %s\n", d.Embedded(), d.PFD)
 	}
 
-	// Online: a sharded engine validates the stream. Seed it with the
-	// reference batch so group consensus exists from the start.
-	eng := pfd.NewStreamEngine(res.PFDs(), pfd.StreamOptions{Shards: 4, BatchSize: 32})
-	for _, row := range ref.Rows {
-		if err := eng.Submit(map[string]string{"zip": row[0], "state": row[1]}); err != nil {
-			panic(err)
-		}
-	}
-	warmRows := eng.Snapshot().Rows // barrier: reference batch folded in
-
-	stream := []map[string]string{
+	// Online: the live traffic arrives through a channel — the Source
+	// a real ingest pipeline would feed from its consumers. A producer
+	// goroutine plays the stream and closes the channel to end the run;
+	// canceling ctx would end it early instead.
+	stream := []pfd.Tuple{
 		{"zip": "90055", "state": "CA"}, // clean
 		{"zip": "60612", "state": "IL"}, // clean
 		{"zip": "90017", "state": "WA"}, // wrong state for a 900 zip
 		{"zip": "33121", "state": "FL"}, // clean
 		{"zip": "02134", "state": "mA"}, // case typo
 	}
-	fmt.Println("\nvalidating live stream:")
-	for i, tuple := range stream {
-		if err := eng.Submit(tuple); err != nil {
-			panic(err)
+	feed := make(chan pfd.Tuple)
+	go func() {
+		defer close(feed)
+		for _, tuple := range stream {
+			feed <- tuple
 		}
-		// A per-tuple snapshot barrier makes the demo deterministic; a
-		// real ingest pipeline would use OnViolation for live delivery
-		// and snapshot only periodically.
-		rep := eng.Snapshot()
+	}()
+
+	// Validate folds the reference in (violation delivery suppressed
+	// during the warm replay), then checks the live stream with the
+	// sharded engine. The default single producer keeps row ids in
+	// stream order, so the report below is deterministic.
+	val, err := pfd.Validate(ctx,
+		pfd.FromTuples("live", []string{"zip", "state"}, feed),
+		disc.PFDs(),
+		pfd.WithWarmup(pfd.FromTable(ref)),
+		pfd.WithShards(4), pfd.WithBatchSize(32),
+	)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\nvalidated %d live tuples (after %d warm rows):\n",
+		val.LiveRows(), val.WarmRows())
+	rejected := map[int]pfd.StreamViolation{}
+	for v := range val.Live() {
+		rejected[v.Cell.Row-val.WarmRows()] = v
+	}
+	for i, tuple := range stream {
 		status := "ok"
-		for _, v := range rep.Violations {
-			if v.NewTuple && v.Cell.Row == warmRows+i {
-				status = fmt.Sprintf("REJECTED: %s should be %q (by %s)",
-					v.Cell.Col, v.Expected, v.PFD.Embedded())
-			}
+		if v, bad := rejected[i]; bad {
+			status = fmt.Sprintf("REJECTED: %s should be %q (by %s)",
+				v.Cell.Col, v.Expected, v.PFD.Embedded())
 		}
 		fmt.Printf("  tuple %d %v -> %s\n", i, tuple, status)
 	}
-
-	final := eng.Close()
-	fmt.Printf("\nfinal report: %d tuples checked, %d violations\n",
-		final.Rows, len(final.Violations))
+	fmt.Printf("\nfinal report: %d tuples checked, %d live violations\n",
+		val.Rows(), len(rejected))
 }

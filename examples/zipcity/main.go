@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -36,18 +37,25 @@ func main() {
 	t.Rows[101][2] = "lL"
 	t.Rows[230][2] = "MI" // active-domain confusion: CA zone marked MI
 
-	res := pfd.Discover(t, pfd.DefaultParams())
+	ctx := context.Background()
+	disc, err := pfd.Discover(ctx, pfd.FromTable(t))
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("discovered dependencies:")
-	for _, d := range res.Dependencies {
+	for d := range disc.All() {
 		fmt.Printf("  %s variable=%v coverage=%.0f%%\n", d.Embedded(), d.Variable, 100*d.Coverage)
 	}
 
-	findings := pfd.Detect(t, res.PFDs())
-	fmt.Printf("\n%d suspect cells:\n", len(findings))
-	for _, f := range findings {
+	det, err := pfd.Detect(ctx, pfd.FromTable(t), disc.PFDs())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n%d suspect cells:\n", len(det.Findings()))
+	for f := range det.All() {
 		fmt.Printf("  %s %q -> %q   (by %s)\n", f.Cell, f.Observed, f.Proposed, f.By.Embedded())
 	}
-	fixed, n := pfd.Repair(t, findings)
+	fixed, n := det.Repair()
 	fmt.Printf("\nrepaired %d cells; spot checks: %q %q %q\n", n,
 		fixed.Value(17, "city"), fixed.Value(42, "city"), fixed.Value(101, "state"))
 }

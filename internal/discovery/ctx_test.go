@@ -1,0 +1,99 @@
+package discovery
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pfd/internal/relation"
+)
+
+// ctxTable builds a table with enough non-quantitative columns to give
+// the lattice several candidates per level.
+func ctxTable() *relation.Table {
+	t := relation.New("T", "a", "b", "c", "d")
+	for i := 0; i < 60; i++ {
+		g := i % 3
+		t.Append(
+			fmt.Sprintf("A%d-%02d", g, i),
+			fmt.Sprintf("B%d-x", g),
+			fmt.Sprintf("C%d-y", g),
+			fmt.Sprintf("D%d-z", g),
+		)
+	}
+	return t
+}
+
+func TestDiscoverContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := DiscoverContext(ctx, ctxTable(), DefaultParams(), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Dependencies) != 0 {
+		t.Errorf("pre-canceled run must not produce dependencies: %+v", res)
+	}
+}
+
+// TestDiscoverContextCancelFromProgress cancels deterministically at
+// the level-1 boundary of a MaxLHS=2 walk: level 2 must never run.
+func TestDiscoverContextCancelFromProgress(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var events []Progress
+	params := DefaultParams()
+	params.MaxLHS = 2
+	res, err := DiscoverContext(ctx, ctxTable(), params, func(p Progress) {
+		events = append(events, p)
+		if p.Level == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("progress events = %+v, want exactly the level-1 boundary", events)
+	}
+	if events[0].MaxLevel != 2 || events[0].Candidates == 0 {
+		t.Errorf("progress = %+v, want MaxLevel=2 and a nonzero candidate count", events[0])
+	}
+	// Level-1 results accepted before the cancellation are retained.
+	if len(res.Dependencies) != events[0].Dependencies {
+		t.Errorf("partial result has %d deps, progress reported %d",
+			len(res.Dependencies), events[0].Dependencies)
+	}
+}
+
+// TestDiscoverContextCancelMidLevel cancels concurrently with the
+// worker pool and requires a prompt, race-clean return.
+func TestDiscoverContextCancelMidLevel(t *testing.T) {
+	old := numWorkers
+	numWorkers = 4
+	defer func() { numWorkers = old }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(500 * time.Microsecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = DiscoverContext(ctx, ctxTable(), DefaultParams(), nil)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("DiscoverContext did not return promptly after cancellation")
+	}
+	// The run may legitimately finish before the cancel lands; only a
+	// wrong error kind is a failure.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -38,12 +39,42 @@ func (d *Dependency) Embedded() string {
 	return "[" + strings.Join(d.LHS, ",") + "] -> [" + d.RHS + "]"
 }
 
+// Progress reports discovery progress at lattice-level boundaries. It
+// is delivered to the DiscoverContext callback from the coordinating
+// goroutine, so the callback needs no synchronization; canceling the
+// run's context from inside the callback stops the walk before the
+// next level.
+type Progress struct {
+	// Level is the lattice level just completed (1-based).
+	Level int
+	// MaxLevel is the configured MaxLHS bound.
+	MaxLevel int
+	// Candidates is the cumulative number of candidates evaluated.
+	Candidates int
+	// Dependencies is the number of dependencies accepted so far.
+	Dependencies int
+}
+
 // Discover runs the paper's Figure 4 algorithm on t.
 func Discover(t *relation.Table, params Params) *Result {
+	res, _ := DiscoverContext(context.Background(), t, params, nil)
+	return res
+}
+
+// DiscoverContext is Discover with cancellation and progress
+// reporting: the context is observed between lattice levels and by
+// every worker of the candidate-evaluation pool before each candidate,
+// so a cancellation returns promptly even mid-level. On cancellation
+// it returns the dependencies accepted so far together with ctx.Err().
+// onProgress, when non-nil, is invoked after each completed level.
+func DiscoverContext(ctx context.Context, t *relation.Table, params Params, onProgress func(Progress)) (*Result, error) {
 	params = params.normalize()
 	res := &Result{Params: params}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	if t.NumRows() == 0 {
-		return res
+		return res, nil
 	}
 	// Line 1: profile and prune columns. Quantitative columns cannot
 	// carry PFDs; constant columns make trivial dependencies.
@@ -55,7 +86,7 @@ func Discover(t *relation.Table, params Params) *Result {
 		}
 	}
 	if len(usable) < 2 {
-		return res
+		return res, nil
 	}
 	usableNames := make([]string, len(usable))
 	for i, c := range usable {
@@ -82,9 +113,17 @@ func Discover(t *relation.Table, params Params) *Result {
 	// candidate order at the level barrier. The output is byte-identical
 	// to the sequential walk.
 	lat := lattice.New(usable)
+	evaluated := 0
 	for level := 1; level <= params.MaxLHS; level++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		cands := lat.Level(level)
-		deps := evalCandidates(shared, cands)
+		deps, err := evalCandidates(ctx, shared, cands)
+		if err != nil {
+			return res, err
+		}
+		evaluated += len(cands)
 		for i, dep := range deps {
 			if dep == nil {
 				continue
@@ -95,11 +134,17 @@ func Discover(t *relation.Table, params Params) *Result {
 				lat.Prune(cands[i].LHS, cands[i].RHS)
 			}
 		}
+		if onProgress != nil {
+			onProgress(Progress{
+				Level: level, MaxLevel: params.MaxLHS,
+				Candidates: evaluated, Dependencies: len(res.Dependencies),
+			})
+		}
 	}
 	sort.Slice(res.Dependencies, func(i, j int) bool {
 		return res.Dependencies[i].Embedded() < res.Dependencies[j].Embedded()
 	})
-	return res
+	return res, nil
 }
 
 // numWorkers sizes the candidate-evaluation pool; a var so tests can force
@@ -110,8 +155,10 @@ var numWorkers = runtime.GOMAXPROCS(0)
 // evalCandidates evaluates one lattice level's candidates, fanning out to
 // numWorkers workers when there is enough work. Each worker owns a
 // discoverer whose scratch (count buffers, draft bitset) is reused across
-// its candidates; results land in candidate order.
-func evalCandidates(shared sharedState, cands []lattice.Candidate) []*Dependency {
+// its candidates; results land in candidate order. Every worker checks
+// the context before each candidate, so cancellation stops the level
+// after at most one in-flight candidate per worker.
+func evalCandidates(ctx context.Context, shared sharedState, cands []lattice.Candidate) ([]*Dependency, error) {
 	deps := make([]*Dependency, len(cands))
 	workers := numWorkers
 	if workers > len(cands) {
@@ -120,9 +167,12 @@ func evalCandidates(shared sharedState, cands []lattice.Candidate) []*Dependency
 	if workers <= 1 {
 		d := &discoverer{sharedState: shared}
 		for i, cand := range cands {
+			if err := ctx.Err(); err != nil {
+				return deps, err
+			}
 			deps[i] = d.tryCandidate(cand.LHS, cand.RHS)
 		}
-		return deps
+		return deps, nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -132,6 +182,9 @@ func evalCandidates(shared sharedState, cands []lattice.Candidate) []*Dependency
 			defer wg.Done()
 			d := &discoverer{sharedState: shared}
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(cands) {
 					return
@@ -141,7 +194,7 @@ func evalCandidates(shared sharedState, cands []lattice.Candidate) []*Dependency
 		}()
 	}
 	wg.Wait()
-	return deps
+	return deps, ctx.Err()
 }
 
 // sharedState is the read-only context every worker shares.

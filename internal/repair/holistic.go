@@ -1,6 +1,8 @@
 package repair
 
 import (
+	"context"
+
 	"pfd/internal/pfd"
 	"pfd/internal/relation"
 )
@@ -34,6 +36,15 @@ type HolisticResult struct {
 // two PFDs propose conflicting values for one cell forever; the
 // MaxRounds budget (and the conflict skip below) cuts such cycles.
 func Holistic(t *relation.Table, pfds []*pfd.PFD, opt HolisticOptions) HolisticResult {
+	res, _ := HolisticContext(context.Background(), t, pfds, opt)
+	return res
+}
+
+// HolisticContext is Holistic with cancellation: the context is
+// observed between detect-repair rounds. On cancellation it returns
+// the repairs applied so far together with ctx.Err(); the Table field
+// holds the partially repaired copy.
+func HolisticContext(ctx context.Context, t *relation.Table, pfds []*pfd.PFD, opt HolisticOptions) (HolisticResult, error) {
 	if opt.MaxRounds <= 0 {
 		opt.MaxRounds = 5
 	}
@@ -41,6 +52,10 @@ func Holistic(t *relation.Table, pfds []*pfd.PFD, opt HolisticOptions) HolisticR
 	res := HolisticResult{}
 	prevProposals := map[relation.Cell]string{}
 	for round := 0; round < opt.MaxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			res.Table = cur
+			return res, err
+		}
 		findings := Detect(cur, pfds)
 		applicable := findings[:0:0]
 		for _, f := range findings {
@@ -71,5 +86,5 @@ func Holistic(t *relation.Table, pfds []*pfd.PFD, opt HolisticOptions) HolisticR
 		res.Remaining = Detect(cur, pfds)
 	}
 	res.Table = cur
-	return res
+	return res, nil
 }

@@ -7,6 +7,7 @@
 package repair
 
 import (
+	"context"
 	"sort"
 
 	"pfd/internal/pfd"
@@ -36,8 +37,22 @@ type Finding struct {
 // with no majority there is no defensible repair, matching the paper's
 // requirement of a predefined support for the PFD to apply.
 func Detect(t *relation.Table, pfds []*pfd.PFD) []Finding {
+	fs, _ := DetectContext(context.Background(), t, pfds, nil)
+	return fs
+}
+
+// DetectContext is Detect with cancellation and per-PFD progress: the
+// context is observed between PFDs (each PFD's Violations pass is the
+// unit of work), and onPFD, when non-nil, is invoked after each PFD
+// with the number done and the total. On cancellation it returns nil
+// findings and ctx.Err() — partial detection output is never useful,
+// because the dedup across PFDs has not run to completion.
+func DetectContext(ctx context.Context, t *relation.Table, pfds []*pfd.PFD, onPFD func(done, total int)) ([]Finding, error) {
 	byCell := map[relation.Cell]Finding{}
-	for _, p := range pfds {
+	for pi, p := range pfds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, v := range p.Violations(t) {
 			if !v.HasConsensus {
 				continue
@@ -55,6 +70,9 @@ func Detect(t *relation.Table, pfds []*pfd.PFD) []Finding {
 			}
 			byCell[f.Cell] = f
 		}
+		if onPFD != nil {
+			onPFD(pi+1, len(pfds))
+		}
 	}
 	out := make([]Finding, 0, len(byCell))
 	for _, f := range byCell {
@@ -66,7 +84,7 @@ func Detect(t *relation.Table, pfds []*pfd.PFD) []Finding {
 		}
 		return out[i].Cell.Col < out[j].Cell.Col
 	})
-	return out
+	return out, nil
 }
 
 // proposeRepair derives the full replacement value for a violation.

@@ -1,0 +1,54 @@
+package source
+
+import (
+	"context"
+	"iter"
+)
+
+// ChanSource adapts a live tuple channel, for feeding the streaming
+// validator from in-process producers. Iteration ends when the channel
+// is closed, or with ctx.Err() when the context is canceled while the
+// channel is still open — which is what makes Validate over a
+// never-closing feed promptly cancellable.
+type ChanSource struct {
+	name string
+	cols []string
+	ch   <-chan Tuple
+}
+
+// FromChan wraps a channel. cols declares the column order for
+// materialization and may be nil when the source is only ever streamed.
+func FromChan(name string, cols []string, ch <-chan Tuple) *ChanSource {
+	return &ChanSource{name: name, cols: append([]string(nil), cols...), ch: ch}
+}
+
+// Name returns the relation name.
+func (s *ChanSource) Name() string { return s.name }
+
+// Columns returns the declared column order (nil when undeclared).
+func (s *ChanSource) Columns() []string {
+	if s.cols == nil {
+		return nil
+	}
+	return append([]string(nil), s.cols...)
+}
+
+// Tuples drains the channel until it closes or ctx is canceled.
+func (s *ChanSource) Tuples(ctx context.Context) iter.Seq2[Tuple, error] {
+	return func(yield func(Tuple, error) bool) {
+		for {
+			select {
+			case tuple, ok := <-s.ch:
+				if !ok {
+					return
+				}
+				if !yield(tuple, nil) {
+					return
+				}
+			case <-ctx.Done():
+				yield(nil, ctx.Err())
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package source
+
+import (
+	"context"
+	"iter"
+
+	"pfd/internal/relation"
+)
+
+// TableSource adapts an in-memory *relation.Table. It is re-iterable,
+// and materializing it is free: ReadTable returns the wrapped table
+// itself (not a copy — callers that mutate the result mutate the
+// source).
+type TableSource struct {
+	t *relation.Table
+}
+
+// FromTable wraps a table.
+func FromTable(t *relation.Table) *TableSource { return &TableSource{t: t} }
+
+// Name returns the table name.
+func (s *TableSource) Name() string { return s.t.Name }
+
+// Columns returns the table's column names in order.
+func (s *TableSource) Columns() []string { return append([]string(nil), s.t.Cols...) }
+
+// Tuples yields each row as a column->value map.
+func (s *TableSource) Tuples(ctx context.Context) iter.Seq2[Tuple, error] {
+	return func(yield func(Tuple, error) bool) {
+		for i, row := range s.t.Rows {
+			if i%ctxCheckEvery == ctxCheckEvery-1 {
+				if err := ctx.Err(); err != nil {
+					yield(nil, err)
+					return
+				}
+			}
+			tuple := make(Tuple, len(s.t.Cols))
+			for j, c := range s.t.Cols {
+				tuple[c] = row[j]
+			}
+			if !yield(tuple, nil) {
+				return
+			}
+		}
+	}
+}
+
+// ReadTable returns the wrapped table without copying.
+func (s *TableSource) ReadTable(ctx context.Context) (*relation.Table, error) {
+	return s.t, ctx.Err()
+}

@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pfd/internal/pfd"
+)
+
+func TestSubmitAfterCancelReturnsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := NewContext(ctx, testPFDs(), Options{Shards: 2})
+	defer eng.Close()
+
+	if err := eng.Submit(map[string]string{"zip": "90001", "city": "Los Angeles"}); err != nil {
+		t.Fatalf("pre-cancel Submit: %v", err)
+	}
+	cancel()
+	err := eng.Submit(map[string]string{"zip": "90002", "city": "Los Angeles"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Submit = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelUnblocksBackpressuredProducer wedges every shard worker in
+// a blocking OnViolation callback so the shard channels and the fill
+// buffers saturate, then verifies that cancellation unblocks a
+// producer stalled in Submit's flush path — the promptness guarantee
+// the v2 Validate entry point relies on.
+func TestCancelUnblocksBackpressuredProducer(t *testing.T) {
+	release := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := NewContext(ctx, testPFDs(), Options{
+		Shards:    1,
+		BatchSize: 1, // every violating tuple flushes immediately
+		// Wedge the worker until released; after cancellation workers
+		// stop applying updates, so the callback fires only for the
+		// batches applied before the wedge is observed.
+		OnViolation: func(v pfd.StreamViolation) { <-release },
+	})
+	defer func() {
+		close(release)
+		eng.Close()
+	}()
+
+	stalled := make(chan error, 1)
+	go func() {
+		// Each tuple violates the constant PFD, producing an update per
+		// Submit; with a wedged single worker and capacity-8 channels
+		// the flush path must stall within a bounded number of
+		// submissions.
+		for i := 0; ; i++ {
+			if err := eng.Submit(map[string]string{
+				"zip": fmt.Sprintf("900%02d", i%100), "city": "WRONG",
+			}); err != nil {
+				stalled <- err
+				return
+			}
+		}
+	}()
+
+	// Give the producer time to wedge against the worker, then cancel.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-stalled:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("producer error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("producer still blocked 10s after cancellation")
+	}
+	if !errors.Is(eng.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", eng.Err())
+	}
+}
+
+// TestConcurrentProducersCancelMidRun races several producers against
+// a cancellation and requires every producer to exit promptly with the
+// context error, and Close/Snapshot to stay deadlock-free. Run under
+// -race in CI.
+func TestConcurrentProducersCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := NewContext(ctx, testPFDs(), Options{Shards: 4, BatchSize: 4})
+
+	const producers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				err := eng.Submit(map[string]string{
+					"zip": fmt.Sprintf("%03d%02d", (p*31+i)%1000, i%100), "city": "Los Angeles",
+				})
+				if err != nil {
+					errs[p] = err
+					return
+				}
+			}
+		}(p)
+	}
+
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("producers still running 10s after cancellation")
+	}
+	for p, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("producer %d exited with %v, want context.Canceled", p, err)
+		}
+	}
+	// The final report is partial but must still be obtainable.
+	rep := eng.Close()
+	if rep.Rows < 0 {
+		t.Errorf("rows = %d", rep.Rows)
+	}
+}

@@ -31,6 +31,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sort"
@@ -152,6 +153,11 @@ type Engine struct {
 	meta     [][]rowMeta
 	required []pfd.RequiredColumn
 	opts     Options
+	// ctx is the engine's lifetime context (Background for New). Its
+	// cancellation makes Submit fail fast, unblocks any producer
+	// stalled on shard backpressure, and stops the shard workers from
+	// applying further updates — see NewContext.
+	ctx context.Context
 
 	shards []*shard
 	wg     sync.WaitGroup
@@ -173,6 +179,27 @@ type Engine struct {
 // New creates and starts an engine validating against pfds. The caller
 // must Close it to release the worker goroutines.
 func New(pfds []*pfd.PFD, opts Options) *Engine {
+	return NewContext(context.Background(), pfds, opts)
+}
+
+// NewContext is New with a lifetime context threaded through the write
+// path and the shard workers. When ctx is canceled:
+//
+//   - Submit returns ctx's error without folding the tuple in;
+//   - a producer blocked on shard backpressure (the channel send in
+//     flushLocked) unblocks, its batch dropped — post-cancellation
+//     data loss is the contract, the run is being abandoned;
+//   - shard workers stop applying updates (and stop invoking
+//     OnViolation) but keep draining and answering barriers, so a
+//     concurrent Snapshot or Close never deadlocks.
+//
+// Close must still be called to release the workers and obtain the
+// (partial) final report. Cancellation does not interrupt an
+// OnViolation callback already in flight.
+func NewContext(ctx context.Context, pfds []*pfd.PFD, opts Options) *Engine {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Shards <= 0 {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
@@ -183,6 +210,7 @@ func New(pfds []*pfd.PFD, opts Options) *Engine {
 		opts.FlushInterval = DefaultFlushInterval
 	}
 	e := &Engine{
+		ctx:       ctx,
 		pfds:      pfds,
 		meta:      make([][]rowMeta, len(pfds)),
 		required:  pfd.RequiredColumnRefs(pfds),
@@ -220,9 +248,13 @@ func New(pfds []*pfd.PFD, opts Options) *Engine {
 // matching runs in the caller's goroutine (run several producers to
 // scale it); the routed updates are applied by the shard workers. The
 // returned error is non-nil only for schema problems
-// (*pfd.MissingColumnError) or a closed engine — dirty data never
-// errors, it surfaces as violations.
+// (*pfd.MissingColumnError), a closed engine (ErrClosed), or a
+// canceled engine context (the context's error, for engines made with
+// NewContext) — dirty data never errors, it surfaces as violations.
 func (e *Engine) Submit(tuple map[string]string) error {
+	if err := e.ctx.Err(); err != nil {
+		return err
+	}
 	for _, rc := range e.required {
 		if _, ok := tuple[rc.Column]; !ok {
 			return &pfd.MissingColumnError{Column: rc.Column, PFD: rc.PFD}
@@ -293,13 +325,19 @@ func (e *Engine) shardOf(u update) int {
 // flushLocked hands shard si's pending buffer to its worker. Caller
 // holds e.mu. The channel send may block when the shard is backlogged —
 // that is the backpressure path: producers stall rather than queue
-// unboundedly.
+// unboundedly. A canceled engine context breaks the stall: the batch
+// is dropped so the producer (and Close) can make progress.
 func (e *Engine) flushLocked(si int) {
 	if len(e.pending[si]) == 0 {
 		return
 	}
-	e.shards[si].in <- batch{ups: e.pending[si]}
-	e.pending[si] = *(e.batchPool.Get().(*[]update))
+	select {
+	case e.shards[si].in <- batch{ups: e.pending[si]}:
+		e.pending[si] = *(e.batchPool.Get().(*[]update))
+	case <-e.ctx.Done():
+		// Abandoned run: reuse the buffer in place.
+		e.pending[si] = e.pending[si][:0]
+	}
 }
 
 // flushLoop bounds batch latency under slow traffic.
@@ -324,12 +362,16 @@ func (e *Engine) flushLoop(every time.Duration) {
 
 // worker owns one shard: it applies batches in FIFO order and answers
 // barriers. It is the only goroutine touching s.st and s.log until the
-// channel closes.
+// channel closes. After the engine context is canceled the worker
+// keeps draining (so producers, Snapshot, and Close never hang) but
+// stops applying updates — the run is being abandoned.
 func (e *Engine) worker(s *shard) {
 	defer e.wg.Done()
 	for b := range s.in {
-		for _, u := range b.ups {
-			e.apply(s, u)
+		if !e.canceled() {
+			for _, u := range b.ups {
+				e.apply(s, u)
+			}
 		}
 		if b.ups != nil {
 			ups := b.ups[:0]
@@ -445,6 +487,21 @@ func (e *Engine) Close() Report {
 	})
 	return e.final
 }
+
+// canceled reports whether the engine context has been canceled.
+func (e *Engine) canceled() bool {
+	select {
+	case <-e.ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the engine context's error: nil while the context is
+// live (always, for engines made with New), the context error after
+// cancellation.
+func (e *Engine) Err() error { return e.ctx.Err() }
 
 // Rows returns how many tuples have been submitted so far.
 func (e *Engine) Rows() int {

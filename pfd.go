@@ -1,28 +1,50 @@
 // Package pfd is the public API of this reproduction of "Pattern
 // Functional Dependencies for Data Cleaning" (Qahtan, Tang, Ouzzani, Cao,
-// Stonebraker; PVLDB 13(5), 2020). It re-exports the pattern language,
-// the PFD constraint class, the discovery algorithm, PFD-based error
-// detection and repair, and the inference system, from the internal
-// packages that implement them.
+// Stonebraker; PVLDB 13(5), 2020): the pattern language, the PFD
+// constraint class, the discovery algorithm, PFD-based error detection
+// and repair, the inference system, and a sharded streaming validator.
+//
+// The v2 API is built on three pillars:
+//
+//   - Sources. Every way tuples enter the system — CSV files, JSONL
+//     streams, in-memory tables, live channels — is a Source
+//     (FromCSVFile, FromJSONL, FromTable, FromTuples), consumed
+//     uniformly by discovery, detection, and streaming validation.
+//   - Context-aware entry points with functional options:
+//     Discover(ctx, src, ...DiscoverOption), Detect(ctx, src, pfds,
+//     ...DetectOption), Validate(ctx, src, pfds, ...StreamOption), and
+//     RepairToFixpoint(ctx, src, pfds, ...RepairOption). Cancellation
+//     is threaded through the discovery worker pool and the stream
+//     shard workers; long runs report progress through options.
+//   - Iterator results and typed errors. Findings, Violations, and
+//     Dependencies are available as iter.Seq streams alongside the
+//     slice forms, and failures carry types: *ParseError for
+//     malformed input, *MissingColumnError for schema mismatches,
+//     *CanceledError (wrapping context.Canceled) for interrupted runs.
 //
 // A minimal end-to-end use:
 //
-//	t, _ := pfd.ReadCSVFile("Zip", "zips.csv")
-//	res := pfd.Discover(t, pfd.DefaultParams())
-//	for _, dep := range res.Dependencies {
+//	src := pfd.FromCSVFile("Zip", "zips.csv")
+//	disc, err := pfd.Discover(ctx, src)
+//	if err != nil { ... }
+//	for dep := range disc.All() {
 //	    fmt.Println(dep.Embedded(), dep.PFD)
 //	}
-//	findings := pfd.Detect(t, res.PFDs())
-//	for _, f := range findings {
+//	det, err := pfd.Detect(ctx, pfd.FromTable(disc.Table()), disc.PFDs())
+//	if err != nil { ... }
+//	for f := range det.All() {
 //	    fmt.Printf("%s: %q should be %q\n", f.Cell, f.Observed, f.Proposed)
 //	}
 //
-// See examples/ for runnable programs and DESIGN.md for the map from
-// paper sections to packages.
+// The v1 entry points remain as thin deprecated wrappers
+// (DiscoverTable, DetectTable, RepairTableToFixpoint, ReadCSVFile,
+// NewStreamEngine); DESIGN.md carries the full v1 → v2 migration
+// table. See examples/ for runnable programs and DESIGN.md for the
+// map from paper sections to packages.
 package pfd
 
 import (
-	"os"
+	"context"
 
 	"pfd/internal/discovery"
 	"pfd/internal/formatdetect"
@@ -31,6 +53,7 @@ import (
 	"pfd/internal/pfd"
 	"pfd/internal/relation"
 	"pfd/internal/repair"
+	"pfd/internal/source"
 	"pfd/internal/stream"
 )
 
@@ -73,14 +96,17 @@ type Cell = relation.Cell
 // NewTable creates an empty table with the given columns.
 func NewTable(name string, cols ...string) *Table { return relation.New(name, cols...) }
 
-// ReadCSVFile loads a table from a CSV file with a header row.
+// ColumnProfile is the per-column profile of Sections 4.3 and 5.4
+// (quantitative detection, code detection, tokenizer selection).
+type ColumnProfile = relation.ColumnProfile
+
+// ReadCSVFile loads a table from a CSV file with a header row. Errors
+// are *ParseError values naming the table and the file path.
+//
+// Deprecated: use ReadTable with FromCSVFile, which is cancellable and
+// shares the v2 ingestion layer.
 func ReadCSVFile(name, path string) (*Table, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return relation.ReadCSV(name, f)
+	return source.Materialize(context.Background(), source.CSVFile(name, path))
 }
 
 // PFD is a pattern functional dependency R(X -> B, Tp) in normal form.
@@ -117,13 +143,17 @@ func DefaultParams() Params { return discovery.DefaultParams() }
 // Dependency is one discovered embedded dependency with its PFD.
 type Dependency = discovery.Dependency
 
-// DiscoveryResult is the output of Discover.
+// DiscoveryResult is the output of DiscoverTable (the v1 form; v2
+// Discover returns *Discovery).
 type DiscoveryResult struct {
 	*discovery.Result
 }
 
-// Discover runs the paper's Figure 4 algorithm.
-func Discover(t *Table, params Params) DiscoveryResult {
+// DiscoverTable runs the paper's Figure 4 algorithm on a table.
+//
+// Deprecated: use Discover, which takes a context and a Source and
+// reports progress through options.
+func DiscoverTable(t *Table, params Params) DiscoveryResult {
 	return DiscoveryResult{discovery.Discover(t, params)}
 }
 
@@ -139,8 +169,11 @@ func (r DiscoveryResult) PFDs() []*PFD {
 // Finding is one detected cell error with its proposed repair.
 type Finding = repair.Finding
 
-// Detect applies PFDs to a table and returns deduplicated findings.
-func Detect(t *Table, pfds []*PFD) []Finding { return repair.Detect(t, pfds) }
+// DetectTable applies PFDs to a table and returns deduplicated
+// findings.
+//
+// Deprecated: use Detect, which takes a context and a Source.
+func DetectTable(t *Table, pfds []*PFD) []Finding { return repair.Detect(t, pfds) }
 
 // Repair applies the proposed fixes to a copy of the table, returning the
 // repaired copy and the number of cells changed.
@@ -149,10 +182,14 @@ func Repair(t *Table, findings []Finding) (*Table, int) { return repair.Apply(t,
 // HolisticResult reports a fixpoint repair run.
 type HolisticResult = repair.HolisticResult
 
-// RepairToFixpoint runs detect-repair rounds until no proposable repair
-// remains (chained errors such as a wrong zip masking a wrong city need
-// more than one pass). maxRounds <= 0 uses the default budget.
-func RepairToFixpoint(t *Table, pfds []*PFD, maxRounds int) HolisticResult {
+// RepairTableToFixpoint runs detect-repair rounds until no proposable
+// repair remains (chained errors such as a wrong zip masking a wrong
+// city need more than one pass). maxRounds <= 0 uses the default
+// budget.
+//
+// Deprecated: use RepairToFixpoint, which takes a context and a
+// Source.
+func RepairTableToFixpoint(t *Table, pfds []*PFD, maxRounds int) HolisticResult {
 	return repair.Holistic(t, pfds, repair.HolisticOptions{MaxRounds: maxRounds})
 }
 
@@ -189,8 +226,25 @@ type StreamReport = stream.Report
 
 // NewStreamEngine starts a sharded streaming validator over the PFDs.
 // Close it to release the shard workers and obtain the final report.
+//
+// Deprecated: use Validate for source-driven runs, or
+// NewStreamEngineContext for a manually driven engine whose workers
+// honor cancellation.
 func NewStreamEngine(pfds []*PFD, opts StreamOptions) *StreamEngine {
 	return stream.New(pfds, opts)
+}
+
+// NewStreamEngineContext starts a sharded streaming validator whose
+// write path and shard workers observe ctx: when it is canceled,
+// Submit fails fast with the context error, backpressure-stalled
+// producers unblock, and the workers stop applying updates. Close must
+// still be called to release the workers. Options are the functional
+// StreamOption set; the manual-lifecycle engine ignores the
+// Validate-only options (warmup source, producer count, sequential
+// mode, progress).
+func NewStreamEngineContext(ctx context.Context, pfds []*PFD, opts ...StreamOption) *StreamEngine {
+	cfg := newStreamConfig(opts)
+	return stream.NewContext(ctx, pfds, cfg.engine)
 }
 
 // FormatFinding is a single-column format outlier.

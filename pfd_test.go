@@ -1,8 +1,10 @@
 package pfd_test
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pfd"
@@ -23,11 +25,14 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 	// δ must admit one dirty tuple among the seven 900-prefix rows
 	// (1/7 ≈ 14.3%), so 15% here; the paper's 5% presumes larger groups.
-	res := pfd.Discover(tb, pfd.Params{MinSupport: 5, Delta: 0.15, MinCoverage: 0.1})
+	// This test deliberately stays on the deprecated v1 wrappers: they
+	// must keep working verbatim (api_test.go covers the v2 forms and
+	// pins them against these).
+	res := pfd.DiscoverTable(tb, pfd.Params{MinSupport: 5, Delta: 0.15, MinCoverage: 0.1})
 	if len(res.Dependencies) == 0 {
 		t.Fatal("nothing discovered")
 	}
-	findings := pfd.Detect(tb, res.PFDs())
+	findings := pfd.DetectTable(tb, res.PFDs())
 	var hit bool
 	for _, f := range findings {
 		if f.Cell == (pfd.Cell{Row: 12, Col: "city"}) && f.Proposed == "Los Angeles" {
@@ -105,7 +110,18 @@ func TestReadCSVFile(t *testing.T) {
 	if tb.NumRows() != 1 || tb.Value(0, "city") != "Los Angeles" {
 		t.Error("CSV load wrong")
 	}
-	if _, err := pfd.ReadCSVFile("x", filepath.Join(dir, "missing.csv")); err == nil {
-		t.Error("missing file must error")
+	missing := filepath.Join(dir, "missing.csv")
+	_, err = pfd.ReadCSVFile("x", missing)
+	if err == nil {
+		t.Fatal("missing file must error")
+	}
+	// The error must name the table and the file path (it is a
+	// *ParseError from the shared ingestion layer).
+	var pe *pfd.ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *pfd.ParseError", err, err)
+	}
+	if !strings.Contains(err.Error(), "x") || !strings.Contains(err.Error(), missing) {
+		t.Errorf("error %q must mention the table name and path", err)
 	}
 }
