@@ -96,6 +96,25 @@ func (d *Discovery) PFDs() []*PFD {
 // Params returns the effective (normalized) discovery parameters.
 func (d *Discovery) Params() Params { return d.result.Params }
 
+// Ruleset packages the discovered PFDs as a durable artifact with
+// provenance (source table, row count, effective parameters), ready
+// to persist with WriteTo/WriteFile and reload with LoadRuleset — so
+// discovery runs once and detection, validation, repair, and
+// inference reuse the result.
+func (d *Discovery) Ruleset() *Ruleset {
+	params := d.result.Params
+	return &Ruleset{
+		Name: d.table.Name,
+		Provenance: &Provenance{
+			Source: d.table.Name,
+			Rows:   d.table.NumRows(),
+			Tool:   "discover",
+			Params: &params,
+		},
+		PFDs: d.PFDs(),
+	}
+}
+
 // Profiles returns the column profiles computed during discovery.
 func (d *Discovery) Profiles() []ColumnProfile { return d.result.Profiles }
 

@@ -3,15 +3,22 @@
 //
 // Usage:
 //
-//	pfd discover -in data.csv [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1]
-//	pfd detect   -in data.csv [-k 5] [-delta 0.05] [-coverage 0.10]
-//	pfd repair   -in data.csv -out fixed.csv [flags as above]
-//	pfd score    -in data.csv -truth data.truth.csv [flags as above]
+//	pfd discover -in data.csv [-rules r.pfd] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1]
+//	pfd detect   -in data.csv [-rules r.pfd] [flags as above]
+//	pfd repair   -in data.csv -out fixed.csv [-rules r.pfd] [flags as above]
+//	pfd score    -in data.csv -truth data.truth.csv [-rules r.pfd] [flags as above]
 //
 // discover prints the dependencies and their tableaux; detect prints one
 // line per suspect cell with the explaining PFD; repair writes a copy of
 // the input with the proposed fixes applied; score evaluates discovery
 // and detection against a ground-truth sidecar written by cmd/datagen.
+//
+// -rules names the shared ruleset artifact: discover writes it (the
+// λ-notation text codec, or the versioned JSON codec when the path
+// ends in .json), and detect/repair/score read it instead of re-running
+// discovery — so one mining pass feeds every later invocation, and the
+// same file drives pfdstream and pfdinfer. Without -rules the
+// subcommands re-discover on each run, as before.
 //
 // All subcommands run on the v2 API: input flows through a pfd.Source,
 // and SIGINT cancels the run cleanly (discovery stops at the next
@@ -43,6 +50,7 @@ func main() {
 	in := fs.String("in", "", "input CSV file with a header row (required)")
 	out := fs.String("out", "", "output CSV file (repair only)")
 	truthPath := fs.String("truth", "", "ground-truth sidecar CSV (score only)")
+	rulesPath := fs.String("rules", "", "ruleset artifact: discover writes it, other subcommands load it instead of re-discovering (.json selects the JSON codec)")
 	k := fs.Int("k", 5, "minimum support K")
 	delta := fs.Float64("delta", 0.05, "allowed violation ratio δ")
 	coverage := fs.Float64("coverage", 0.10, "minimum coverage γ")
@@ -62,41 +70,75 @@ func main() {
 	defer stop()
 
 	name := strings.TrimSuffix(filepath.Base(*in), filepath.Ext(*in))
-	opts := []pfd.DiscoverOption{
-		pfd.WithMinSupport(*k),
-		pfd.WithDelta(*delta),
-		pfd.WithMinCoverage(*coverage),
-		pfd.WithMaxLHS(*lhs),
-	}
-	if *noGen {
-		opts = append(opts, pfd.WithoutGeneralization())
-	}
-	if *verbose {
-		opts = append(opts, pfd.WithDiscoverProgress(func(p pfd.DiscoveryProgress) {
-			fmt.Fprintf(os.Stderr, "pfd: level %d/%d: %d candidates, %d dependencies\n",
-				p.Level, p.MaxLevel, p.Candidates, p.Dependencies)
-		}))
-	}
-	disc, err := pfd.Discover(ctx, pfd.FromCSVFile(name, *in), opts...)
-	if err != nil {
-		fatal(err)
+	src := pfd.FromCSVFile(name, *in)
+
+	// The rule artifact: discover always mines it; the other
+	// subcommands load it when -rules is given (one discovery pass,
+	// many reuses) and mine it otherwise.
+	var (
+		table *pfd.Table
+		rules *pfd.Ruleset
+	)
+	if cmd != "discover" && *rulesPath != "" {
+		rs, err := pfd.LoadRulesetFile(*rulesPath)
+		if err != nil {
+			fatal(err)
+		}
+		if rs.Len() == 0 {
+			fmt.Fprintf(os.Stderr, "pfd: %s holds no rules\n", *rulesPath)
+			os.Exit(2)
+		}
+		t, err := pfd.ReadTable(ctx, src)
+		if err != nil {
+			fatal(err)
+		}
+		table, rules = t, rs
+	} else {
+		opts := []pfd.DiscoverOption{
+			pfd.WithMinSupport(*k),
+			pfd.WithDelta(*delta),
+			pfd.WithMinCoverage(*coverage),
+			pfd.WithMaxLHS(*lhs),
+		}
+		if *noGen {
+			opts = append(opts, pfd.WithoutGeneralization())
+		}
+		if *verbose {
+			opts = append(opts, pfd.WithDiscoverProgress(func(p pfd.DiscoveryProgress) {
+				fmt.Fprintf(os.Stderr, "pfd: level %d/%d: %d candidates, %d dependencies\n",
+					p.Level, p.MaxLevel, p.Candidates, p.Dependencies)
+			}))
+		}
+		disc, err := pfd.Discover(ctx, src, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		table, rules = disc.Table(), disc.Ruleset()
+		if cmd == "discover" {
+			runDiscover(disc)
+			if *rulesPath != "" {
+				if err := rules.WriteFile(*rulesPath); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %d rules -> %s\n", rules.Len(), *rulesPath)
+			}
+			return
+		}
 	}
 
 	switch cmd {
-	case "discover":
-		runDiscover(disc)
 	case "detect":
-		runDetect(ctx, disc)
+		runDetect(ctx, table, rules)
 	case "repair":
 		if *out == "" {
 			fatal(fmt.Errorf("repair requires -out"))
 		}
-		runRepair(ctx, disc, *out)
+		runRepair(ctx, table, rules, *out)
 	case "score":
 		if *truthPath == "" {
 			fatal(fmt.Errorf("score requires -truth"))
 		}
-		runScore(ctx, disc, *truthPath)
+		runScore(ctx, table, rules, *truthPath)
 	default:
 		usage()
 		os.Exit(2)
@@ -129,16 +171,16 @@ func runDiscover(disc *pfd.Discovery) {
 	}
 }
 
-func detect(ctx context.Context, disc *pfd.Discovery) *pfd.Detection {
-	det, err := pfd.Detect(ctx, pfd.FromTable(disc.Table()), disc.PFDs())
+func detect(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset) *pfd.Detection {
+	det, err := rules.Detect(ctx, pfd.FromTable(table))
 	if err != nil {
 		fatal(err)
 	}
 	return det
 }
 
-func runDetect(ctx context.Context, disc *pfd.Discovery) {
-	det := detect(ctx, disc)
+func runDetect(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset) {
+	det := detect(ctx, table, rules)
 	if len(det.Findings()) == 0 {
 		fmt.Println("no violations found")
 		return
@@ -153,8 +195,8 @@ func runDetect(ctx context.Context, disc *pfd.Discovery) {
 	fmt.Printf("%d suspect cells\n", len(det.Findings()))
 }
 
-func runRepair(ctx context.Context, disc *pfd.Discovery, out string) {
-	fixed, n := detect(ctx, disc).Repair()
+func runRepair(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset, out string) {
+	fixed, n := detect(ctx, table, rules).Repair()
 	f, err := os.Create(out)
 	if err != nil {
 		fatal(err)
@@ -166,8 +208,8 @@ func runRepair(ctx context.Context, disc *pfd.Discovery, out string) {
 	fmt.Printf("repaired %d cells -> %s\n", n, out)
 }
 
-// runScore evaluates discovery and detection against a truth sidecar.
-func runScore(ctx context.Context, disc *pfd.Discovery, truthPath string) {
+// runScore evaluates the rules and detection against a truth sidecar.
+func runScore(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset, truthPath string) {
 	f, err := os.Open(truthPath)
 	if err != nil {
 		fatal(err)
@@ -179,14 +221,14 @@ func runScore(ctx context.Context, disc *pfd.Discovery, truthPath string) {
 	}
 
 	var discovered []string
-	for d := range disc.All() {
-		discovered = append(discovered, d.Embedded())
+	for p := range rules.All() {
+		discovered = append(discovered, p.Embedded())
 	}
 	pr := metrics.SetPR(discovered, truth.DepKeys())
 	fmt.Printf("discovery: %d dependencies, %s vs %d ground-truth deps\n",
 		len(discovered), pr, len(truth.Deps))
 
-	det := detect(ctx, disc)
+	det := detect(ctx, table, rules)
 	tp, goodRepairs := 0, 0
 	for fd := range det.All() {
 		cell := relation.Cell{Row: fd.Cell.Row, Col: fd.Cell.Col}
@@ -211,10 +253,13 @@ func runScore(ctx context.Context, disc *pfd.Discovery, truthPath string) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  pfd discover -in data.csv [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] [-nogeneralize] [-v]
-  pfd detect   -in data.csv [flags]
-  pfd repair   -in data.csv -out fixed.csv [flags]
-  pfd score    -in data.csv -truth data.truth.csv [flags]`)
+  pfd discover -in data.csv [-rules r.pfd] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] [-nogeneralize] [-v]
+  pfd detect   -in data.csv [-rules r.pfd] [flags]
+  pfd repair   -in data.csv -out fixed.csv [-rules r.pfd] [flags]
+  pfd score    -in data.csv -truth data.truth.csv [-rules r.pfd] [flags]
+
+-rules is the shared artifact: discover writes it, the others load it
+instead of re-mining (the same file feeds pfdstream and pfdinfer).`)
 }
 
 func fatal(err error) {

@@ -1,9 +1,11 @@
-// Command pfdinfer runs the Section 3 reasoning tasks over a rules file:
+// Command pfdinfer runs the Section 3 reasoning tasks over a ruleset:
 // consistency checking (Theorem 3), implication with proof output
-// (Theorem 1/2), and counterexample search.
+// (Theorem 1/2), counterexample search, and minimal cover.
 //
-// The rules file holds one constraint per line in the paper's notation
-// (blank lines and #-comments ignored):
+// The rules file is the shared ruleset artifact (the same format
+// `pfd discover -rules` writes and `pfd detect`/`pfdstream` read):
+// one constraint per line in the paper's λ-notation, '#' comments,
+// or the versioned JSON codec — pfd.LoadRulesetFile accepts both.
 //
 //	# first names determine gender
 //	Name([name = (John\ )\A*] -> [gender = M])
@@ -11,23 +13,26 @@
 //
 // Usage:
 //
-//	pfdinfer -rules rules.txt -check consistency
-//	pfdinfer -rules rules.txt -implies 'Name([name = (John\ )\A*] -> [title = Mr])'
+//	pfdinfer -rules rules.pfd -check consistency
+//	pfdinfer -rules rules.pfd -check mincover > minimal.pfd
+//	pfdinfer -rules rules.pfd -implies 'Name([name = (John\ )\A*] -> [title = Mr])'
+//
+// Exit status: 0 on a positive answer (consistent / implied / cover
+// written), 1 on a negative one, 2 on usage errors — including an
+// empty or missing rules file.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"pfd/internal/inference"
+	"pfd"
 )
 
 func main() {
-	rulesPath := flag.String("rules", "", "path to the rules file (required)")
-	check := flag.String("check", "", "task: 'consistency'")
+	rulesPath := flag.String("rules", "", "path to the ruleset file (required; text or JSON codec)")
+	check := flag.String("check", "", "task: 'consistency' or 'mincover'")
 	implies := flag.String("implies", "", "goal rule to test for implication")
 	flag.Parse()
 
@@ -35,15 +40,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pfdinfer: -rules is required")
 		os.Exit(2)
 	}
-	rules, err := loadRules(*rulesPath)
+	rs, err := pfd.LoadRulesetFile(*rulesPath)
 	if err != nil {
-		fail(err)
+		// Parse errors carry the file path and 1-based line number
+		// (*pfd.RuleParseError) via the shared loader.
+		fmt.Fprintln(os.Stderr, "pfdinfer:", err)
+		os.Exit(2)
 	}
-	fmt.Printf("loaded %d rules\n", len(rules))
+	if rs.Len() == 0 {
+		fmt.Fprintf(os.Stderr, "pfdinfer: %s holds no rules\n", *rulesPath)
+		os.Exit(2)
+	}
+	// Informational, to stderr: stdout carries the task's answer (and
+	// for -check mincover, the cover artifact itself).
+	rules := rs.Rules()
+	fmt.Fprintf(os.Stderr, "pfdinfer: loaded %d rules from %s\n", len(rules), *rulesPath)
 
 	switch {
 	case *check == "consistency":
-		witness, ok := inference.Consistent(rules)
+		witness, ok := rs.Consistent()
 		if !ok {
 			fmt.Println("INCONSISTENT: no single-tuple witness exists (Theorem 3 small-model search)")
 			os.Exit(1)
@@ -52,17 +67,26 @@ func main() {
 		for a, v := range witness {
 			fmt.Printf("  %s = %q\n", a, v)
 		}
-	case *implies != "":
-		goal, err := inference.ParseRule(*implies)
+	case *check == "mincover":
+		cover, err := rs.MinimalCover()
 		if err != nil {
 			fail(err)
 		}
-		if proof := inference.Prove(rules, goal); proof != nil {
+		fmt.Fprintf(os.Stderr, "pfdinfer: minimal cover keeps %d of %d rules\n", len(cover.Rules()), len(rules))
+		if _, err := cover.WriteTo(os.Stdout); err != nil {
+			fail(err)
+		}
+	case *implies != "":
+		goal, err := pfd.ParseRule(*implies)
+		if err != nil {
+			fail(err)
+		}
+		if proof := rs.Prove(goal); proof != nil {
 			fmt.Println("IMPLIED; proof:")
 			fmt.Print(proof)
 			return
 		}
-		if ce := inference.FindCounterexample(rules, goal); ce != nil {
+		if ce := pfd.FindCounterexample(rules, goal); ce != nil {
 			fmt.Println("NOT IMPLIED; two-tuple counterexample (satisfies Ψ, violates goal):")
 			printTuple("t1", ce.T1)
 			printTuple("t2", ce.T2)
@@ -71,33 +95,9 @@ func main() {
 		fmt.Println("UNDECIDED: not derivable by the closure and no counterexample in the small-model pool")
 		os.Exit(1)
 	default:
-		fmt.Fprintln(os.Stderr, "pfdinfer: specify -check consistency or -implies '<rule>'")
+		fmt.Fprintln(os.Stderr, "pfdinfer: specify -check consistency, -check mincover, or -implies '<rule>'")
 		os.Exit(2)
 	}
-}
-
-func loadRules(path string) ([]*inference.Rule, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var rules []*inference.Rule
-	sc := bufio.NewScanner(f)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		r, err := inference.ParseRule(text)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", line, err)
-		}
-		rules = append(rules, r)
-	}
-	return rules, sc.Err()
 }
 
 func printTuple(name string, t map[string]string) {

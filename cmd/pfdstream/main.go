@@ -1,42 +1,50 @@
-// Command pfdstream validates a tuple stream on stdin against PFDs
-// mined from a trusted reference batch, using the sharded streaming
-// engine (internal/stream) at configurable parallelism.
+// Command pfdstream validates a tuple stream on stdin against PFDs,
+// using the sharded streaming engine (internal/stream) at configurable
+// parallelism. The rules come from a saved ruleset artifact (-rules,
+// written by `pfd discover -rules`) or are mined on the fly from a
+// trusted reference batch (-ref); with both, the artifact supplies the
+// rules and the reference only warms the group state.
 //
 // Usage:
 //
 //	pfdstream -ref reference.csv [-format csv|jsonl] [-shards N]
 //	          [-workers N] [-batch 64] [-flush 2ms] [-warm] [-quiet]
-//	          [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] < stream
+//	          [-json] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] < stream
+//	pfdstream -rules r.pfd [-ref reference.csv] [flags] < stream
 //
 // The reference CSV (with a header row) is mined offline with the
 // Figure 4 discovery algorithm; the resulting PFDs then guard the
 // stream through pfd.Validate. With -warm (the default) the reference
 // rows are folded into the engine first, so group consensus exists
-// before the first live tuple. Stdin is CSV with a header row, or
-// JSONL (one flat object per line) with -format jsonl — both are
-// pfd.Source implementations from the shared ingestion layer, so the
-// parsing (and its error reporting) is identical to every other entry
-// point.
+// before the first live tuple (-rules without -ref has no reference to
+// warm from). Stdin is CSV with a header row, or JSONL (one flat
+// object per line) with -format jsonl — both are pfd.Source
+// implementations from the shared ingestion layer, so the parsing
+// (and its error reporting) is identical to every other entry point.
 //
 // Violations attributed to live tuples are printed as they are found;
 // retroactive signals (a majority forming after an earlier suspect
 // tuple) are summarized once, since they re-fire per majority-side
 // tuple and may stem from delta-tolerated dirt in the reference batch.
-// A summary with throughput goes to stderr. The exit status is 1 when
-// live tuples raised violations, 2 on usage, I/O, or cancellation
-// (SIGINT) errors, 0 otherwise — so the command composes as a
-// pipeline gate.
+// A summary with throughput goes to stderr. With -json the final
+// report — rows, live violations, throughput — is emitted as a single
+// JSON object on stdout instead of per-violation lines, for machine
+// consumption. The exit status is 1 when live tuples raised
+// violations, 2 on usage, I/O, or cancellation (SIGINT) errors, 0
+// otherwise — so the command composes as a pipeline gate.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"iter"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,7 +53,8 @@ import (
 )
 
 func main() {
-	ref := flag.String("ref", "", "trusted reference CSV to mine PFDs from (required)")
+	ref := flag.String("ref", "", "trusted reference CSV to mine PFDs from (or to warm with, under -rules)")
+	rulesPath := flag.String("rules", "", "ruleset artifact to validate against (skips mining)")
 	format := flag.String("format", "csv", "stdin format: csv (header row) or jsonl")
 	shards := flag.Int("shards", 0, "state shards (0 = GOMAXPROCS)")
 	workers := flag.Int("workers", 0, "producer goroutines (0 = shard count)")
@@ -53,13 +62,14 @@ func main() {
 	flush := flag.Duration("flush", 2*time.Millisecond, "max latency of a partial batch")
 	warm := flag.Bool("warm", true, "fold the reference rows in before validating")
 	quiet := flag.Bool("quiet", false, "suppress per-violation lines")
+	jsonOut := flag.Bool("json", false, "emit the final report as JSON on stdout (suppresses per-violation lines)")
 	k := flag.Int("k", 5, "discovery: minimum support K")
 	delta := flag.Float64("delta", 0.05, "discovery: allowed violation ratio δ")
 	coverage := flag.Float64("coverage", 0.10, "discovery: minimum coverage γ")
 	lhs := flag.Int("lhs", 1, "discovery: maximum LHS attributes")
 	flag.Parse()
-	if *ref == "" {
-		fmt.Fprintln(os.Stderr, "pfdstream: -ref is required")
+	if *ref == "" && *rulesPath == "" {
+		fmt.Fprintln(os.Stderr, "pfdstream: -ref or -rules is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -71,19 +81,45 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	disc, err := pfd.Discover(ctx, pfd.FromCSVFile("ref", *ref),
-		pfd.WithMinSupport(*k), pfd.WithDelta(*delta),
-		pfd.WithMinCoverage(*coverage), pfd.WithMaxLHS(*lhs))
-	if err != nil {
-		fatal(err)
+	// The rules: load the shared artifact, or mine the reference batch.
+	var (
+		rules    *pfd.Ruleset
+		refTable *pfd.Table
+	)
+	if *rulesPath != "" {
+		rs, err := pfd.LoadRulesetFile(*rulesPath)
+		if err != nil {
+			fatal(err)
+		}
+		if rs.Len() == 0 {
+			fatal(fmt.Errorf("%s holds no rules; nothing to validate against", *rulesPath))
+		}
+		rules = rs
+		if *ref != "" && *warm {
+			// The reference only warms the group state here; skip the
+			// read entirely when -warm=false.
+			t, err := pfd.ReadTable(ctx, pfd.FromCSVFile("ref", *ref))
+			if err != nil {
+				fatal(err)
+			}
+			refTable = t
+		}
+		fmt.Fprintf(os.Stderr, "pfdstream: loaded %d rules from %s\n", rules.Len(), *rulesPath)
+	} else {
+		disc, err := pfd.Discover(ctx, pfd.FromCSVFile("ref", *ref),
+			pfd.WithMinSupport(*k), pfd.WithDelta(*delta),
+			pfd.WithMinCoverage(*coverage), pfd.WithMaxLHS(*lhs))
+		if err != nil {
+			fatal(err)
+		}
+		rules = disc.Ruleset()
+		if rules.Len() == 0 {
+			fatal(fmt.Errorf("no dependencies mined from %s; nothing to validate against", *ref))
+		}
+		refTable = disc.Table()
+		fmt.Fprintf(os.Stderr, "pfdstream: mined %d dependencies from %s (%d rows)\n",
+			rules.Len(), *ref, refTable.NumRows())
 	}
-	pfds := disc.PFDs()
-	if len(pfds) == 0 {
-		fatal(fmt.Errorf("no dependencies mined from %s; nothing to validate against", *ref))
-	}
-	table := disc.Table()
-	fmt.Fprintf(os.Stderr, "pfdstream: mined %d dependencies from %s (%d rows)\n",
-		len(pfds), *ref, table.NumRows())
 
 	var stdin pfd.Source
 	switch *format {
@@ -105,11 +141,13 @@ func main() {
 	var liveViolations atomic.Int64
 	var retroSignals atomic.Int64
 	var printMu sync.Mutex
+	var jsonFindings []reportFinding // -json: live findings, handler-collected
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
+	useWarm := *warm && refTable != nil
 	warmRows := 0
-	if *warm {
-		warmRows = table.NumRows()
+	if useWarm {
+		warmRows = refTable.NumRows()
 	}
 
 	nw := *workers
@@ -121,8 +159,10 @@ func main() {
 		pfd.WithBatchSize(*batchSize),
 		pfd.WithFlushInterval(*flush),
 		pfd.WithWorkers(nw),
-		// The CLI consumes violations through the handler; retaining
-		// them in the engine would grow without bound on long streams.
+		// All modes consume violations through the handler: retaining
+		// them in the engine (which would also keep every retroactive
+		// re-fire and warm-phase finding) grows without bound on long
+		// streams.
 		pfd.WithoutViolationLog(),
 		pfd.WithViolationHandler(func(v pfd.StreamViolation) {
 			if !v.NewTuple {
@@ -130,6 +170,17 @@ func main() {
 				return
 			}
 			liveViolations.Add(1)
+			if *jsonOut {
+				printMu.Lock()
+				defer printMu.Unlock()
+				jsonFindings = append(jsonFindings, reportFinding{
+					Row:      v.Cell.Row - warmRows,
+					Column:   v.Cell.Col,
+					Expected: v.Expected,
+					PFD:      v.PFD.Embedded(),
+				})
+				return
+			}
 			if *quiet {
 				return
 			}
@@ -144,13 +195,13 @@ func main() {
 			}
 		}),
 	}
-	if *warm {
-		opts = append(opts, pfd.WithWarmup(pfd.FromTable(table)))
+	if useWarm {
+		opts = append(opts, pfd.WithWarmup(pfd.FromTable(refTable)))
 	}
 
 	clock := &liveClock{Source: stdin}
 	start := time.Now()
-	val, err := pfd.Validate(ctx, clock, pfds, opts...)
+	val, err := rules.Validate(ctx, clock, opts...)
 	// Throughput is a live-phase number: the warm replay happens inside
 	// Validate, so time from when the live source was first iterated
 	// (i.e. after the warm barrier), not from before Validate.
@@ -158,13 +209,23 @@ func main() {
 	if !clock.start.IsZero() {
 		elapsed = time.Since(clock.start)
 	}
-	out.Flush()
 	if err != nil {
+		out.Flush()
 		fatal(err)
 	}
 
 	liveRows := val.LiveRows()
 	tps := float64(liveRows) / elapsed.Seconds()
+	if *jsonOut {
+		rep := buildReport(val, elapsed, *shards, nw, retroSignals.Load(), jsonFindings)
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			out.Flush()
+			fatal(err)
+		}
+	}
+	out.Flush()
 	fmt.Fprintf(os.Stderr,
 		"pfdstream: checked %d tuples in %s (%.0f tuples/sec, %d shards, %d workers): %d violations\n",
 		liveRows, elapsed.Round(time.Millisecond), tps, *shards, nw, liveViolations.Load())
@@ -174,6 +235,62 @@ func main() {
 	}
 	if liveViolations.Load() > 0 {
 		os.Exit(1)
+	}
+}
+
+// report is the -json output: the final StreamReport plus the run's
+// shape and throughput, one object on stdout.
+type report struct {
+	Rows           int             `json:"rows"`
+	WarmRows       int             `json:"warm_rows"`
+	LiveRows       int             `json:"live_rows"`
+	LiveViolations int             `json:"live_violations"`
+	RetroSignals   int64           `json:"retro_signals"`
+	ElapsedMS      float64         `json:"elapsed_ms"`
+	TuplesPerSec   float64         `json:"tuples_per_sec"`
+	Shards         int             `json:"shards"`
+	Workers        int             `json:"workers"`
+	Violations     []reportFinding `json:"violations"`
+}
+
+// reportFinding is one live violation; Row is the live row number
+// (the warm offset removed, matching the text output).
+type reportFinding struct {
+	Row      int    `json:"row"`
+	Column   string `json:"column"`
+	Expected string `json:"expected,omitempty"`
+	PFD      string `json:"pfd"`
+}
+
+// buildReport assembles the -json report from a finished validation
+// and the handler-collected live findings (retroactive signals are a
+// count, for the reasons the command doc explains). The findings are
+// sorted here: the handler runs on shard workers, so arrival order is
+// nondeterministic.
+func buildReport(val *pfd.Validation, elapsed time.Duration, shards, workers int, retro int64, findings []reportFinding) report {
+	if findings == nil {
+		findings = []reportFinding{}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Row != findings[j].Row {
+			return findings[i].Row < findings[j].Row
+		}
+		if findings[i].Column != findings[j].Column {
+			return findings[i].Column < findings[j].Column
+		}
+		return findings[i].PFD < findings[j].PFD
+	})
+	return report{
+		Rows:           val.Rows(),
+		WarmRows:       val.WarmRows(),
+		LiveRows:       val.LiveRows(),
+		LiveViolations: len(findings),
+		RetroSignals:   retro,
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
+		TuplesPerSec:   float64(val.LiveRows()) / elapsed.Seconds(),
+		Shards:         shards,
+		Workers:        workers,
+		Violations:     findings,
 	}
 }
 

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pfd"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestReportGolden pins the -json report shape: a deterministic
+// validation run (sequential checker, fixed rules, fixed stream,
+// fixed elapsed time) must marshal byte-identically to the committed
+// golden file.
+func TestReportGolden(t *testing.T) {
+	rules := pfd.NewRuleset("golden",
+		pfd.MustParsePFD(`Zip([zip = (\D{3})\D{2}] -> [city = _])`),
+	)
+	warm := pfd.NewTable("ref", "zip", "city")
+	for i := 0; i < 6; i++ {
+		warm.Append("90001", "Los Angeles")
+		warm.Append("60601", "Chicago")
+	}
+	live := pfd.NewTable("live", "zip", "city")
+	live.Append("90002", "Los Angeles")
+	live.Append("90003", "Chicag") // violates the 900xx consensus
+	live.Append("60602", "Chicago")
+
+	// Collect live findings through the handler, as main does (the
+	// engine log stays disabled in every mode).
+	var findings []reportFinding
+	val, err := rules.Validate(context.Background(), pfd.FromTable(live),
+		pfd.WithSequentialChecker(), pfd.WithoutViolationLog(),
+		pfd.WithWarmup(pfd.FromTable(warm)),
+		pfd.WithViolationHandler(func(v pfd.StreamViolation) {
+			if v.NewTuple {
+				findings = append(findings, reportFinding{
+					Row: v.Cell.Row - 12, Column: v.Cell.Col,
+					Expected: v.Expected, PFD: v.PFD.Embedded(),
+				})
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := buildReport(val, 250*time.Millisecond, 4, 2, 3, findings)
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	goldenPath := filepath.Join("testdata", "report.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/pfdstream -update` to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("report drifted from %s:\n got:\n%s\nwant:\n%s", goldenPath, got, want)
+	}
+}
+
+// TestReportCountsConsistent checks the derived fields against the
+// validation they summarize.
+func TestReportCountsConsistent(t *testing.T) {
+	rules := pfd.NewRuleset("counts",
+		pfd.MustParsePFD(`Zip([zip = (\D{3})\D{2}] -> [city = _])`),
+	)
+	live := pfd.NewTable("live", "zip", "city")
+	for i := 0; i < 8; i++ {
+		live.Append("90001", "Los Angeles")
+	}
+	live.Append("90002", "LA?") // minority against the consensus
+
+	var findings []reportFinding
+	val, err := rules.Validate(context.Background(), pfd.FromTable(live),
+		pfd.WithSequentialChecker(), pfd.WithoutViolationLog(),
+		pfd.WithViolationHandler(func(v pfd.StreamViolation) {
+			if v.NewTuple {
+				findings = append(findings, reportFinding{
+					Row: v.Cell.Row, Column: v.Cell.Col,
+					Expected: v.Expected, PFD: v.PFD.Embedded(),
+				})
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := buildReport(val, time.Second, 1, 1, 0, findings)
+	if rep.Rows != 9 || rep.WarmRows != 0 || rep.LiveRows != 9 {
+		t.Errorf("row counts: %+v", rep)
+	}
+	if rep.LiveViolations != len(rep.Violations) || rep.LiveViolations == 0 {
+		t.Errorf("violation counts: %+v", rep)
+	}
+	if rep.TuplesPerSec != 9 {
+		t.Errorf("TuplesPerSec = %v, want 9", rep.TuplesPerSec)
+	}
+}

@@ -1,7 +1,9 @@
 // cleaningpipeline is a realistic end-to-end batch job: generate a dirty
-// CSV extract, discover PFDs on the dirty data, detect and repair the
-// violations, re-verify, and write the cleaned file — the workflow a
-// data-quality pipeline would run nightly.
+// CSV extract, discover PFDs on the dirty data and persist them as a
+// ruleset artifact, then — as a separate stage that only sees the
+// artifact — detect and repair the violations, re-verify, and write the
+// cleaned file. This is the workflow a data-quality pipeline would run
+// nightly, with discovery amortized across runs via the saved rules.
 package main
 
 import (
@@ -32,10 +34,10 @@ func main() {
 	f.Close()
 	fmt.Printf("stage 1: landed %s (%d rows, %d dirty cells seeded)\n", dirty, t.NumRows(), len(truth.Errors))
 
-	// Stage 2 — profile and discover constraints on the dirty data.
-	// The CSV file enters through the shared Source layer; Discover
-	// materializes it once and hands the table back for the later
-	// stages.
+	// Stage 2 — profile and discover constraints on the dirty data,
+	// then persist them as the versioned JSON artifact. The CSV file
+	// enters through the shared Source layer; Discover materializes it
+	// once and hands the table back for the later stages.
 	ctx := context.Background()
 	disc, err := pfd.Discover(ctx, pfd.FromCSVFile("contacts", dirty))
 	if err != nil {
@@ -45,9 +47,20 @@ func main() {
 	for d := range disc.All() {
 		fmt.Printf("  %s (variable=%v, coverage %.0f%%)\n", d.Embedded(), d.Variable, 100*d.Coverage)
 	}
+	rulesPath := filepath.Join(dir, "contacts.rules.json")
+	if err := disc.Ruleset().WriteFile(rulesPath); err != nil {
+		panic(err)
+	}
+	fmt.Printf("stage 2: persisted the ruleset -> %s\n", filepath.Base(rulesPath))
 
-	// Stage 3 — detect and repair.
-	det, err := pfd.Detect(ctx, pfd.FromTable(disc.Table()), disc.PFDs())
+	// Stage 3 — detect and repair, driven purely by the saved
+	// artifact: this stage could run in a different process, on a
+	// different day, without repeating discovery.
+	rules, err := pfd.LoadRulesetFile(rulesPath)
+	if err != nil {
+		panic(err)
+	}
+	det, err := rules.Detect(ctx, pfd.FromTable(disc.Table()))
 	if err != nil {
 		panic(err)
 	}
@@ -62,8 +75,9 @@ func main() {
 	fmt.Printf("stage 3: flagged %d cells, repaired %d, %d repairs match ground truth\n",
 		len(findings), n, correct)
 
-	// Stage 4 — verify the cleaned data and publish.
-	verify, err := pfd.Detect(ctx, pfd.FromTable(fixed), disc.PFDs())
+	// Stage 4 — verify the cleaned data against the same artifact and
+	// publish.
+	verify, err := rules.Detect(ctx, pfd.FromTable(fixed))
 	if err != nil {
 		panic(err)
 	}

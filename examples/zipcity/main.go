@@ -3,12 +3,19 @@
 // and states, with typos of the kinds the paper reports (Chicag,
 // 60603-6263, lL). Discovery generalizes the prefixes to (\D{3})\D{2} and
 // detection pins every typo with an explainable repair.
+//
+// The example runs the artifact workflow: discovery's ruleset is
+// persisted in the λ-notation text format and reloaded before
+// detection — the save/load cycle a nightly job would split across
+// invocations (`pfd discover -rules` / `pfd detect -rules`).
 package main
 
 import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 
 	"pfd"
 )
@@ -47,7 +54,24 @@ func main() {
 		fmt.Printf("  %s variable=%v coverage=%.0f%%\n", d.Embedded(), d.Variable, 100*d.Coverage)
 	}
 
-	det, err := pfd.Detect(ctx, pfd.FromTable(t), disc.PFDs())
+	// Persist the rules as a durable artifact and reload them — from
+	// here on the original discovery run is no longer needed.
+	dir, err := os.MkdirTemp("", "pfd-zipcity")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	rulesPath := filepath.Join(dir, "addresses.pfd")
+	if err := disc.Ruleset().WriteFile(rulesPath); err != nil {
+		panic(err)
+	}
+	rules, err := pfd.LoadRulesetFile(rulesPath)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nsaved and reloaded %d rules via %s\n", rules.Len(), filepath.Base(rulesPath))
+
+	det, err := rules.Detect(ctx, pfd.FromTable(t))
 	if err != nil {
 		panic(err)
 	}

@@ -207,12 +207,7 @@ func LHSGeneralization(r1, r2 *Rule, attr string) (*Rule, error) {
 	return out, nil
 }
 
-func sameCell(a, b pfd.Cell) bool {
-	if a.IsWildcard() || b.IsWildcard() {
-		return a.IsWildcard() == b.IsWildcard()
-	}
-	return a.Pattern.Equal(b.Pattern)
-}
+func sameCell(a, b pfd.Cell) bool { return a.Equal(b) }
 
 // cellUnion returns a cell matching s iff s matches either input.
 func cellUnion(a, b pfd.Cell) (pfd.Cell, error) {

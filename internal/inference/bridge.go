@@ -1,6 +1,12 @@
 package inference
 
-import "pfd/internal/pfd"
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pfd/internal/pfd"
+)
 
 // FromPFD converts a normal-form PFD into inference rules, one per
 // tableau row (the paper reasons per tableau tuple: "it is sufficient to
@@ -27,4 +33,64 @@ func FromPFDs(pfds []*pfd.PFD) []*Rule {
 		out = append(out, FromPFD(p)...)
 	}
 	return out
+}
+
+// ToPFDs is the inverse bridge: it folds inference rules back into
+// normal-form PFDs. Multi-attribute RHS rules decompose into one unit
+// per RHS attribute (restriction iv of §4.2, sorted for determinism),
+// and units sharing a relation, LHS attribute set, and RHS attribute
+// merge into one PFD with a multi-row tableau, in first-appearance
+// order. A rule whose RHS attribute also appears on its LHS has no
+// normal form (pfd.New rejects trivial dependencies) and is an error.
+func ToPFDs(rules []*Rule) ([]*pfd.PFD, error) {
+	type group struct {
+		relation string
+		lhs      []string
+		rhs      string
+		rows     []pfd.Row
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, r := range rules {
+		lhsAttrs := make([]string, 0, len(r.LHS))
+		for a := range r.LHS {
+			lhsAttrs = append(lhsAttrs, a)
+		}
+		sort.Strings(lhsAttrs)
+		if len(lhsAttrs) == 0 {
+			return nil, fmt.Errorf("inference: rule %s has an empty LHS", r)
+		}
+		rhsAttrs := make([]string, 0, len(r.RHS))
+		for a := range r.RHS {
+			rhsAttrs = append(rhsAttrs, a)
+		}
+		sort.Strings(rhsAttrs)
+		for _, b := range rhsAttrs {
+			if _, onLHS := r.LHS[b]; onLHS {
+				return nil, fmt.Errorf("inference: rule %s: attribute %q appears on both sides; no normal form", r, b)
+			}
+			key := r.Relation + "\x00" + strings.Join(lhsAttrs, "\x00") + "\x00\x00" + b
+			g, ok := groups[key]
+			if !ok {
+				g = &group{relation: r.Relation, lhs: lhsAttrs, rhs: b}
+				groups[key] = g
+				order = append(order, key)
+			}
+			cells := make([]pfd.Cell, len(lhsAttrs))
+			for i, a := range lhsAttrs {
+				cells[i] = r.LHS[a]
+			}
+			g.rows = append(g.rows, pfd.Row{LHS: cells, RHS: r.RHS[b]})
+		}
+	}
+	out := make([]*pfd.PFD, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		p, err := pfd.New(g.relation, g.lhs, g.rhs, g.rows...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
 }

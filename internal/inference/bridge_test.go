@@ -32,6 +32,53 @@ func TestFromPFD(t *testing.T) {
 	}
 }
 
+func TestToPFDsInvertsFromPFDs(t *testing.T) {
+	p1 := pfd.MustNew("Name", []string{"name"}, "gender",
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(John\ )\A*`))}, RHS: pfd.Pat(pattern.Constant("M"))},
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(Susan\ )\A*`))}, RHS: pfd.Pat(pattern.Constant("F"))},
+	)
+	p2 := pfd.MustNew("Zip", []string{"city", "zip"}, "state",
+		pfd.Row{LHS: []pfd.Cell{pfd.Wildcard(), pfd.Pat(pattern.MustParse(`(900)\D{2}`))}, RHS: pfd.Pat(pattern.Constant("CA"))},
+	)
+	back, err := ToPFDs(FromPFDs([]*pfd.PFD{p1, p2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("%d PFDs back, want 2", len(back))
+	}
+	if !back[0].Equal(p1) || !back[1].Equal(p2) {
+		t.Fatalf("round trip drifted:\n %s\n %s", back[0], back[1])
+	}
+}
+
+func TestToPFDsDecomposesMultiRHS(t *testing.T) {
+	r := NewRule("R").
+		WithLHS("zip", pfd.Pat(pattern.MustParse(`(900)\D{2}`))).
+		WithRHS("city", pfd.Pat(pattern.Constant("Los Angeles"))).
+		WithRHS("state", pfd.Pat(pattern.Constant("CA")))
+	out, err := ToPFDs([]*Rule{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("%d PFDs, want 2 (one per RHS attribute)", len(out))
+	}
+	// Sorted RHS order: city before state.
+	if out[0].RHS != "city" || out[1].RHS != "state" {
+		t.Fatalf("RHS order: %s, %s", out[0].RHS, out[1].RHS)
+	}
+}
+
+func TestToPFDsRejectsOverlappingSides(t *testing.T) {
+	r := NewRule("R").
+		WithLHS("a", pfd.Wildcard()).
+		WithRHS("a", pfd.Pat(pattern.Constant("x")))
+	if _, err := ToPFDs([]*Rule{r}); err == nil {
+		t.Fatal("want error for attribute on both sides")
+	}
+}
+
 func TestFromPFDsDetectsInconsistentTableaux(t *testing.T) {
 	// Two PFDs whose tableau rows contradict: the same zip prefix pinned
 	// to two different cities — combined with a rule forcing every zip

@@ -1,0 +1,25 @@
+package inference
+
+// MinimalCover returns a subset of the rules with the same logical
+// consequences under the closure of Figure 7: scanning first to last,
+// a rule implied by the remaining rules is dropped (Section 3's
+// minimal-cover reasoning task, the classical FD algorithm lifted to
+// PFDs). Exact duplicates always collapse; beyond that the result is
+// order-dependent and minimal rather than minimum, and — because
+// Implies is sound but not complete through the Inconsistency-EFQ
+// path — a rule kept by an incompleteness is a safe over-approximation,
+// never a lost consequence. The input slice is not modified.
+func MinimalCover(rules []*Rule) []*Rule {
+	kept := append([]*Rule(nil), rules...)
+	for i := 0; i < len(kept); {
+		rest := make([]*Rule, 0, len(kept)-1)
+		rest = append(rest, kept[:i]...)
+		rest = append(rest, kept[i+1:]...)
+		if Implies(rest, kept[i]) {
+			kept = rest
+			continue
+		}
+		i++
+	}
+	return kept
+}

@@ -1,0 +1,86 @@
+package inference
+
+import (
+	"testing"
+
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+)
+
+func TestMinimalCoverDropsDuplicates(t *testing.T) {
+	a := MustParseRule(`Name([name = (John\ )\A*] -> [gender = M])`)
+	b := MustParseRule(`Name([name = (John\ )\A*] -> [gender = M])`)
+	got := MinimalCover([]*Rule{a, b})
+	if len(got) != 1 {
+		t.Fatalf("cover kept %d rules, want 1", len(got))
+	}
+}
+
+func TestMinimalCoverDropsTransitiveConsequence(t *testing.T) {
+	// a: name -> gender, b: gender -> title, c: name -> title follows by
+	// transitivity, so a minimal cover drops c.
+	a := MustParseRule(`Name([name = (John\ )\A*] -> [gender = M])`)
+	b := MustParseRule(`Name([gender = M] -> [title = Mr])`)
+	c := MustParseRule(`Name([name = (John\ )\A*] -> [title = Mr])`)
+	got := MinimalCover([]*Rule{a, b, c})
+	if len(got) != 2 {
+		t.Fatalf("cover kept %d rules, want 2: %v", len(got), got)
+	}
+	for _, r := range got {
+		if r == c {
+			t.Fatal("transitive consequence survived the cover")
+		}
+	}
+	// The cover still implies the dropped rule.
+	if !Implies(got, c) {
+		t.Fatal("cover lost a consequence")
+	}
+}
+
+func TestMinimalCoverKeepsIndependentRules(t *testing.T) {
+	rules := []*Rule{
+		MustParseRule(`Zip([zip = (900)\D{2}] -> [city = Los\ Angeles])`),
+		MustParseRule(`Zip([zip = (606)\D{2}] -> [city = Chicago])`),
+		MustParseRule(`Zip([zip = (\D{3})\D{2}] -> [state = _])`),
+	}
+	got := MinimalCover(rules)
+	if len(got) != len(rules) {
+		t.Fatalf("independent rules dropped: kept %d of %d", len(got), len(rules))
+	}
+	// Input order preserved, input slice untouched.
+	for i := range got {
+		if got[i] != rules[i] {
+			t.Fatal("cover reordered rules")
+		}
+	}
+}
+
+func TestMinimalCoverIdempotent(t *testing.T) {
+	rules := []*Rule{
+		MustParseRule(`Name([name = (John\ )\A*] -> [gender = M])`),
+		MustParseRule(`Name([gender = M] -> [title = Mr])`),
+		MustParseRule(`Name([name = (John\ )\A*] -> [title = Mr])`),
+	}
+	once := MinimalCover(rules)
+	twice := MinimalCover(once)
+	if len(twice) != len(once) {
+		t.Fatalf("not idempotent: %d then %d", len(once), len(twice))
+	}
+}
+
+func TestMinimalCoverRoundTripsThroughPFDs(t *testing.T) {
+	// Rules → cover → PFDs → rules keeps the same consequences.
+	p := pfd.MustNew("Zip", []string{"zip"}, "city",
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(900)\D{2}`))}, RHS: pfd.Pat(pattern.Constant("Los Angeles"))},
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(606)\D{2}`))}, RHS: pfd.Pat(pattern.Constant("Chicago"))},
+	)
+	rules := FromPFD(p)
+	cover := MinimalCover(append(rules, rules...)) // duplicated input
+	back, err := ToPFDs(cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || !back[0].Equal(p) {
+		t.Fatalf("cover round trip drifted: %v", back)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"pfd/internal/pattern"
 	"pfd/internal/pfd"
 )
 
@@ -51,11 +50,14 @@ func MustParseRule(src string) *Rule {
 	return r
 }
 
-// cutArrow splits at the top-level "->" (outside brackets).
+// cutArrow splits at the top-level "->" (outside brackets, escape
+// pairs skipped — rendered cells escape the grammar delimiters).
 func cutArrow(s string) (string, string, bool) {
 	depth := 0
 	for i := 0; i+1 < len(s); i++ {
 		switch s[i] {
+		case '\\':
+			i++ // skip the escaped byte
 		case '[':
 			depth++
 		case ']':
@@ -122,23 +124,9 @@ func splitTop(s string) []string {
 	return out
 }
 
-// parseCell reads one tableau cell.
+// parseCell reads one tableau cell via the shared grammar
+// (pfd.ParseCell): '_'/'⊥' wildcard, pattern syntax, or a bare
+// constant treated as a fully-constrained literal.
 func parseCell(s string) (pfd.Cell, error) {
-	if s == "_" || s == "⊥" {
-		return pfd.Wildcard(), nil
-	}
-	if !strings.ContainsAny(s, `\()*+{}`) {
-		// Bare constant: fully-constrained literal.
-		return pfd.Pat(pattern.Constant(s)), nil
-	}
-	p, err := pattern.Parse(s)
-	if err != nil {
-		return pfd.Cell{}, err
-	}
-	if !p.Constrained() {
-		// Patterns without an explicit region compare whole values;
-		// make that explicit by constraining the whole pattern.
-		p = pattern.NewConstrained(p.Tokens, 0, len(p.Tokens))
-	}
-	return pfd.Pat(p), nil
+	return pfd.ParseCell(s)
 }

@@ -1,0 +1,44 @@
+package pfd
+
+import "testing"
+
+// FuzzParsePFD pins the parse/render fixpoint: any input that ParsePFD
+// accepts must render to a string that parses back to a structurally
+// identical PFD with an identical rendering. Together with the
+// quickcheck round-trip tests (ParsePFD(p.String()) ≡ p over generated
+// tableaux) this guarantees the text codec is lossless, including
+// escaped spaces and delimiters, '_' wildcards, and multi-row
+// tableaux. CI runs a short -fuzz smoke over this target.
+func FuzzParsePFD(f *testing.F) {
+	for _, seed := range []string{
+		`Zip([zip = (900)\D{2}] -> [city = Los\ Angeles])`,
+		`Zip([zip = (\D{3})\D{2}] -> [city = _])`,
+		`Name([name = (John\ )\A*] -> [gender = M])`,
+		`R([a = (\LU\LL*\ )\A*, b = _] -> [c = (\LU{2})\D+])`,
+		`R([a = x] -> [b = y]); R([a = z] -> [b = w])`,
+		`R([a = Washington\,\ DC] -> [b = a\_b])`,
+		`R([a = \[brack\]et] -> [b = semi\;colon])`,
+		`R([a,b] -> [c], Tp=∅)`,
+		`R([a = (\D{1,3})\S*] -> [b = (\LL+)\D{2,}])`,
+		`R([a = ⊥] -> [b = ⊥\ unicode\ ✓])`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePFD(src)
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		rendered := p.String()
+		again, err := ParsePFD(rendered)
+		if err != nil {
+			t.Fatalf("render of accepted input does not re-parse:\n in  %q\n out %q\n err %v", src, rendered, err)
+		}
+		if !again.Equal(p) {
+			t.Fatalf("re-parse drifted:\n in  %q\n 1st %s\n 2nd %s", src, p, again)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("render not a fixpoint:\n in  %q\n 1st %q\n 2nd %q", src, rendered, got)
+		}
+	})
+}

@@ -1,0 +1,348 @@
+package pfd
+
+import (
+	"fmt"
+	"strings"
+
+	"pfd/internal/pattern"
+)
+
+// This file implements the inverse of PFD.String()/Cell.String(): a
+// parser for the paper's λ-notation, so rule artifacts written by one
+// run can be loaded by another. The grammar (also documented in
+// DESIGN.md and cmd/pfdinfer) is, per line:
+//
+//	pfd     := row *( ";" row ) | empty
+//	row     := Relation "(" "[" item *( "," item ) "]" "->" "[" item "]" ")"
+//	item    := attr "=" cell
+//	empty   := Relation "(" "[" attrs "]" "->" "[" attr "]" ", Tp=∅" ")"
+//	cell    := "_" | "⊥" | pattern | bare-constant
+//
+// Cells render with the tableau delimiters (',', ';', '[', ']'),
+// spaces, and '_' backslash-escaped (pattern.Token.String), so the
+// splits below are unambiguous when they skip escape pairs.
+
+// ParseCell reads one tableau cell: '_' (or '⊥') is the wildcard, a
+// string containing pattern meta-runes is parsed in the pattern
+// syntax (an unconstrained pattern is normalized to constrain its
+// whole body, matching its whole-value comparison semantics), and a
+// bare string with no meta-runes is a fully-constrained constant.
+func ParseCell(src string) (Cell, error) {
+	if src == "_" || src == "⊥" {
+		return Wildcard(), nil
+	}
+	if src == "()" {
+		// The empty-constant cell: matches exactly "".
+		return Pat(pattern.Constant("")), nil
+	}
+	if src == "" {
+		return Cell{}, fmt.Errorf("pfd: empty tableau cell")
+	}
+	if !strings.ContainsAny(src, `\()*+{}`) {
+		return Pat(pattern.Constant(src)), nil
+	}
+	p, err := pattern.Parse(src)
+	if err != nil {
+		return Cell{}, err
+	}
+	if !p.Constrained() {
+		// No explicit region means whole-value comparison; make that
+		// explicit so the cell round-trips to a canonical rendering.
+		p = pattern.NewConstrained(p.Tokens, 0, len(p.Tokens))
+	}
+	return Pat(p), nil
+}
+
+// ParseTableauRow reads one λ-notation constraint,
+//
+//	Zip([zip = (900)\D{2}] -> [city = Los\ Angeles])
+//
+// returning the relation name, the LHS attributes in written order,
+// the RHS attribute, and the parsed tableau row.
+func ParseTableauRow(src string) (relation string, lhs []string, rhs string, row Row, err error) {
+	s := strings.TrimSpace(src)
+	open := indexUnescaped(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		err = fmt.Errorf("pfd: rule %q: want Relation([...] -> [...])", src)
+		return
+	}
+	relation = unescapeName(trimUnescaped(s[:open]))
+	lhsPart, rhsPart, found := cutTopLevel(s[open+1:len(s)-1], "->")
+	if !found {
+		err = fmt.Errorf("pfd: rule %q: missing ->", src)
+		return
+	}
+	lhs, lhsCells, err := parseRowSide(lhsPart)
+	if err != nil {
+		err = fmt.Errorf("pfd: rule %q LHS: %w", src, err)
+		return
+	}
+	if len(lhs) == 0 {
+		err = fmt.Errorf("pfd: rule %q: empty LHS", src)
+		return
+	}
+	rhsAttrs, rhsCells, err := parseRowSide(rhsPart)
+	if err != nil {
+		err = fmt.Errorf("pfd: rule %q RHS: %w", src, err)
+		return
+	}
+	if len(rhsAttrs) != 1 {
+		err = fmt.Errorf("pfd: rule %q: want exactly one RHS attribute (normal form), got %d", src, len(rhsAttrs))
+		return
+	}
+	rhs = rhsAttrs[0]
+	row = Row{LHS: lhsCells, RHS: rhsCells[0]}
+	return
+}
+
+// ParsePFD parses the full λ-notation rendering of a PFD — one or
+// more tableau rows joined by "; ", or the empty-tableau form
+// "Rel([a,b] -> [c], Tp=∅)" — inverting PFD.String(). Every row must
+// share the relation, the LHS attribute list, and the RHS attribute.
+func ParsePFD(src string) (*PFD, error) {
+	s := strings.TrimSpace(src)
+	if rel, lhs, rhs, ok := parseEmptyForm(s); ok {
+		return New(rel, lhs, rhs)
+	}
+	var (
+		relation string
+		lhs      []string
+		rhs      string
+		rows     []Row
+	)
+	for i, part := range splitTopLevel(s, ';') {
+		rel, rowLHS, rowRHS, row, err := ParseTableauRow(part)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			relation, lhs, rhs = rel, rowLHS, rowRHS
+		} else {
+			if rel != relation {
+				return nil, fmt.Errorf("pfd: %q: tableau row %d changes relation %q -> %q", src, i, relation, rel)
+			}
+			if !equalStrings(rowLHS, lhs) || rowRHS != rhs {
+				return nil, fmt.Errorf("pfd: %q: tableau row %d changes the embedded FD", src, i)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return New(relation, lhs, rhs, rows...)
+}
+
+// MustParsePFD is ParsePFD that panics on error, for tests.
+func MustParsePFD(src string) *PFD {
+	p, err := ParsePFD(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// parseEmptyForm recognizes "Rel([a,b] -> [c], Tp=∅)".
+func parseEmptyForm(s string) (relation string, lhs []string, rhs string, ok bool) {
+	const marker = ", Tp=∅)"
+	if !strings.HasSuffix(s, marker) {
+		return
+	}
+	open := indexUnescaped(s, '(')
+	if open <= 0 {
+		return
+	}
+	relation = unescapeName(trimUnescaped(s[:open]))
+	body := s[open+1 : len(s)-len(marker)]
+	lhsPart, rhsPart, found := cutTopLevel(body, "->")
+	if !found {
+		return
+	}
+	lhsBody, err1 := unbracket(lhsPart)
+	rhsBody, err2 := unbracket(rhsPart)
+	if err1 != nil || err2 != nil {
+		return
+	}
+	for _, a := range splitTopLevel(lhsBody, ',') {
+		lhs = append(lhs, unescapeName(trimUnescaped(a)))
+	}
+	rhs = unescapeName(trimUnescaped(rhsBody))
+	ok = len(lhs) > 0 && rhs != ""
+	return
+}
+
+// parseRowSide reads "[a = cell, b = cell]" into parallel slices,
+// preserving written attribute order.
+func parseRowSide(s string) (attrs []string, cells []Cell, err error) {
+	body, err := unbracket(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, item := range splitTopLevel(body, ',') {
+		// Cut at the first unescaped '=' — the attr/cell separator; an
+		// attribute name containing '=' arrives escaped (escapeName).
+		eq := indexUnescaped(item, '=')
+		if eq < 0 {
+			return nil, nil, fmt.Errorf("item %q: want attr = cell", strings.TrimSpace(item))
+		}
+		attr, cellSrc := item[:eq], item[eq+1:]
+		name := unescapeName(trimUnescaped(attr))
+		if name == "" {
+			return nil, nil, fmt.Errorf("item %q: empty attribute name", strings.TrimSpace(item))
+		}
+		cell, err := ParseCell(trimUnescaped(cellSrc))
+		if err != nil {
+			return nil, nil, fmt.Errorf("attribute %q: %w", name, err)
+		}
+		attrs = append(attrs, name)
+		cells = append(cells, cell)
+	}
+	return attrs, cells, nil
+}
+
+// unbracket strips one "[ ... ]" layer.
+func unbracket(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return "", fmt.Errorf("want [attr = cell, ...], got %q", s)
+	}
+	return s[1 : len(s)-1], nil
+}
+
+// escapeName renders a relation or attribute name for the λ-notation
+// grammar, backslash-escaping the delimiters a name could otherwise be
+// split on — including braces (splitTopLevel counts them as depth) and
+// whitespace (the parser trims unescaped padding around names). (Cells
+// escape their own delimiters in pattern rendering; this is the
+// counterpart for the names around them.)
+func escapeName(s string) string {
+	if !strings.ContainsAny(s, "\\()[]{},;= \t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	// Byte-wise: the delimiters are ASCII and multi-byte UTF-8
+	// sequences contain no ASCII bytes, so this is encoding-safe and —
+	// unlike a rune loop — leaves invalid UTF-8 untouched.
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\', '(', ')', '[', ']', '{', '}', ',', ';', '=', ' ', '\t':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// unescapeName removes the backslash escapes escapeName added.
+func unescapeName(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// trimUnescaped strips leading and trailing unescaped spaces and tabs:
+// the structural padding the renderer writes around names and cells.
+// Escaped whitespace (part of a name or a trailing literal-space
+// pattern token) is preserved, so "zip\ " keeps its space while
+// "zip  " trims to "zip".
+func trimUnescaped(s string) string {
+	start := 0
+	for start < len(s) && (s[start] == ' ' || s[start] == '\t') {
+		start++
+	}
+	end := len(s)
+	for end > start {
+		if c := s[end-1]; c != ' ' && c != '\t' {
+			break
+		}
+		// A whitespace byte is escaped iff preceded by an odd run of
+		// backslashes.
+		n := 0
+		for j := end - 2; j >= start && s[j] == '\\'; j-- {
+			n++
+		}
+		if n%2 == 1 {
+			break
+		}
+		end--
+	}
+	return s[start:end]
+}
+
+// indexUnescaped returns the index of the first sep byte not preceded
+// by a backslash escape, or -1.
+func indexUnescaped(s string, sep byte) int {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case sep:
+			return i
+		}
+	}
+	return -1
+}
+
+// cutTopLevel splits s at the first occurrence of sep that is outside
+// brackets and not preceded by a backslash escape.
+func cutTopLevel(s, sep string) (string, string, bool) {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case '[':
+			depth++
+		case ']':
+			depth--
+		default:
+			if depth == 0 && strings.HasPrefix(s[i:], sep) {
+				return s[:i], s[i+len(sep):], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// splitTopLevel splits s on sep bytes that are outside brackets and
+// braces (pattern {N,M} quantifiers) and not backslash-escaped.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

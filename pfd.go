@@ -4,7 +4,7 @@
 // constraint class, the discovery algorithm, PFD-based error detection
 // and repair, the inference system, and a sharded streaming validator.
 //
-// The v2 API is built on three pillars:
+// The v2 API is built on four pillars:
 //
 //   - Sources. Every way tuples enter the system — CSV files, JSONL
 //     streams, in-memory tables, live channels — is a Source
@@ -20,7 +20,14 @@
 //     Dependencies are available as iter.Seq streams alongside the
 //     slice forms, and failures carry types: *ParseError for
 //     malformed input, *MissingColumnError for schema mismatches,
-//     *CanceledError (wrapping context.Canceled) for interrupted runs.
+//     *CanceledError (wrapping context.Canceled) for interrupted runs,
+//     *RuleParseError for malformed rule artifacts.
+//   - Rulesets. Rules are a durable artifact: Discovery.Ruleset()
+//     packages discovered PFDs with provenance, round-trips through
+//     the paper's λ-notation text format (WriteTo/ParsePFD) and a
+//     versioned JSON codec, and feeds detection, validation, repair,
+//     and the Section 3 reasoning tasks (Consistent, Implies, Prove,
+//     MinimalCover) without re-running discovery — see LoadRuleset.
 //
 // A minimal end-to-end use:
 //
@@ -129,6 +136,19 @@ func NewPFD(relname string, lhs []string, rhs string, rows ...TableauRow) (*PFD,
 
 // Wildcard returns the '⊥' tableau cell.
 func Wildcard() TableauCell { return pfd.Wildcard() }
+
+// ParsePFD parses a PFD from the paper's λ-notation — the inverse of
+// PFD.String, e.g. `Zip([zip = (900)\D{2}] -> [city = Los\ Angeles])`
+// with multi-row tableaux joined by "; ".
+func ParsePFD(src string) (*PFD, error) { return pfd.ParsePFD(src) }
+
+// MustParsePFD is ParsePFD that panics on error.
+func MustParsePFD(src string) *PFD { return pfd.MustParsePFD(src) }
+
+// ParseTableauCell parses one tableau cell: '_' (or '⊥') is the
+// wildcard, pattern syntax otherwise, and a string with no pattern
+// meta-runes is a fully-constrained constant.
+func ParseTableauCell(src string) (TableauCell, error) { return pfd.ParseCell(src) }
 
 // Pat wraps a pattern in a tableau cell.
 func Pat(p *Pattern) TableauCell { return pfd.Pat(p) }
@@ -282,3 +302,30 @@ func Implies(rules []*Rule, psi *Rule) bool { return inference.Implies(rules, ps
 // Consistent decides whether some nonempty instance satisfies all rules
 // (Theorem 3), returning a single-tuple witness when one exists.
 func Consistent(rules []*Rule) (map[string]string, bool) { return inference.Consistent(rules) }
+
+// Counterexample is a two-tuple instance refuting an implication.
+type Counterexample = inference.Counterexample
+
+// FindCounterexample searches for a two-tuple instance satisfying
+// every rule but violating psi — the coNP refutation of Theorem 2 —
+// returning nil when none exists within the small-model pools.
+func FindCounterexample(rules []*Rule, psi *Rule) *Counterexample {
+	return inference.FindCounterexample(rules, psi)
+}
+
+// MinimalCover drops every rule implied by the remaining ones,
+// preserving the set's logical consequences (Section 3's minimal-cover
+// task). For the artifact-level form see (*Ruleset).MinimalCover.
+func MinimalCover(rules []*Rule) []*Rule { return inference.MinimalCover(rules) }
+
+// RulesToRuleset folds single-row inference rules back into a named
+// ruleset of normal-form PFDs — the inverse of (*Ruleset).Rules.
+// Multi-attribute RHS rules decompose per restriction iv of §4.2; a
+// rule with an attribute on both sides has no normal form and errors.
+func RulesToRuleset(name string, rules []*Rule) (*Ruleset, error) {
+	pfds, err := inference.ToPFDs(rules)
+	if err != nil {
+		return nil, err
+	}
+	return NewRuleset(name, pfds...), nil
+}
