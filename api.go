@@ -304,7 +304,7 @@ func Validate(ctx context.Context, src Source, pfds []*PFD, opts ...StreamOption
 	eng := stream.NewContext(ctx, pfds, engOpts)
 	warmRows := 0
 	if cfg.warm != nil {
-		n, err := submitEngine(ctx, eng, cfg.warm, 1, nil)
+		n, err := warmEngine(ctx, eng, cfg.warm)
 		if err != nil {
 			eng.Close()
 			return nil, wrapCanceled(err, "validate", n)
@@ -319,6 +319,30 @@ func Validate(ctx context.Context, src Source, pfds []*PFD, opts ...StreamOption
 		return nil, wrapCanceled(err, "validate", warmRows+n)
 	}
 	return &Validation{report: rep, warmRows: warmRows}, nil
+}
+
+// warmEngine folds the WithWarmup reference into the engine. Sources
+// that can materialize a table (CSV files, in-memory tables) take the
+// engine's dictionary-encoded fast path: SubmitTable matches each
+// tableau cell once per distinct column value and replays the rows as
+// code lookups. The trade is memory for matching time — the reference
+// is held in RAM for the replay (references are curated clean batches,
+// and the rule-producing paths materialize them anyway); a caller with
+// a reference too large to materialize can wrap it in a plain Source
+// (no ReadTable) to keep the bounded per-tuple loop, which remains the
+// fallback for every other source.
+func warmEngine(ctx context.Context, eng *stream.Engine, ref Source) (int, error) {
+	if tr, ok := ref.(source.TableReader); ok {
+		tbl, err := tr.ReadTable(ctx)
+		if err != nil {
+			return 0, err
+		}
+		if err := eng.SubmitTable(tbl); err != nil {
+			return eng.Rows(), err
+		}
+		return tbl.NumRows(), nil
+	}
+	return submitEngine(ctx, eng, ref, 1, nil)
 }
 
 // submitEngine drives one source into the engine with the given number

@@ -61,10 +61,10 @@ func TestV2MatchesV1OnTable7Workloads(t *testing.T) {
 			pfds := v1.PFDs()
 			checker := pfd.NewChecker(pfds)
 			var v1vs []pfd.StreamViolation
-			for _, row := range tbl.Rows {
+			for i := 0; i < tbl.NumRows(); i++ {
 				tuple := make(pfd.Tuple, len(tbl.Cols))
 				for j, c := range tbl.Cols {
-					tuple[c] = row[j]
+					tuple[c] = tbl.At(i, j)
 				}
 				vs, err := checker.CheckNext(tuple)
 				if err != nil {

@@ -5,22 +5,29 @@
 //
 // Usage:
 //
-//	benchdiff -old BENCH_PR1.json -new BENCH_CI.json \
-//	          [-max-ratio 2.0] [-match pattern/,pfd/,repair/]
+//	benchdiff -old BENCH_PR5.json -new BENCH_CI.json \
+//	          [-max-ratio 2.0] [-match pattern/,pfd/,repair/,discovery/Discover/T13,stream/]
 //
-// -match is a comma-separated list of result-name prefixes to gate on
-// (default: the compiled-matcher and detection hot paths — deliberately
-// NOT the macro discovery timings or the streaming throughput, which
-// depend on runner core count and dataset scale). A watched baseline
-// result missing from the new snapshot is an error: a renamed benchmark
-// must update the baseline, not silently drop out of the gate.
+// -match is a comma-separated list of result-name prefixes to gate on.
+// The default watches the compiled-matcher and detection hot paths,
+// the heaviest discovery workload (T13 — the prefix is deliberately
+// that one result, since the other 14 macro timings are absent from
+// -micro snapshots), and the streaming-engine throughput. A watched
+// baseline result missing from the new snapshot is an error: a renamed
+// benchmark must update the baseline, not silently drop out of the
+// gate.
 //
 // ns/op comparisons are machine-sensitive: the 2x default headroom
 // absorbs same-class CPU variance, but a baseline generated on very
-// different hardware can false-fail (or mask) the gate. benchdiff
-// prints both snapshots' Go version and CPU count to make skew
-// visible; regenerate the committed baseline (`pfdbench -exp bench
-// -micro`) from CI-class hardware when the runner fleet changes.
+// different hardware can false-fail (or mask) the gate. The
+// discovery/ and stream/ entries are additionally CORE-COUNT
+// sensitive (worker pools and shard goroutines scale with
+// GOMAXPROCS), so the committed baseline must come from hardware no
+// faster than the CI runners — never from a many-core dev box.
+// benchdiff prints both snapshots' Go version and CPU count to make
+// skew visible; regenerate the committed baseline (`pfdbench -exp
+// bench -micro`) from CI-class hardware when the runner fleet
+// changes.
 //
 // Exit status: 0 when every watched path is within budget, 1 on
 // regression or missing results, 2 on usage/I/O errors.
@@ -39,7 +46,7 @@ func main() {
 	oldPath := flag.String("old", "", "baseline snapshot (required)")
 	newPath := flag.String("new", "", "fresh snapshot (required)")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new ns/op > ratio × old ns/op")
-	match := flag.String("match", "pattern/,pfd/,repair/", "comma-separated result-name prefixes to gate on")
+	match := flag.String("match", "pattern/,pfd/,repair/,discovery/Discover/T13,stream/", "comma-separated result-name prefixes to gate on")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")

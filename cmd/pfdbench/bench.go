@@ -15,13 +15,14 @@ import (
 )
 
 // The bench experiment writes a machine-readable performance snapshot
-// (default BENCH_PR2.json, schema in internal/benchfmt) so successive
+// (default BENCH_PR5.json, schema in internal/benchfmt) so successive
 // PRs carry a perf trajectory: micro timings of the compiled-matcher
 // hot paths, streaming-engine throughput at 1/4/8 shards, and macro
 // timings of discovery/detection per dataset with the headline quality
 // metrics. cmd/benchdiff compares two snapshots and gates CI on
-// regressions in the micro hot paths. microOnly skips the per-dataset
-// discovery block (the slow part) for the CI gate.
+// regressions in the watched hot paths. microOnly trims the
+// per-dataset discovery block to T13 (the gated workload) for the CI
+// gate.
 
 // measure times fn, growing the iteration count until the run lasts at
 // least minDur (one warm-up call excluded).
@@ -83,32 +84,40 @@ func runBench(scale float64, seed int64, dirt float64, out string, microOnly boo
 	// producer goroutines; the consensus state is shard-partitioned).
 	rep.Results = append(rep.Results, benchStream(scale, seed, dirt)...)
 
-	if !microOnly {
-		// Macro: full discovery per dataset with the headline quality
-		// metrics.
-		for _, spec := range datagen.Specs() {
-			rows := int(float64(spec.PaperRows) * scale)
-			if rows < 300 {
-				rows = 300
-			}
-			t, truth := spec.Build(rows, seed, dirt)
-			var res *discovery.Result
-			r := measure("discovery/Discover/"+spec.ID, 200*time.Millisecond, func() {
-				res = discovery.Discover(t, discovery.DefaultParams())
-			})
-			var keys []string
-			for _, d := range res.Dependencies {
-				keys = append(keys, d.Embedded())
-			}
-			p, rc := precisionRecall(keys, truth.DepKeys())
-			r.Metrics = map[string]float64{
-				"rows":      float64(rows),
-				"deps":      float64(len(res.Dependencies)),
-				"precision": p,
-				"recall":    rc,
-			}
-			rep.Results = append(rep.Results, r)
+	// Macro: full discovery per dataset with the headline quality
+	// metrics. Micro mode keeps only T13 — the heaviest workload and the
+	// one the CI regression gate watches (discovery/Discover/T13) — so
+	// the gate sees a discovery number without paying for all 15 tables.
+	specs := datagen.Specs()
+	if microOnly {
+		t13, ok := datagen.SpecByID("T13")
+		if !ok {
+			panic("T13 spec missing")
 		}
+		specs = []datagen.Spec{t13}
+	}
+	for _, spec := range specs {
+		rows := int(float64(spec.PaperRows) * scale)
+		if rows < 300 {
+			rows = 300
+		}
+		t, truth := spec.Build(rows, seed, dirt)
+		var res *discovery.Result
+		r := measure("discovery/Discover/"+spec.ID, 200*time.Millisecond, func() {
+			res = discovery.Discover(t, discovery.DefaultParams())
+		})
+		var keys []string
+		for _, d := range res.Dependencies {
+			keys = append(keys, d.Embedded())
+		}
+		p, rc := precisionRecall(keys, truth.DepKeys())
+		r.Metrics = map[string]float64{
+			"rows":      float64(rows),
+			"deps":      float64(len(res.Dependencies)),
+			"precision": p,
+			"recall":    rc,
+		}
+		rep.Results = append(rep.Results, r)
 	}
 
 	if err := benchfmt.Write(out, rep); err != nil {

@@ -28,8 +28,8 @@ func main() {
 		}
 	}
 	// Errors in the style of Table 3: Holloway, Donald E. — F.
-	t.Rows[5][1] = flip(t.Rows[5][1])
-	t.Rows[77][1] = flip(t.Rows[77][1])
+	t.SetAt(5, 1, flip(t.At(5, 1)))
+	t.SetAt(77, 1, flip(t.At(77, 1)))
 
 	ctx := context.Background()
 	disc, err := pfd.Discover(ctx, pfd.FromTable(t))

@@ -39,10 +39,10 @@ func main() {
 		t.Append(fmt.Sprintf("%s%02d", z.prefix, rng.Intn(100)), z.city, z.state)
 	}
 	// Seed the typos of Table 3.
-	t.Rows[17][1] = "Chicag"
-	t.Rows[42][1] = "Chciago"
-	t.Rows[101][2] = "lL"
-	t.Rows[230][2] = "MI" // active-domain confusion: CA zone marked MI
+	t.SetAt(17, 1, "Chicag")
+	t.SetAt(42, 1, "Chciago")
+	t.SetAt(101, 2, "lL")
+	t.SetAt(230, 2, "MI") // active-domain confusion: CA zone marked MI
 
 	ctx := context.Background()
 	disc, err := pfd.Discover(ctx, pfd.FromTable(t))

@@ -33,10 +33,10 @@ func StreamPFDs() []*pfd.PFD {
 // engine consumes.
 func TableTuples(t *relation.Table) []map[string]string {
 	out := make([]map[string]string, t.NumRows())
-	for i, row := range t.Rows {
+	for i := range out {
 		tuple := make(map[string]string, len(t.Cols))
 		for j, c := range t.Cols {
-			tuple[c] = row[j]
+			tuple[c] = t.At(i, j)
 		}
 		out[i] = tuple
 	}

@@ -91,15 +91,18 @@ func mineConstant(t *relation.Table, opt MinerOptions, embedded map[fd.FD]bool) 
 	n := t.NumCols()
 	var out []*CFD
 
-	// Level 1 itemsets: frequent single-attribute constants.
+	// Level 1 itemsets: frequent single-attribute constants, grouped by
+	// dictionary code — one slice index per row instead of a string-map
+	// probe.
 	var level []itemset
 	for c := 0; c < n; c++ {
-		groups := map[string][]int{}
-		for r, row := range t.Rows {
-			groups[row[c]] = append(groups[row[c]], r)
+		dict := t.Dict(c)
+		groups := make([][]int, len(dict))
+		for r, code := range t.Codes(c) {
+			groups[code] = append(groups[code], r)
 		}
-		for v, rows := range groups {
-			if len(rows) >= opt.MinSupport && v != "" {
+		for code, rows := range groups {
+			if v := dict[code]; len(rows) >= opt.MinSupport && v != "" {
 				level = append(level, itemset{attrs: fd.NewAttrSet(c), key: v, rows: rows})
 			}
 		}
@@ -128,13 +131,17 @@ func emitConstant(t *relation.Table, opt MinerOptions, it itemset, embedded map[
 		if it.attrs.Has(b) {
 			continue
 		}
-		counts := map[string]int{}
+		dict := t.Dict(b)
+		counts := make([]int, len(dict))
 		for _, r := range it.rows {
-			counts[t.Rows[r][b]]++
+			counts[t.Code(r, b)]++
 		}
 		best, bestN := "", 0
-		for v, n := range counts {
-			if n > bestN || (n == bestN && v < best) {
+		for code, n := range counts {
+			if n == 0 {
+				continue
+			}
+			if v := dict[code]; n > bestN || (n == bestN && v < best) {
 				best, bestN = v, n
 			}
 		}
@@ -166,11 +173,14 @@ func extendItemsets(t *relation.Table, level []itemset, minSupport int) []itemse
 			hi = c
 		}
 		for c := hi + 1; c < t.NumCols(); c++ {
-			groups := map[string][]int{}
+			dict := t.Dict(c)
+			groups := map[uint32][]int{}
 			for _, r := range it.rows {
-				groups[t.Rows[r][c]] = append(groups[t.Rows[r][c]], r)
+				code := t.Code(r, c)
+				groups[code] = append(groups[code], r)
 			}
-			for v, rows := range groups {
+			for code, rows := range groups {
+				v := dict[code]
 				if len(rows) < minSupport || v == "" {
 					continue
 				}

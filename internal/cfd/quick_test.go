@@ -33,13 +33,13 @@ func confidenceOf(c *CFD, t *relation.Table) (float64, int) {
 		lhsIdx[i] = t.MustCol(a)
 	}
 	rhsIdx := t.MustCol(c.RHS)
-	for _, row := range t.Rows {
+	for r := 0; r < t.NumRows(); r++ {
 		ok := true
 		for i := range c.LHS {
 			if c.Row[i].IsVar {
 				continue
 			}
-			if row[lhsIdx[i]] != c.Row[i].Const {
+			if t.At(r, lhsIdx[i]) != c.Row[i].Const {
 				ok = false
 				break
 			}
@@ -48,7 +48,7 @@ func confidenceOf(c *CFD, t *relation.Table) (float64, int) {
 			continue
 		}
 		match++
-		if c.RHSCell.IsVar || row[rhsIdx] == c.RHSCell.Const {
+		if c.RHSCell.IsVar || t.At(r, rhsIdx) == c.RHSCell.Const {
 			agree++
 		}
 	}

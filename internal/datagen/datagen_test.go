@@ -36,18 +36,18 @@ func TestDeterminism(t *testing.T) {
 	for _, s := range Specs()[:3] {
 		a, _ := s.Build(100, 7, 0.02)
 		b, _ := s.Build(100, 7, 0.02)
-		for r := range a.Rows {
-			for c := range a.Rows[r] {
-				if a.Rows[r][c] != b.Rows[r][c] {
+		for r := 0; r < a.NumRows(); r++ {
+			for c := 0; c < a.NumCols(); c++ {
+				if a.At(r, c) != b.At(r, c) {
 					t.Fatalf("%s: rows differ at (%d,%d) for equal seeds", s.ID, r, c)
 				}
 			}
 		}
 		c, _ := s.Build(100, 8, 0.02)
 		same := true
-		for r := range a.Rows {
-			for cc := range a.Rows[r] {
-				if a.Rows[r][cc] != c.Rows[r][cc] {
+		for r := 0; r < a.NumRows(); r++ {
+			for cc := 0; cc < a.NumCols(); cc++ {
+				if a.At(r, cc) != c.At(r, cc) {
 					same = false
 				}
 			}
@@ -65,33 +65,33 @@ func TestGroundTruthHoldsOnCleanData(t *testing.T) {
 	tb, _ := buildT1(500, 3, 0)
 	zip3ToCity := map[string]string{}
 	zi, ci := tb.MustCol("zip"), tb.MustCol("city")
-	for _, row := range tb.Rows {
-		p := row[zi][:3]
-		if prev, ok := zip3ToCity[p]; ok && prev != row[ci] {
-			t.Fatalf("zip prefix %s maps to both %s and %s", p, prev, row[ci])
+	for r := 0; r < tb.NumRows(); r++ {
+		p := tb.At(r, zi)[:3]
+		if prev, ok := zip3ToCity[p]; ok && prev != tb.At(r, ci) {
+			t.Fatalf("zip prefix %s maps to both %s and %s", p, prev, tb.At(r, ci))
 		}
-		zip3ToCity[p] = row[ci]
+		zip3ToCity[p] = tb.At(r, ci)
 	}
 	// Phone area code -> state.
 	pi, si := tb.MustCol("phone"), tb.MustCol("state")
 	areaToState := map[string]string{}
-	for _, row := range tb.Rows {
-		a := row[pi][:3]
-		if prev, ok := areaToState[a]; ok && prev != row[si] {
-			t.Fatalf("area code %s maps to both %s and %s", a, prev, row[si])
+	for r := 0; r < tb.NumRows(); r++ {
+		a := tb.At(r, pi)[:3]
+		if prev, ok := areaToState[a]; ok && prev != tb.At(r, si) {
+			t.Fatalf("area code %s maps to both %s and %s", a, prev, tb.At(r, si))
 		}
-		areaToState[a] = row[si]
+		areaToState[a] = tb.At(r, si)
 	}
 	// First name (after "Last, ") -> gender.
 	ni, gi := tb.MustCol("full_name"), tb.MustCol("gender")
 	nameToGender := map[string]string{}
-	for _, row := range tb.Rows {
-		parts := strings.SplitN(row[ni], ", ", 2)
+	for r := 0; r < tb.NumRows(); r++ {
+		parts := strings.SplitN(tb.At(r, ni), ", ", 2)
 		first := strings.Fields(parts[1])[0]
-		if prev, ok := nameToGender[first]; ok && prev != row[gi] {
-			t.Fatalf("first name %s maps to both %s and %s", first, prev, row[gi])
+		if prev, ok := nameToGender[first]; ok && prev != tb.At(r, gi) {
+			t.Fatalf("first name %s maps to both %s and %s", first, prev, tb.At(r, gi))
 		}
-		nameToGender[first] = row[gi]
+		nameToGender[first] = tb.At(r, gi)
 	}
 }
 
@@ -111,8 +111,8 @@ func TestCorruptRecordsTruth(t *testing.T) {
 func TestInjectErrorsActiveVsOutside(t *testing.T) {
 	tb, _ := ZipState(500, 9)
 	domain := map[string]bool{}
-	for _, row := range tb.Rows {
-		domain[row[1]] = true
+	for r := 0; r < tb.NumRows(); r++ {
+		domain[tb.At(r, 1)] = true
 	}
 	active := tb.Clone()
 	errsA := InjectErrors(active, "state", 0.05, true, 1)
@@ -167,11 +167,11 @@ func TestZipStateClean(t *testing.T) {
 	}
 	// zip prefix determines state exactly.
 	m := map[string]string{}
-	for _, row := range tb.Rows {
-		p := row[0][:3]
-		if prev, ok := m[p]; ok && prev != row[1] {
-			t.Fatalf("prefix %s -> %s and %s", p, prev, row[1])
+	for r := 0; r < tb.NumRows(); r++ {
+		p := tb.At(r, 0)[:3]
+		if prev, ok := m[p]; ok && prev != tb.At(r, 1) {
+			t.Fatalf("prefix %s -> %s and %s", p, prev, tb.At(r, 1))
 		}
-		m[p] = row[1]
+		m[p] = tb.At(r, 1)
 	}
 }

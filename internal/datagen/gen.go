@@ -133,12 +133,12 @@ func corrupt(t *relation.Table, g *gen, col string, rate float64, active bool, t
 	if n == 0 && rate > 0 {
 		n = 1
 	}
-	domain := map[string]bool{}
+	// The column dictionary is exactly the active domain (skip retired
+	// entries); sorting keeps draw order seed-stable.
 	var values []string
-	for _, row := range t.Rows {
-		if !domain[row[ci]] {
-			domain[row[ci]] = true
-			values = append(values, row[ci])
+	for code, v := range t.Dict(ci) {
+		if t.DictCounts(ci)[code] > 0 {
+			values = append(values, v)
 		}
 	}
 	sort.Strings(values)
@@ -152,7 +152,7 @@ func corrupt(t *relation.Table, g *gen, col string, rate float64, active bool, t
 			k--
 			continue
 		}
-		orig := t.Rows[r][ci]
+		orig := t.At(r, ci)
 		var bad string
 		if active && len(values) > 1 {
 			for {
@@ -165,7 +165,7 @@ func corrupt(t *relation.Table, g *gen, col string, rate float64, active bool, t
 			bad = mutate(g, orig)
 		}
 		truth.Errors[cell] = orig
-		t.Rows[r][ci] = bad
+		t.SetAt(r, ci, bad)
 	}
 }
 
@@ -212,11 +212,11 @@ func addUnisexNoise(t *relation.Table, g *gen, nameCol, genderCol string, count 
 	for i := 0; i < count && i < t.NumRows(); i++ {
 		r := g.pick(t.NumRows())
 		name := unisex[g.pick(len(unisex))] + " " + lastNames[g.pick(len(lastNames))]
-		t.Rows[r][nc] = name
+		t.SetAt(r, nc, name)
 		if g.r.Intn(2) == 0 {
-			t.Rows[r][gc] = "M"
+			t.SetAt(r, gc, "M")
 		} else {
-			t.Rows[r][gc] = "F"
+			t.SetAt(r, gc, "F")
 		}
 	}
 }

@@ -1,0 +1,151 @@
+// Package differential pins the end-to-end output of the
+// discover → detect → repair pipeline on the T1–T15 workloads against a
+// committed golden file. The golden was generated on the pre-columnar
+// row-major relation.Table (PR 4 tree), so a passing run proves the
+// dictionary-encoded columnar core is byte-identical to the original
+// per-row matching path: same dependencies (tableaux rendered in λ
+// notation), same detect findings, and the same repaired bytes
+// (SHA-256 over the repaired table's CSV).
+//
+// Regenerate with:
+//
+//	go test ./internal/differential/ -run TestColumnarDifferential -update
+//
+// but ONLY when an intentional semantic change lands; a layout or
+// performance change must never need it.
+package differential
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pfd/internal/datagen"
+	"pfd/internal/discovery"
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+	"pfd/internal/repair"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file")
+
+// workloadRows mirrors pfdbench's scaling: a tenth of the paper's row
+// counts with a 300-row floor, so the golden covers the same instances
+// the perf trajectory is measured on.
+func workloadRows(paperRows int) int {
+	rows := paperRows / 10
+	if rows < 300 {
+		rows = 300
+	}
+	return rows
+}
+
+const (
+	workloadSeed = 1
+	workloadDirt = 0.01
+)
+
+// render serializes one spec's full pipeline output.
+func render(spec datagen.Spec) string {
+	rows := workloadRows(spec.PaperRows)
+	t, _ := spec.Build(rows, workloadSeed, workloadDirt)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s rows=%d input=%s\n", spec.ID, t.NumRows(), tableHash(t))
+
+	res := discovery.Discover(t, discovery.DefaultParams())
+	var pfds []*pfd.PFD
+	for _, d := range res.Dependencies {
+		pfds = append(pfds, d.PFD)
+		fmt.Fprintf(&b, "dep %s variable=%v support=%d coverage=%.6f %s\n",
+			d.Embedded(), d.Variable, d.Support, d.Coverage, d.PFD)
+	}
+
+	findings := repair.Detect(t, pfds)
+	for _, f := range findings {
+		fmt.Fprintf(&b, "finding %s observed=%q expected=%q proposed=%q row=%d by=%s\n",
+			f.Cell, f.Observed, f.Expected, f.Proposed, f.TableauRow, f.By)
+	}
+
+	repaired, changed := repair.Apply(t, findings)
+	fmt.Fprintf(&b, "repair changed=%d output=%s\n", changed, tableHash(repaired))
+	return b.String()
+}
+
+// tableHash is SHA-256 over the table's CSV rendering — byte-identical
+// repaired output across storage layouts collapses to an equal digest.
+func tableHash(t *relation.Table) string {
+	var buf bytes.Buffer
+	if err := t.WriteCSV(&buf); err != nil {
+		panic(err)
+	}
+	return fmt.Sprintf("sha256:%x", sha256.Sum256(buf.Bytes()))
+}
+
+func TestColumnarDifferential(t *testing.T) {
+	var b strings.Builder
+	for _, spec := range datagen.Specs() {
+		b.WriteString(render(spec))
+	}
+	got := b.String()
+
+	// The golden is multi-megabyte (full λ-notation tableaux for every
+	// dependency on 15 workloads), so it is stored gzipped.
+	golden := filepath.Join("testdata", "pipeline_t1_t15.golden.gz")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		zw, _ := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+		if _, err := zw.Write([]byte(got)); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes compressed, %d raw)", golden, buf.Len(), len(got))
+		return
+	}
+	raw, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update on the trusted tree): %v", err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatal(diffFirst(string(want), got))
+	}
+}
+
+// diffFirst reports the first differing line with context, keeping the
+// failure message readable against a multi-thousand-line golden.
+func diffFirst(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("pipeline output diverges from pre-columnar golden at line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("pipeline output length changed: want %d lines, got %d", len(wl), len(gl))
+}

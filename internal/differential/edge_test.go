@@ -1,0 +1,117 @@
+package differential
+
+import (
+	"testing"
+
+	"pfd/internal/discovery"
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+	"pfd/internal/repair"
+)
+
+// edgeTable builds a zip→state style table that stresses the
+// dictionary edge cases end to end: empty cells, invalid UTF-8 bytes,
+// and a constant (single-distinct) column riding along.
+func edgeTable() *relation.Table {
+	t := relation.New("Edge", "zip", "state", "source")
+	zips := []string{"90012", "90013", "90014", "90015", "90016", "90017"}
+	for _, z := range zips {
+		t.Append(z, "CA", "batch")
+	}
+	ils := []string{"60601", "60602", "60603", "60604", "60605", "60606"}
+	for _, z := range ils {
+		t.Append(z, "IL", "batch")
+	}
+	// Edge rows: empty zip and state, an invalid-UTF-8 state, a dirty
+	// minority value inside the CA group.
+	t.Append("", "CA", "batch")
+	t.Append("90018", "", "batch")
+	t.Append("90019", "C\xffA", "batch")
+	t.Append("90020", "CA", "batch")
+	return t
+}
+
+// TestPipelineEdgeCases drives discover → detect → repair over the
+// edge table and checks the machinery holds: no panics, byte-exact
+// handling of invalid UTF-8, constant columns pruned from discovery,
+// and repairs that only touch flagged cells.
+func TestPipelineEdgeCases(t *testing.T) {
+	tb := edgeTable()
+	res := discovery.Discover(tb, discovery.Params{MinSupport: 3, Delta: 0.1, MinCoverage: 0.2, MaxLHS: 1})
+	for _, d := range res.Dependencies {
+		if d.RHS == "source" || d.LHS[0] == "source" {
+			t.Fatalf("single-distinct column must be pruned, found %s", d.Embedded())
+		}
+	}
+	var pfds []*pfd.PFD
+	for _, d := range res.Dependencies {
+		pfds = append(pfds, d.PFD)
+	}
+	findings := repair.Detect(tb, pfds)
+	for _, f := range findings {
+		if f.Observed == "" && f.Proposed == "" && f.Expected == "" {
+			t.Fatalf("degenerate finding: %+v", f)
+		}
+	}
+	repaired, changed := repair.Apply(tb, findings)
+	if changed > len(findings) {
+		t.Fatalf("changed %d cells with %d findings", changed, len(findings))
+	}
+	// Unflagged cells are untouched — including the invalid-UTF-8 one
+	// unless a consensus repair targeted it.
+	flagged := map[relation.Cell]bool{}
+	for _, f := range findings {
+		flagged[f.Cell] = true
+	}
+	for r := 0; r < tb.NumRows(); r++ {
+		for c, col := range tb.Cols {
+			if flagged[relation.Cell{Row: r, Col: col}] {
+				continue
+			}
+			if repaired.At(r, c) != tb.At(r, c) {
+				t.Fatalf("unflagged cell r%d[%s] changed: %q -> %q", r, col, tb.At(r, c), repaired.At(r, c))
+			}
+		}
+	}
+}
+
+// TestDetectRepairInvalidUTF8Minority pins the full loop on a table
+// whose dirty cell is invalid UTF-8: detection must flag exactly that
+// cell and repair must restore the consensus value.
+func TestDetectRepairInvalidUTF8Minority(t *testing.T) {
+	tb := relation.New("Zip", "zip", "state")
+	for _, z := range []string{"90012", "90013", "90014", "90015"} {
+		tb.Append(z, "CA")
+	}
+	tb.Append("90019", "C\xffA")
+	dep := pfd.MustNew("Zip", []string{"zip"}, "state", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(\D{3})\D{2}`))},
+		RHS: pfd.Wildcard(),
+	})
+	findings := repair.Detect(tb, []*pfd.PFD{dep})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	f := findings[0]
+	if f.Cell.Row != 4 || f.Cell.Col != "state" || f.Observed != "C\xffA" || f.Proposed != "CA" {
+		t.Fatalf("finding = %+v", f)
+	}
+	repaired, changed := repair.Apply(tb, findings)
+	if changed != 1 || repaired.Value(4, "state") != "CA" {
+		t.Fatalf("repair: changed=%d value=%q", changed, repaired.Value(4, "state"))
+	}
+}
+
+// TestDiscoverSingleDistinctOnly: a table whose candidate columns are
+// all single-distinct yields no dependencies and no panics.
+func TestDiscoverSingleDistinctOnly(t *testing.T) {
+	tb := relation.New("Const", "a", "b")
+	for i := 0; i < 10; i++ {
+		tb.Append("only", "one")
+	}
+	res := discovery.Discover(tb, discovery.DefaultParams())
+	if len(res.Dependencies) != 0 {
+		t.Fatalf("constant table produced %d dependencies", len(res.Dependencies))
+	}
+}

@@ -216,6 +216,18 @@ type discoverer struct {
 	// draftIDs is the reusable bitset materializing a draft's row set; it
 	// is cloned only when the draft is accepted.
 	draftIDs *index.Bitset
+	// gCov is the reusable bitset for generalized-coverage counting.
+	gCov *index.Bitset
+	// order is the current candidate's LHS attributes sorted by pattern
+	// count — the draft-extension order. Draft entries align with it.
+	order []string
+	// cellStamp/cellClass/cellSep memoize buildCell's per-distinct-value
+	// classification; a stamp != cellEpoch marks a code unclassified for
+	// the current call.
+	cellStamp []uint32
+	cellClass []uint8
+	cellSep   []rune
+	cellEpoch uint32
 }
 
 func (d *discoverer) profile(col string) relation.ColumnProfile {
@@ -239,10 +251,24 @@ func (d *discoverer) putCounts(c []int32) {
 }
 
 // rowDraft is one tableau row under construction: the chosen index entry
-// per LHS attribute, and the rows matching all of them.
+// per LHS attribute, and the rows matching all of them. entries[i] is
+// the key chosen for the discoverer's order[i] attribute — a positional
+// slice, not a map: drafts are spawned up to maxDrafts times per
+// candidate and the LHS is at most a handful of attributes, so a map
+// per draft was pure allocator pressure.
 type rowDraft struct {
-	entries map[string]index.Key // LHS attr -> chosen partial value
+	entries []index.Key
 	rows    []int32
+}
+
+// entryFor returns the draft's key for the named LHS attribute.
+func (d *discoverer) entryFor(dr rowDraft, attr string) index.Key {
+	for i, a := range d.order {
+		if a == attr {
+			return dr.entries[i]
+		}
+	}
+	panic("discovery: draft has no entry for " + attr)
 }
 
 // tryCandidate evaluates one embedded candidate X -> B (Figure 4 lines
@@ -255,8 +281,10 @@ func (d *discoverer) tryCandidate(lhsIdx []int, rhsIdx int) *Dependency {
 	}
 	rhs := t.Cols[rhsIdx]
 
-	// Line 15: start from the LHS attribute with the most patterns.
-	order := append([]string(nil), lhs...)
+	// Line 15: start from the LHS attribute with the most patterns. The
+	// order slice is discoverer scratch reused across candidates.
+	d.order = append(d.order[:0], lhs...)
+	order := d.order
 	sort.Slice(order, func(i, j int) bool {
 		ni, nj := d.inv.Attrs[order[i]].NumPatterns(), d.inv.Attrs[order[j]].NumPatterns()
 		if ni != nj {
@@ -279,10 +307,9 @@ func (d *discoverer) tryCandidate(lhsIdx []int, rhsIdx int) *Dependency {
 		if e.Count() >= vacuousLimit {
 			continue
 		}
-		base := rowDraft{
-			entries: map[string]index.Key{order[0]: e.Key},
-			rows:    e.List,
-		}
+		entries := make([]index.Key, 1, len(order))
+		entries[0] = e.Key
+		base := rowDraft{entries: entries, rows: e.List}
 		drafts = append(drafts, d.extend(base, order[1:])...)
 		if len(drafts) > maxDrafts {
 			break
@@ -362,18 +389,24 @@ func (d *discoverer) tryCandidate(lhsIdx []int, rhsIdx int) *Dependency {
 	dep := &Dependency{LHS: lhs, RHS: rhs, PFD: constant, Coverage: coverage, Support: support}
 
 	// Lines 23-28: try to generalize the constant tableau to one variable
-	// row and validate it on the whole table.
+	// row and validate it on the whole table. The coverage bitset is
+	// discoverer scratch, and the LHS match bitmap is evaluated once per
+	// dictionary entry rather than once per row.
 	if !d.params.DisableGeneralize {
 		if g := d.generalize(lhs, rhs, rows); g != nil {
 			dep.PFD = g
 			dep.Variable = true
-			gCov := index.NewBitset(t.NumRows())
-			for id := 0; id < t.NumRows(); id++ {
-				if g.MatchesLHS(t, 0, id) {
-					gCov.Set(id)
+			if d.gCov == nil || d.gCov.Cap() != t.NumRows() {
+				d.gCov = index.NewBitset(t.NumRows())
+			} else {
+				d.gCov.Clear()
+			}
+			for id, ok := range g.LHSMatchRows(t, 0) {
+				if ok {
+					d.gCov.Set(id)
 				}
 			}
-			dep.Support = gCov.Count()
+			dep.Support = d.gCov.Count()
 			dep.Coverage = float64(dep.Support) / float64(t.NumRows())
 		}
 	}
@@ -386,7 +419,9 @@ const maxDrafts = 4096
 
 // extend grows a draft across the remaining LHS attributes, spawning one
 // draft per co-occurring pattern with enough support (Example 8 explores
-// every country value under each first name).
+// every country value under each first name). The child draft's entries
+// extend the parent's positional slice by one key — a single bounded
+// append instead of re-building a map per draft.
 func (d *discoverer) extend(base rowDraft, rest []string) []rowDraft {
 	if len(rest) == 0 {
 		return []rowDraft{base}
@@ -400,10 +435,10 @@ func (d *discoverer) extend(base rowDraft, rest []string) []rowDraft {
 			continue
 		}
 		sub := attr.Filter(base.rows, ei)
-		next := rowDraft{entries: map[string]index.Key{rest[0]: attr.Entries[ei].Key}, rows: sub}
-		for k, v := range base.entries {
-			next.entries[k] = v
-		}
+		entries := make([]index.Key, len(base.entries)+1, len(d.order))
+		copy(entries, base.entries)
+		entries[len(base.entries)] = attr.Entries[ei].Key
+		next := rowDraft{entries: entries, rows: sub}
 		out = append(out, d.extend(next, rest[1:])...)
 		if len(out) > maxDrafts {
 			break
@@ -449,7 +484,7 @@ func (d *discoverer) buildRow(lhs []string, rhs string, dr rowDraft, rhsKey inde
 	cells := make([]pfd.Cell, len(lhs))
 	var kb strings.Builder
 	for i, a := range lhs {
-		k := dr.entries[a]
+		k := d.entryFor(dr, a)
 		cell := d.buildCell(a, k, dr.rows)
 		if cell == nil {
 			return nil, ""
@@ -483,26 +518,67 @@ func (d *discoverer) buildCell(col string, k index.Key, rows []int32) *pfd.Cell 
 	ru := []rune(k.Text)
 	// Classify the rows by δ-majority rather than unanimity: up to a δ
 	// fraction of the draft's rows may be dirty (they don't carry the key
-	// at all, or carry trailing junk like "CA-4"), and the cell must be
+	// at all, and carry trailing junk like "CA-4"), and the cell must be
 	// built from the consensus shape so that the outliers turn into
 	// violations instead of forcing a looser pattern.
+	//
+	// The shape of a cell depends only on the distinct value, so the
+	// []rune conversion and key comparison run once per dictionary code
+	// (memoized in discoverer scratch) and the row pass replays the
+	// cached class — same counts, same sep-ordering semantics, no
+	// per-row rune work.
+	const (
+		classUnknown = iota
+		classAbsent  // value does not carry the key: dirty outlier
+		classExact   // key ends exactly at the value's end
+		classSep     // key followed by a separator rune (in cellSep)
+		classOther   // key followed by a non-separator rune
+	)
+	dict, codes := d.t.Dict(ci), d.t.Codes(ci)
+	if len(d.cellStamp) < len(dict) {
+		d.cellStamp = make([]uint32, len(dict))
+		d.cellClass = make([]uint8, len(dict))
+		d.cellSep = make([]rune, len(dict))
+	}
+	d.cellEpoch++
+	if d.cellEpoch == 0 { // stamp wrap: invalidate everything
+		clear(d.cellStamp)
+		d.cellEpoch = 1
+	}
 	present, endExact, sepCount := 0, 0, 0
 	sep := rune(0)
 	for _, r := range rows {
-		v := []rune(d.t.Rows[r][ci])
-		end := k.Pos + len(ru)
-		if len(v) < end || string(v[k.Pos:end]) != k.Text {
+		code := codes[r]
+		if d.cellStamp[code] != d.cellEpoch {
+			d.cellStamp[code] = d.cellEpoch
+			v := []rune(dict[code])
+			end := k.Pos + len(ru)
+			switch {
+			case len(v) < end || !runesEqual(v[k.Pos:end], ru):
+				d.cellClass[code] = classAbsent
+			case end == len(v):
+				d.cellClass[code] = classExact
+			case relation.IsSeparator(v[end]):
+				d.cellClass[code] = classSep
+				d.cellSep[code] = v[end]
+			default:
+				d.cellClass[code] = classOther
+			}
+		}
+		switch d.cellClass[code] {
+		case classAbsent:
 			continue // dirty outlier; tolerated below
-		}
-		present++
-		if end == len(v) {
+		case classExact:
+			present++
 			endExact++
-			continue
-		}
-		next := v[end]
-		if relation.IsSeparator(next) && (sep == 0 || sep == next) {
-			sep = next
-			sepCount++
+		case classSep:
+			present++
+			if next := d.cellSep[code]; sep == 0 || sep == next {
+				sep = next
+				sepCount++
+			}
+		default:
+			present++
 		}
 	}
 	if present == 0 {
@@ -539,4 +615,16 @@ func (d *discoverer) buildCell(col string, k index.Key, rows []int32) *pfd.Cell 
 func cellOf(p *pattern.Pattern) *pfd.Cell {
 	c := pfd.Pat(p)
 	return &c
+}
+
+func runesEqual(a, b []rune) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

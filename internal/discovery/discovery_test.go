@@ -72,7 +72,7 @@ func TestDiscoverZipCity(t *testing.T) {
 	// The two 3-digit prefixes generalize to (\D{3})\D{2} (λ5 / ψ4) or the
 	// constant rows survive; either way the PFD must flag a corrupted city.
 	tb := zipCityTable()
-	tb.Rows[3][1] = "New York"
+	tb.SetAt(3, 1, "New York")
 	vs := dep.PFD.Violations(tb)
 	if len(vs) != 1 || vs[0].ErrorCell != (relation.Cell{Row: 3, Col: "city"}) {
 		t.Errorf("discovered PFD missed the seeded error: %+v (pfd %s)", vs, dep.PFD)
@@ -96,7 +96,7 @@ func TestDiscoverNameGender(t *testing.T) {
 		t.Errorf("expected variable PFD, got constants: %s", dep.PFD)
 	}
 	tb := namesTable()
-	tb.Rows[0][1] = "F" // John Charles marked F
+	tb.SetAt(0, 1, "F") // John Charles marked F
 	vs := dep.PFD.Violations(tb)
 	found := false
 	for _, v := range vs {
@@ -134,7 +134,7 @@ func TestDiscoverMultiLHSExample8(t *testing.T) {
 	}
 	// And it must catch a flipped gender.
 	tb := table6()
-	tb.Rows[2][2] = "M" // Tayseer Salem, Egypt should be F
+	tb.SetAt(2, 2, "M") // Tayseer Salem, Egypt should be F
 	if n := len(multi.PFD.Violations(tb)); n == 0 {
 		t.Errorf("flipped gender not detected by %s", multi.PFD)
 	}
@@ -194,7 +194,7 @@ func TestDisableGeneralize(t *testing.T) {
 func TestDeltaToleratesDirt(t *testing.T) {
 	tb := zipCityTable()
 	// Dirty one LA row out of 7 (14% noise in the 900 group).
-	tb.Rows[0][1] = "San Diego"
+	tb.SetAt(0, 1, "San Diego")
 	strict := Discover(tb, Params{MinSupport: 5, Delta: 0.01, MinCoverage: 0.10})
 	loose := Discover(tb, Params{MinSupport: 5, Delta: 0.2, MinCoverage: 0.10})
 	sd := findDep(strict, "zip", "city")

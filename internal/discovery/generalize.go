@@ -35,10 +35,11 @@ func (d *discoverer) generalize(lhs []string, rhs string, rows []pfd.Row) *pfd.P
 	vp := pfd.MustNew(d.t.Name, lhs, rhs, pfd.Row{LHS: gLHS, RHS: pfd.Wildcard()})
 
 	// Validation on all records, including those below the support
-	// threshold (Example 8 applies the rule on r9 and r10).
+	// threshold (Example 8 applies the rule on r9 and r10). The LHS
+	// match is evaluated per dictionary entry, not per row.
 	covered := 0
-	for id := 0; id < d.t.NumRows(); id++ {
-		if vp.MatchesLHS(d.t, 0, id) {
+	for _, ok := range vp.LHSMatchRows(d.t, 0) {
+		if ok {
 			covered++
 		}
 	}

@@ -54,7 +54,7 @@ func TestQuickDiscoveredPFDsHoldWithinDelta(t *testing.T) {
 		tb := plantedTable(r, rows)
 		// Flip a couple of labels to exercise tolerance.
 		for k := 0; k < 2; k++ {
-			tb.Rows[r.Intn(rows)][1] = "flip"
+			tb.SetAt(r.Intn(rows), 1, "flip")
 		}
 		params := Params{MinSupport: 4, Delta: 0.10, MinCoverage: 0.2}
 		res := Discover(tb, params)

@@ -33,10 +33,16 @@ func FDep(t *relation.Table, opt FDepOptions) []FD {
 	for b := range negCover {
 		negCover[b] = make(map[AttrSet]struct{})
 	}
-	addPair := func(r1, r2 []string) {
+	// Two cells of one column agree iff their dictionary codes agree, so
+	// the agree-set of a pair is integer comparisons over code vectors.
+	colCodes := make([][]uint32, n)
+	for c := 0; c < n; c++ {
+		colCodes[c] = t.Codes(c)
+	}
+	addPair := func(r1, r2 int) {
 		var agree AttrSet
 		for c := 0; c < n; c++ {
-			if r1[c] == r2[c] {
+			if colCodes[c][r1] == colCodes[c][r2] {
 				agree = agree.Add(c)
 			}
 		}
@@ -51,7 +57,7 @@ func FDep(t *relation.Table, opt FDepOptions) []FD {
 	if opt.MaxPairs <= 0 || total <= opt.MaxPairs {
 		for i := 0; i < rows; i++ {
 			for j := i + 1; j < rows; j++ {
-				addPair(t.Rows[i], t.Rows[j])
+				addPair(i, j)
 			}
 		}
 	} else {
@@ -62,7 +68,7 @@ func FDep(t *relation.Table, opt FDepOptions) []FD {
 			if i == j {
 				continue
 			}
-			addPair(t.Rows[i], t.Rows[j])
+			addPair(i, j)
 		}
 	}
 
@@ -161,17 +167,17 @@ func pruneNonMinimal(in []AttrSet) []AttrSet {
 // Holds checks an FD exactly on a table, for verification in tests.
 func Holds(t *relation.Table, f FD) bool {
 	seen := map[string]string{}
-	for _, row := range t.Rows {
+	for r := 0; r < t.NumRows(); r++ {
 		key := ""
 		for _, c := range f.LHS.Cols() {
-			key += row[c] + "\x00"
+			key += t.At(r, c) + "\x00"
 		}
 		if prev, ok := seen[key]; ok {
-			if prev != row[f.RHS] {
+			if prev != t.At(r, f.RHS) {
 				return false
 			}
 		} else {
-			seen[key] = row[f.RHS]
+			seen[key] = t.At(r, f.RHS)
 		}
 	}
 	return true

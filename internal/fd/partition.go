@@ -17,18 +17,26 @@ type Partition struct {
 }
 
 // PartitionColumn builds the single-attribute partition of column c.
+// The column's dictionary codes already group equal values, so the
+// partition is a dense remap of the code vector — no string hashing.
 func PartitionColumn(t *relation.Table, c int) *Partition {
-	ids := make(map[string]int32, 64)
+	codes := t.Codes(c)
+	remap := make([]int32, len(t.Dict(c)))
+	for i := range remap {
+		remap[i] = -1
+	}
 	p := &Partition{ClassOf: make([]int32, t.NumRows())}
-	for r, row := range t.Rows {
-		id, ok := ids[row[c]]
-		if !ok {
-			id = int32(len(ids))
-			ids[row[c]] = id
+	next := int32(0)
+	for r, code := range codes {
+		id := remap[code]
+		if id < 0 {
+			id = next
+			remap[code] = id
+			next++
 		}
 		p.ClassOf[r] = id
 	}
-	p.NumClasses = len(ids)
+	p.NumClasses = int(next)
 	return p
 }
 

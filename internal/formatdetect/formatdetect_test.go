@@ -28,8 +28,8 @@ func TestDetectFormatOutliers(t *testing.T) {
 		tb.Append(clean[i], states[i])
 	}
 	// Table 3's error shapes: trailing junk, case flip.
-	tb.Rows[2][0] = "60603-6263"
-	tb.Rows[4][1] = "lL"
+	tb.SetAt(2, 0, "60603-6263")
+	tb.SetAt(4, 1, "lL")
 	fs := Detect(tb, Options{})
 	if len(fs) != 2 {
 		t.Fatalf("findings = %+v", fs)

@@ -18,6 +18,19 @@ func NewBitset(n int) *Bitset {
 	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// NewBitsetBatch creates count empty sets over ids [0, n) backed by one
+// shared allocation — the bulk-materialization path for index postings,
+// where per-set make calls dominate construction.
+func NewBitsetBatch(count, n int) []Bitset {
+	words := (n + 63) / 64
+	backing := make([]uint64, count*words)
+	out := make([]Bitset, count)
+	for i := range out {
+		out[i] = Bitset{words: backing[i*words : (i+1)*words : (i+1)*words], n: n}
+	}
+	return out
+}
+
 // Set adds id to the set.
 func (b *Bitset) Set(id int) { b.words[id>>6] |= 1 << (uint(id) & 63) }
 

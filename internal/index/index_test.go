@@ -303,3 +303,36 @@ func TestCountWithinIntoReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestGramGenerationMatchesNGrams guards buildAttr's in-place prefix
+// gram generation against relation.NGrams, the documented
+// specification of the gram set — the inline copy exists only to skip
+// the intermediate []string, and must never diverge.
+func TestGramGenerationMatchesNGrams(t *testing.T) {
+	vals := []string{"90012", "José", "a", "\xff9", "90012", "ab"}
+	tb := relation.New("T", "c")
+	for _, v := range vals {
+		tb.Append(v)
+	}
+	prof := relation.ColumnProfile{Name: "c", Mode: relation.ModeNGrams}
+	inv := Build(tb, []relation.ColumnProfile{prof}, []string{"c"}, Options{DisablePrune: true})
+
+	want := map[Key]bool{}
+	for _, v := range vals {
+		for _, g := range relation.NGrams(v, 0) {
+			want[Key{Text: g}] = true
+		}
+	}
+	got := map[Key]bool{}
+	for _, e := range inv.Attrs["c"].Entries {
+		got[e.Key] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("entry keys = %d, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing gram %+v", k)
+		}
+	}
+}

@@ -78,66 +78,138 @@ func Build(t *relation.Table, profiles []relation.ColumnProfile, cols []string, 
 
 func buildAttr(t *relation.Table, col string, prof relation.ColumnProfile, opt Options) *Attribute {
 	ci := t.MustCol(col)
-	post := make(map[Key][]int32)
-	add := func(k Key, row int) {
-		l := post[k]
-		// Rows are scanned in order; a row may contribute the same key
-		// once only (guaranteed for anchored grams and distinct token
-		// offsets, except repeated identical tokens at equal offsets,
-		// which cannot happen).
-		if n := len(l); n > 0 && l[n-1] == int32(row) {
-			return
-		}
-		post[k] = append(l, int32(row))
-	}
-	for row, r := range t.Rows {
-		v := r[ci]
-		if v == "" {
+	dict, counts, codes := t.Dict(ci), t.DictCounts(ci), t.Codes(ci)
+
+	// Partial-value extraction (tokenization / n-gram enumeration) runs
+	// once per distinct value; the per-row pass below only fans the
+	// precomputed keys out through the code vector. Within one value the
+	// extracted keys are pairwise distinct (token offsets differ, n-gram
+	// lengths differ, and the whole value is added only when no single
+	// token already equals it), so each row contributes each key once.
+	keysByCode := make([][]Key, len(dict))
+	for code, v := range dict {
+		if v == "" || counts[code] == 0 {
 			continue
 		}
+		var keys []Key
 		switch prof.Mode {
 		case relation.ModeTokenize:
 			toks, offs := relation.Tokenize(v)
+			keys = make([]Key, len(toks), len(toks)+1)
 			for i, tok := range toks {
-				add(Key{Text: tok, Pos: offs[i]}, row)
+				keys[i] = Key{Text: tok, Pos: offs[i]}
 			}
 			// The whole value is always a candidate partial pattern; the
 			// paper's Example 8 prefers full values as "more expressive"
 			// and substring pruning removes tokens they subsume.
 			if len(toks) != 1 || toks[0] != v {
-				add(Key{Text: v, Pos: 0}, row)
+				keys = append(keys, Key{Text: v, Pos: 0})
 			}
 		default:
-			for _, g := range relation.NGrams(v, opt.MaxGram) {
-				add(Key{Text: g, Pos: 0}, row)
+			// Anchored prefix grams, generated in place (the []string
+			// round-trip through relation.NGrams doubled the garbage on
+			// near-unique columns).
+			rs := []rune(v)
+			maxLen := len(rs)
+			if opt.MaxGram > 0 && opt.MaxGram < maxLen {
+				maxLen = opt.MaxGram
+			}
+			keys = make([]Key, maxLen)
+			for l := 1; l <= maxLen; l++ {
+				keys[l-1] = Key{Text: string(rs[:l])}
 			}
 		}
+		keysByCode[code] = keys
 	}
-	a := &Attribute{Name: col, Mode: prof.Mode}
-	for k, l := range post {
-		if opt.MinIDs > 0 && len(l) < opt.MinIDs {
-			continue
+
+	// Support histogram over the dictionary, weighted by multiplicity: a
+	// key's support is the sum of the live counts of the distinct values
+	// carrying it (each row contributes each of its keys once). Knowing
+	// supports before materialization means below-MinIDs keys — the
+	// overwhelming majority on near-unique columns, where every value
+	// sheds a pile of singleton n-grams — never get a posting at all.
+	support := make(map[Key]int32)
+	for code, keys := range keysByCode {
+		for _, k := range keys {
+			support[k] += int32(counts[code])
 		}
-		a.Entries = append(a.Entries, Entry{Key: k, List: l})
 	}
+
+	// Assign dense entry slots to the survivors, once per distinct
+	// value; postings are pre-sized exactly from the histogram.
+	numSurvivors := 0
+	for _, s := range support {
+		if opt.MinIDs <= 0 || int(s) >= opt.MinIDs {
+			numSurvivors++
+		}
+	}
+	entries := make([]Entry, 0, numSurvivors)
+	entryOf := make(map[Key]int32, numSurvivors)
+	survByCode := make([][]int32, len(dict))
+	for code, keys := range keysByCode {
+		var surv []int32
+		for _, k := range keys {
+			s := support[k]
+			if opt.MinIDs > 0 && int(s) < opt.MinIDs {
+				continue
+			}
+			ei, ok := entryOf[k]
+			if !ok {
+				ei = int32(len(entries))
+				entryOf[k] = ei
+				entries = append(entries, Entry{Key: k, List: make([]int32, 0, s)})
+			}
+			surv = append(surv, ei)
+		}
+		survByCode[code] = surv
+	}
+
+	// Row fan-out: pure appends through the code vector — no hashing.
+	for row, code := range codes {
+		for _, ei := range survByCode[code] {
+			entries[ei].List = append(entries[ei].List, int32(row))
+		}
+	}
+	a := &Attribute{Name: col, Mode: prof.Mode, Entries: entries}
 	a.sortEntries()
 	if !opt.DisablePrune {
 		a.pruneSubstrings()
 	}
-	// Materialize bitsets, the row -> entries mapping, and the key lookup
-	// for survivors.
-	a.RowEntries = make([][]int32, t.NumRows())
+	// Materialize bitsets (one backing allocation for the whole
+	// attribute), the row -> entries mapping (exact-capacity, sized by a
+	// degree-counting pass), and the key lookup for survivors.
+	sets := NewBitsetBatch(len(a.Entries), t.NumRows())
+	degree := make([]int32, t.NumRows())
 	a.byKey = make(map[Key]int32, len(a.Entries))
 	for i := range a.Entries {
 		e := &a.Entries[i]
-		e.IDs = NewBitset(t.NumRows())
+		e.IDs = &sets[i]
 		for _, id := range e.List {
 			e.IDs.Set(int(id))
-			a.RowEntries[id] = append(a.RowEntries[id], int32(i))
+			degree[id]++
 		}
 		a.byKey[e.Key] = int32(i)
 	}
+	a.RowEntries = make([][]int32, t.NumRows())
+	flat := make([]int32, 0, int(sum32(degree)))
+	for id, d := range degree {
+		a.RowEntries[id] = flat[len(flat) : len(flat) : len(flat)+int(d)]
+		flat = flat[:len(flat)+int(d)]
+	}
+	for i := range a.Entries {
+		for _, id := range a.Entries[i].List {
+			a.RowEntries[id] = append(a.RowEntries[id], int32(i))
+		}
+	}
 	return a
+}
+
+func sum32(xs []int32) int64 {
+	var s int64
+	for _, x := range xs {
+		s += int64(x)
+	}
+	return s
 }
 
 // sortEntries orders postings by descending support, then longer text,

@@ -107,7 +107,7 @@ func TestPairViolation(t *testing.T) {
 		t.Error("Satisfied must be false")
 	}
 	// Removing the error satisfies ψ2.
-	tb.Rows[3][1] = "F"
+	tb.SetAt(3, 1, "F")
 	if !psi2().Satisfied(tb) {
 		t.Error("clean table must satisfy ψ2")
 	}

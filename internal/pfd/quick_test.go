@@ -18,7 +18,7 @@ func naiveSatisfied(p *PFD, t *relation.Table) bool {
 		constant := row.ConstantLHS()
 		// Single-tuple semantics for constant rows.
 		if constant {
-			for id := range t.Rows {
+			for id := 0; id < t.NumRows(); id++ {
 				if !naiveMatchLHS(p, row, t, id) {
 					continue
 				}
@@ -28,8 +28,8 @@ func naiveSatisfied(p *PFD, t *relation.Table) bool {
 			}
 		}
 		// Pair semantics.
-		for i := range t.Rows {
-			for j := range t.Rows {
+		for i := 0; i < t.NumRows(); i++ {
+			for j := 0; j < t.NumRows(); j++ {
 				if i == j {
 					continue
 				}
@@ -99,7 +99,7 @@ func TestQuickSatisfiedMatchesNaiveOracle(t *testing.T) {
 		fast := p.Satisfied(tb)
 		slow := naiveSatisfied(p, tb)
 		if fast != slow {
-			t.Logf("mismatch: fast=%v slow=%v pfd=%s table=%v", fast, slow, p, tb.Rows)
+			t.Logf("mismatch: fast=%v slow=%v pfd=%s table=%v", fast, slow, p, tableRows(tb))
 			return false
 		}
 		return true
@@ -143,7 +143,7 @@ func TestQuickConsensusRepairResolvesViolation(t *testing.T) {
 				continue
 			}
 			fixed := tb.Clone()
-			fixed.Rows[v.ErrorCell.Row][fixed.MustCol(p.RHS)] = fixed.Value(v.WitnessRow, p.RHS)
+			fixed.Set(v.ErrorCell.Row, p.RHS, fixed.Value(v.WitnessRow, p.RHS))
 			if len(p.Violations(fixed)) > len(vs) {
 				return false
 			}
@@ -166,4 +166,13 @@ func TestQuickStringNeverPanics(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
+}
+
+// tableRows materializes the table row-major for failure logging.
+func tableRows(t *relation.Table) [][]string {
+	out := make([][]string, t.NumRows())
+	for r := range out {
+		out[r] = t.Row(r)
+	}
+	return out
 }

@@ -28,21 +28,122 @@ type Violation struct {
 	WitnessRow int
 }
 
-// appendLHSKey appends the joint equivalence key of tuple id under row's
-// LHS cells to buf ('\x00'-separated spans); ok is false when any LHS
-// value fails to match its cell. The buffer is reused across tuples so the
-// per-tuple key costs no allocation until a new group is interned.
-func (p *PFD) appendLHSKey(buf []byte, t *relation.Table, row Row, id int) ([]byte, bool) {
-	for j, a := range p.LHS {
-		v := t.Value(id, a)
-		span, ok := row.LHS[j].Span(v)
-		if !ok {
-			return buf, false
-		}
-		buf = append(buf, span...)
-		buf = append(buf, '\x00') // unambiguous separator
+// dictEval is one tableau cell evaluated over one column's dictionary:
+// per dictionary code, whether the value matches the cell, its
+// constrained span, and an interned span id (-1 on mismatch). Spans are
+// interned so that grouping and consensus scanning below run on small
+// integers instead of hashing span strings per row. Computing the whole
+// structure once per (cell, column) turns every per-row pattern
+// invocation into a code lookup — the dictionary-encoded layout's
+// central win, since real columns have far fewer distinct values than
+// rows.
+type dictEval struct {
+	ok   []bool
+	span []string
+	sid  []int32  // code -> interned span id, -1 when the cell rejects it
+	sids []string // span id -> span, in first-code order
+}
+
+// evalCellDict evaluates cell c over a column dictionary. Every entry
+// is evaluated — including retired ones (no longer held by any row) —
+// so the result depends only on the dictionary contents, which are
+// append-only; that is what makes the memoization in cellDict sound.
+func evalCellDict(c Cell, dict []string) dictEval {
+	ev := dictEval{
+		ok:   make([]bool, len(dict)),
+		span: make([]string, len(dict)),
+		sid:  make([]int32, len(dict)),
 	}
-	return buf, true
+	intern := make(map[string]int32, 16)
+	for code, v := range dict {
+		var span string
+		var ok bool
+		if c.IsWildcard() {
+			span, ok = v, true
+		} else {
+			span, ok = c.Span(v)
+		}
+		if !ok {
+			ev.sid[code] = -1
+			continue
+		}
+		ev.ok[code] = true
+		ev.span[code] = span
+		sid, seen := intern[span]
+		if !seen {
+			sid = int32(len(ev.sids))
+			intern[span] = sid
+			ev.sids = append(ev.sids, span)
+		}
+		ev.sid[code] = sid
+	}
+	return ev
+}
+
+// CellDictEval is the exported form of dictEval: one tableau cell
+// evaluated over one column's dictionary. Match[code] reports whether
+// dictionary entry code matches the cell; Span[code] holds its
+// constrained span when it does. It is the building block the stream
+// engine's table fast path shares with Violations.
+type CellDictEval struct {
+	Match []bool
+	Span  []string
+}
+
+// EvalCellDict evaluates cell c over a column dictionary.
+func EvalCellDict(c Cell, dict []string) CellDictEval {
+	ev := evalCellDict(c, dict)
+	return CellDictEval{Match: ev.ok, Span: ev.span}
+}
+
+// memoKey addresses one tableau cell: tableau row and LHS position
+// (rhsPos for the RHS cell).
+type memoKey struct{ ri, j int }
+
+const rhsPos = -1
+
+// dictMemo is a cached evaluation together with the column version it
+// was computed against.
+type dictMemo struct {
+	colID uint64
+	n     int
+	ev    dictEval
+}
+
+// cellDict returns cell (ri, j)'s evaluation over column ci of t,
+// memoized on the PFD. The cache key is the column's process-unique
+// identity plus its dictionary length: dictionaries are append-only, so
+// an equal (id, length) pair guarantees the cached evaluation is exact
+// — repeated validation of one rule artifact against one table (the
+// detect → repair rounds, the benchmark loops) pays the per-distinct
+// matching once. A mismatch recomputes and replaces the slot, so a PFD
+// alternating between tables stays correct and merely loses the reuse.
+func (p *PFD) cellDict(ri, j int, c Cell, t *relation.Table, ci int) dictEval {
+	dict := t.Dict(ci)
+	key := memoKey{ri: ri, j: j}
+	if v, ok := p.memo.Load(key); ok {
+		if m := v.(*dictMemo); m.colID == t.ColID(ci) && m.n == len(dict) {
+			return m.ev
+		}
+	}
+	ev := evalCellDict(c, dict)
+	p.memo.Store(key, &dictMemo{colID: t.ColID(ci), n: len(dict), ev: ev})
+	return ev
+}
+
+// evalLHSDicts evaluates every LHS cell of tableau row ri over its
+// column's dictionary, returning the evaluations and code vectors
+// aligned with p.LHS.
+func (p *PFD) evalLHSDicts(t *relation.Table, ri int) ([]dictEval, [][]uint32) {
+	row := p.Tableau[ri]
+	evs := make([]dictEval, len(p.LHS))
+	codes := make([][]uint32, len(p.LHS))
+	for j, a := range p.LHS {
+		ci := t.MustCol(a)
+		evs[j] = p.cellDict(ri, j, row.LHS[j], t, ci)
+		codes[j] = t.Codes(ci)
+	}
+	return evs, codes
 }
 
 // MatchesLHS reports whether table row id matches every LHS cell of
@@ -55,6 +156,26 @@ func (p *PFD) MatchesLHS(t *relation.Table, ri, id int) bool {
 		}
 	}
 	return true
+}
+
+// LHSMatchRows evaluates tableau row ri's LHS once over each column's
+// dictionary and returns the per-table-row match bitmap — the batch
+// counterpart of MatchesLHS for callers scanning every row (coverage
+// counting, generalize validation).
+func (p *PFD) LHSMatchRows(t *relation.Table, ri int) []bool {
+	evs, codes := p.evalLHSDicts(t, ri)
+	out := make([]bool, t.NumRows())
+	for id := range out {
+		ok := true
+		for j := range evs {
+			if evs[j].sid[codes[j][id]] < 0 {
+				ok = false
+				break
+			}
+		}
+		out[id] = ok
+	}
+	return out
 }
 
 // Satisfied reports T |= ψ per Section 2.2: for every tableau row, any two
@@ -73,102 +194,157 @@ func (p *PFD) Satisfied(t *relation.Table) bool {
 // match the RHS cell). Within a violating group the strict-majority span,
 // when one exists, is taken as the consensus and each deviating tuple
 // yields one Violation whose ErrorCell is its RHS cell.
+//
+// Pattern matching runs once per (tableau cell, distinct column value):
+// every cell is evaluated over its column's dictionary up front
+// (memoized across calls — see cellDict), and the per-row pass is pure
+// code lookups. Single-attribute LHS rows group by interned span id —
+// no per-row string hashing at all; wider LHS rows fall back to the
+// concatenated span key, built from cached spans.
 func (p *PFD) Violations(t *relation.Table) []Violation {
 	var out []Violation
-	// Grouping state is interned once per tableau row and reused: the map
-	// key is allocated only when a group is first seen, and the per-tuple
-	// key lookup converts the scratch buffer without allocating.
 	var keyBuf []byte
 	groupIdx := map[string]int{}
 	var keys []string
 	var groupIDs [][]int
 	var scan groupScan
+	nrows := t.NumRows()
+	rhsCol := t.MustCol(p.RHS)
+	rhsCodes := t.Codes(rhsCol)
 	for ri, row := range p.Tableau {
 		constant := row.ConstantLHS()
-		clear(groupIdx)
+		lhsEvs, lhsCodes := p.evalLHSDicts(t, ri)
+		rhsEv := p.cellDict(ri, rhsPos, row.RHS, t, rhsCol)
 		keys = keys[:0]
 		groupIDs = groupIDs[:0]
-		for id := range t.Rows {
-			var ok bool
-			keyBuf, ok = p.appendLHSKey(keyBuf[:0], t, row, id)
-			if !ok {
-				continue
+
+		if len(p.LHS) == 1 {
+			// Span-id grouping: the group of a row is its LHS span id.
+			ev, codes0 := &lhsEvs[0], lhsCodes[0]
+			groupOf := make([]int32, len(ev.sids))
+			for i := range groupOf {
+				groupOf[i] = -1
 			}
-			gi, seen := groupIdx[string(keyBuf)]
-			if !seen {
-				gi = len(groupIDs)
-				k := string(keyBuf)
-				groupIdx[k] = gi
-				keys = append(keys, k)
-				groupIDs = append(groupIDs, nil)
+			for id := 0; id < nrows; id++ {
+				sid := ev.sid[codes0[id]]
+				if sid < 0 {
+					continue
+				}
+				gi := groupOf[sid]
+				if gi < 0 {
+					gi = int32(len(groupIDs))
+					groupOf[sid] = gi
+					keys = append(keys, ev.sids[sid])
+					groupIDs = append(groupIDs, nil)
+				}
+				groupIDs[gi] = append(groupIDs[gi], id)
 			}
-			groupIDs[gi] = append(groupIDs[gi], id)
+		} else {
+			// Joint key: '\x00'-joined spans, interned once per group.
+			clear(groupIdx)
+		rows:
+			for id := 0; id < nrows; id++ {
+				keyBuf = keyBuf[:0]
+				for j := range lhsEvs {
+					code := lhsCodes[j][id]
+					sid := lhsEvs[j].sid[code]
+					if sid < 0 {
+						continue rows
+					}
+					keyBuf = append(keyBuf, lhsEvs[j].span[code]...)
+					keyBuf = append(keyBuf, '\x00') // unambiguous separator
+				}
+				gi, seen := groupIdx[string(keyBuf)]
+				if !seen {
+					gi = len(groupIDs)
+					k := string(keyBuf)
+					groupIdx[k] = gi
+					keys = append(keys, k)
+					groupIDs = append(groupIDs, nil)
+				}
+				groupIDs[gi] = append(groupIDs[gi], id)
+			}
 		}
+
 		order := make([]int, len(keys))
 		for i := range order {
 			order[i] = i
 		}
 		sort.Slice(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
 		for _, gi := range order {
-			out = append(out, p.groupViolations(t, &scan, ri, row, groupIDs[gi], constant)...)
+			out = append(out, p.groupViolations(&scan, ri, row, groupIDs[gi], constant, rhsCodes, &rhsEv)...)
 		}
 	}
 	return out
 }
 
-// groupScan is the reusable state for checking one LHS-equivalence group:
-// interned RHS spans with their tuple ids, and the non-matching tuples.
-// Reusing it across groups keeps Violations off the allocator.
+// groupScan is the reusable state for checking one LHS-equivalence
+// group: per-RHS-span-id tuple lists plus the non-matching tuples. Span
+// ids are dense per evaluation, so occupancy is tracked with an epoch
+// stamp instead of clearing or hashing. Reusing it across groups keeps
+// Violations off the allocator.
 type groupScan struct {
-	spanIdx     map[string]int
+	slotOf      []int32  // span id -> slot for the current group
+	stamp       []uint32 // span id -> epoch at which slotOf is valid
+	epoch       uint32
 	spanKeys    []string
 	spanIDs     [][]int
 	nonMatching []int
 	order       []int
 }
 
-// reset prepares the scan for a new group, retaining capacity.
-func (sc *groupScan) reset() {
-	if sc.spanIdx == nil {
-		sc.spanIdx = map[string]int{}
+// reset prepares the scan for a new group over numSids possible span
+// ids, retaining capacity.
+func (sc *groupScan) reset(numSids int) {
+	if len(sc.slotOf) < numSids {
+		sc.slotOf = make([]int32, numSids)
+		sc.stamp = make([]uint32, numSids)
+		sc.epoch = 0
 	}
-	clear(sc.spanIdx)
+	sc.epoch++
+	if sc.epoch == 0 { // stamp wrap: invalidate everything
+		clear(sc.stamp)
+		sc.epoch = 1
+	}
 	sc.spanKeys = sc.spanKeys[:0]
 	sc.spanIDs = sc.spanIDs[:0]
 	sc.nonMatching = sc.nonMatching[:0]
 	sc.order = sc.order[:0]
 }
 
-// addSpan records id under span, interning the span on first sight while
-// reusing the id-slice capacity of earlier groups.
-func (sc *groupScan) addSpan(span string, id int) {
-	si, seen := sc.spanIdx[span]
-	if !seen {
-		si = len(sc.spanIDs)
-		sc.spanIdx[span] = si
+// addSpan records id under span id sid, assigning a slot on first sight
+// while reusing the tuple-slice capacity of earlier groups.
+func (sc *groupScan) addSpan(sid int32, span string, id int) {
+	var slot int32
+	if sc.stamp[sid] == sc.epoch {
+		slot = sc.slotOf[sid]
+	} else {
+		slot = int32(len(sc.spanKeys))
+		sc.stamp[sid] = sc.epoch
+		sc.slotOf[sid] = slot
 		sc.spanKeys = append(sc.spanKeys, span)
 		if len(sc.spanIDs) < cap(sc.spanIDs) {
-			sc.spanIDs = sc.spanIDs[:si+1]
-			sc.spanIDs[si] = sc.spanIDs[si][:0]
+			sc.spanIDs = sc.spanIDs[:slot+1]
+			sc.spanIDs[slot] = sc.spanIDs[slot][:0]
 		} else {
 			sc.spanIDs = append(sc.spanIDs, nil)
 		}
 	}
-	sc.spanIDs[si] = append(sc.spanIDs[si], id)
+	sc.spanIDs[slot] = append(sc.spanIDs[slot], id)
 }
 
-// groupViolations checks one LHS-equivalence group.
-func (p *PFD) groupViolations(t *relation.Table, sc *groupScan, ri int, row Row, ids []int, constant bool) []Violation {
+// groupViolations checks one LHS-equivalence group. The RHS cell's
+// verdict per tuple comes from the precomputed dictionary evaluation.
+func (p *PFD) groupViolations(sc *groupScan, ri int, row Row, ids []int, constant bool, rhsCodes []uint32, rhsEv *dictEval) []Violation {
 	var out []Violation
-	sc.reset()
+	sc.reset(len(rhsEv.sids))
 	for _, id := range ids {
-		v := t.Value(id, p.RHS)
-		if !row.RHS.Match(v) {
+		sid := rhsEv.sid[rhsCodes[id]]
+		if sid < 0 {
 			sc.nonMatching = append(sc.nonMatching, id)
 			continue
 		}
-		span, _ := row.RHS.Span(v)
-		sc.addSpan(span, id)
+		sc.addSpan(sid, rhsEv.sids[sid], id)
 	}
 
 	// Constant-LHS rows fire on single tuples: a non-matching RHS is a

@@ -52,33 +52,55 @@ func IsSeparator(r rune) bool { return strings.ContainsRune(Separators, r) }
 // ProfileColumn inspects the values of one column and decides whether it
 // can carry PFDs and how to extract its partial patterns.
 func ProfileColumn(name string, values []string) ColumnProfile {
+	idx := make(map[string]int, len(values))
+	var dict []string
+	var weights []int
+	for _, v := range values {
+		if i, ok := idx[v]; ok {
+			weights[i]++
+			continue
+		}
+		idx[v] = len(dict)
+		dict = append(dict, v)
+		weights = append(weights, 1)
+	}
+	return profileWeighted(name, dict, weights)
+}
+
+// profileWeighted computes the profile from a value set with
+// multiplicities: every aggregate the row scan accumulated is a sum
+// over values, so profiling a dictionary weighted by its counts yields
+// the identical profile in time proportional to the distinct values.
+// Zero-weight (retired) dictionary entries are skipped.
+func profileWeighted(name string, values []string, weights []int) ColumnProfile {
 	p := ColumnProfile{Name: name}
-	distinct := make(map[string]struct{}, len(values))
+	distinct := 0
 	lengths := make(map[int]int)
 	numeric, nonEmpty := 0, 0
 	sepCount := map[rune]int{}
-	for _, v := range values {
-		if v == "" {
+	for i, v := range values {
+		w := weights[i]
+		if v == "" || w == 0 {
 			continue
 		}
-		nonEmpty++
-		distinct[v] = struct{}{}
+		nonEmpty += w
+		distinct++
 		if n := len([]rune(v)); n > p.MaxRunes {
 			p.MaxRunes = n
 		}
 		if isNumeric(v) {
-			numeric++
-			lengths[len(v)]++
+			numeric += w
+			lengths[len(v)] += w
 		}
 		seen := map[rune]bool{}
 		for _, r := range v {
 			if IsSeparator(r) && !seen[r] {
-				sepCount[r]++
+				sepCount[r] += w
 				seen[r] = true
 			}
 		}
 	}
-	p.Distinct = len(distinct)
+	p.Distinct = distinct
 	if nonEmpty == 0 {
 		p.Quantitative = false
 		p.Mode = ModeNGrams
@@ -113,11 +135,13 @@ func ProfileColumn(name string, values []string) ColumnProfile {
 	return p
 }
 
-// ProfileTable profiles every column of t.
+// ProfileTable profiles every column of t, reading each column's
+// dictionary directly: per-value work (rune scans, numeric checks) runs
+// once per distinct value instead of once per row.
 func ProfileTable(t *Table) []ColumnProfile {
 	out := make([]ColumnProfile, len(t.Cols))
 	for i, c := range t.Cols {
-		out[i] = ProfileColumn(c, t.Column(c))
+		out[i] = profileWeighted(c, t.Dict(i), t.DictCounts(i))
 	}
 	return out
 }

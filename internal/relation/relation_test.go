@@ -44,8 +44,8 @@ func TestAppendArityPanics(t *testing.T) {
 func TestCloneIsDeep(t *testing.T) {
 	tb := sampleTable()
 	c := tb.Clone()
-	c.Rows[0][0] = "changed"
-	if tb.Rows[0][0] == "changed" {
+	c.SetAt(0, 0, "changed")
+	if tb.At(0, 0) == "changed" {
 		t.Error("Clone must deep-copy rows")
 	}
 }

@@ -9,15 +9,89 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 )
 
-// A Table is a named relation instance: a header of column names and rows
-// of string cells. All attribute values are strings, as in the paper —
-// patterns operate on the textual representation.
+// A column is one dictionary-encoded attribute: the distinct values in
+// first-appended order, a per-row code vector indexing into the
+// dictionary, and the live multiplicity of each code. Real tables have
+// far fewer distinct values than rows, so everything expensive that
+// runs per value (pattern matching, tokenization, profiling) runs once
+// per dictionary entry and is fanned out to rows through the codes.
+type column struct {
+	dict   []string          // code -> value
+	counts []int             // code -> number of rows currently holding it
+	lookup map[string]uint32 // value -> code
+	codes  []uint32          // row -> code
+	// id is a process-unique identity for this column instance. The
+	// dictionary is append-only, so (id, len(dict)) versions any
+	// per-distinct derived data: equal id with a longer dict means the
+	// cached prefix is still valid and only the tail is new.
+	id uint64
+}
+
+// nextColID issues process-unique column identities.
+var nextColID atomic.Uint64
+
+// intern returns the code for v, adding it to the dictionary on first
+// sight.
+func (c *column) intern(v string) uint32 {
+	if code, ok := c.lookup[v]; ok {
+		return code
+	}
+	code := uint32(len(c.dict))
+	c.dict = append(c.dict, v)
+	c.counts = append(c.counts, 0)
+	c.lookup[v] = code
+	return code
+}
+
+func (c *column) append(v string) {
+	code := c.intern(v)
+	c.codes = append(c.codes, code)
+	c.counts[code]++
+}
+
+func (c *column) set(row int, v string) {
+	old := c.codes[row]
+	code := c.intern(v)
+	if code == old {
+		return
+	}
+	c.counts[old]--
+	c.counts[code]++
+	c.codes[row] = code
+}
+
+func (c *column) clone() column {
+	cp := column{
+		dict:   append([]string(nil), c.dict...),
+		counts: append([]int(nil), c.counts...),
+		codes:  append([]uint32(nil), c.codes...),
+		lookup: make(map[string]uint32, len(c.lookup)),
+		id:     nextColID.Add(1),
+	}
+	for v, code := range c.lookup {
+		cp.lookup[v] = code
+	}
+	return cp
+}
+
+// A Table is a named relation instance: a header of column names and
+// rows of string cells. All attribute values are strings, as in the
+// paper — patterns operate on the textual representation.
+//
+// Storage is columnar and dictionary-encoded (see column): the row-major
+// view of earlier revisions survives as the At/Value/Row accessors, so
+// pfd.Violation coordinates and CSV column order are unchanged, while
+// per-distinct access (Dict/Codes/DictCounts) lets the pattern layers
+// match each distinct value once instead of once per row.
 type Table struct {
 	Name string
 	Cols []string
-	Rows [][]string
+
+	cols  []column
+	nrows int
 
 	colIdx map[string]int
 }
@@ -25,6 +99,11 @@ type Table struct {
 // New creates an empty table with the given name and columns.
 func New(name string, cols ...string) *Table {
 	t := &Table{Name: name, Cols: append([]string(nil), cols...)}
+	t.cols = make([]column, len(t.Cols))
+	for i := range t.cols {
+		t.cols[i].lookup = map[string]uint32{}
+		t.cols[i].id = nextColID.Add(1)
+	}
 	t.reindex()
 	return t
 }
@@ -42,11 +121,14 @@ func (t *Table) Append(row ...string) {
 	if len(row) != len(t.Cols) {
 		panic(fmt.Sprintf("relation: row arity %d != %d columns", len(row), len(t.Cols)))
 	}
-	t.Rows = append(t.Rows, row)
+	for i, v := range row {
+		t.cols[i].append(v)
+	}
+	t.nrows++
 }
 
 // NumRows returns the number of tuples.
-func (t *Table) NumRows() int { return len(t.Rows) }
+func (t *Table) NumRows() int { return t.nrows }
 
 // NumCols returns the number of attributes.
 func (t *Table) NumCols() int { return len(t.Cols) }
@@ -73,15 +155,75 @@ func (t *Table) MustCol(name string) int {
 
 // Value returns the cell at (row, named column).
 func (t *Table) Value(row int, col string) string {
-	return t.Rows[row][t.MustCol(col)]
+	return t.At(row, t.MustCol(col))
+}
+
+// At returns the cell at (row, column index) — the positional
+// counterpart of Value.
+func (t *Table) At(row, col int) string {
+	c := &t.cols[col]
+	return c.dict[c.codes[row]]
+}
+
+// Code returns the dictionary code of the cell at (row, column index).
+// Two cells of one column hold equal strings iff their codes are equal.
+func (t *Table) Code(row, col int) uint32 { return t.cols[col].codes[row] }
+
+// Codes returns column col's per-row code vector. The slice is shared
+// with the table — callers must treat it as read-only.
+func (t *Table) Codes(col int) []uint32 { return t.cols[col].codes }
+
+// Dict returns column col's dictionary: Dict(col)[Code(row, col)] is the
+// value at (row, col). Entries whose count has dropped to zero (after
+// Set rewrote every occurrence) remain in the dictionary as retired
+// values; weight per-distinct work by DictCounts to skip them. The
+// slice is shared with the table — callers must treat it as read-only.
+func (t *Table) Dict(col int) []string { return t.cols[col].dict }
+
+// DictCounts returns the live multiplicity of each dictionary entry of
+// column col (how many rows currently hold it). The slice is shared
+// with the table — callers must treat it as read-only.
+func (t *Table) DictCounts(col int) []int { return t.cols[col].counts }
+
+// ColID returns a process-unique identity for column col. Because
+// dictionaries only ever grow, a (ColID, len(Dict)) pair versions any
+// data derived per distinct value: same id and same length means the
+// derivation is still exact; same id with a longer dictionary means
+// only the new tail needs evaluating. Clone and Project mint fresh ids
+// for the copies.
+func (t *Table) ColID(col int) uint64 { return t.cols[col].id }
+
+// Set rewrites the cell at (row, named column).
+func (t *Table) Set(row int, col string, v string) {
+	t.SetAt(row, t.MustCol(col), v)
+}
+
+// SetAt rewrites the cell at (row, column index).
+func (t *Table) SetAt(row, col int, v string) {
+	t.cols[col].set(row, v)
+}
+
+// Row materializes one tuple as a fresh slice in column order.
+func (t *Table) Row(row int) []string {
+	return t.AppendRowTo(nil, row)
+}
+
+// AppendRowTo appends the cells of one tuple to buf in column order,
+// reusing buf's capacity — the zero-allocation row iteration primitive.
+func (t *Table) AppendRowTo(buf []string, row int) []string {
+	for i := range t.cols {
+		c := &t.cols[i]
+		buf = append(buf, c.dict[c.codes[row]])
+	}
+	return buf
 }
 
 // Column returns a copy of all values of the named column.
 func (t *Table) Column(name string) []string {
-	i := t.MustCol(name)
-	out := make([]string, len(t.Rows))
-	for r, row := range t.Rows {
-		out[r] = row[i]
+	c := &t.cols[t.MustCol(name)]
+	out := make([]string, len(c.codes))
+	for r, code := range c.codes {
+		out[r] = c.dict[code]
 	}
 	return out
 }
@@ -89,26 +231,20 @@ func (t *Table) Column(name string) []string {
 // Clone returns a deep copy of the table.
 func (t *Table) Clone() *Table {
 	c := New(t.Name, t.Cols...)
-	c.Rows = make([][]string, len(t.Rows))
-	for i, row := range t.Rows {
-		c.Rows[i] = append([]string(nil), row...)
+	c.nrows = t.nrows
+	for i := range t.cols {
+		c.cols[i] = t.cols[i].clone()
 	}
 	return c
 }
 
-// Project returns a new table containing only the given columns, in order.
+// Project returns a new table containing only the given columns, in
+// order.
 func (t *Table) Project(cols ...string) *Table {
-	idx := make([]int, len(cols))
-	for i, c := range cols {
-		idx[i] = t.MustCol(c)
-	}
 	p := New(t.Name, cols...)
-	for _, row := range t.Rows {
-		nr := make([]string, len(idx))
-		for i, j := range idx {
-			nr[i] = row[j]
-		}
-		p.Rows = append(p.Rows, nr)
+	p.nrows = t.nrows
+	for i, c := range cols {
+		p.cols[i] = t.cols[t.MustCol(c)].clone()
 	}
 	return p
 }
@@ -148,7 +284,7 @@ func ReadCSV(name string, r io.Reader) (*Table, error) {
 		if len(rec) != len(t.Cols) {
 			return nil, fmt.Errorf("relation: csv row %d has %d fields, want %d", i+2, len(rec), len(t.Cols))
 		}
-		t.Rows = append(t.Rows, rec)
+		t.Append(rec...)
 	}
 	return t, nil
 }
@@ -159,8 +295,10 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	if err := cw.Write(t.Cols); err != nil {
 		return err
 	}
-	for _, row := range t.Rows {
-		if err := cw.Write(row); err != nil {
+	buf := make([]string, 0, len(t.Cols))
+	for row := 0; row < t.nrows; row++ {
+		buf = t.AppendRowTo(buf[:0], row)
+		if err := cw.Write(buf); err != nil {
 			return err
 		}
 	}

@@ -98,8 +98,8 @@ func TestHolisticConflictGuard(t *testing.T) {
 
 func TestHolisticCleanTableNoop(t *testing.T) {
 	tb := chainTable()
-	tb.Rows[3][1] = "Los Angeles"
-	tb.Rows[3][2] = "CA"
+	tb.SetAt(3, 1, "Los Angeles")
+	tb.SetAt(3, 2, "CA")
 	res := Holistic(tb, chainPFDs(), HolisticOptions{})
 	if res.Repaired != 0 || res.Rounds != 0 {
 		t.Errorf("clean table repaired: %+v", res)

@@ -128,7 +128,7 @@ func Apply(t *relation.Table, findings []Finding) (*relation.Table, int) {
 		if f.Proposed == "" || f.Proposed == f.Observed {
 			continue
 		}
-		out.Rows[f.Cell.Row][out.MustCol(f.Cell.Col)] = f.Proposed
+		out.Set(f.Cell.Row, f.Cell.Col, f.Proposed)
 		n++
 	}
 	return out, n

@@ -160,6 +160,6 @@ func (s *CSVSource) ReadTable(ctx context.Context) (*relation.Table, error) {
 			return nil, &ParseError{Source: s.name, Path: s.path, Record: rec,
 				Err: fmt.Errorf("record has %d fields, want %d", len(record), len(t.Cols))}
 		}
-		t.Rows = append(t.Rows, record)
+		t.Append(record...)
 	}
 }

@@ -105,7 +105,7 @@ func Materialize(ctx context.Context, src Source) (*relation.Table, error) {
 			for i, c := range cols {
 				row[i] = tuple[c]
 			}
-			t.Rows = append(t.Rows, row)
+			t.Append(row...)
 		}
 		return t, ctx.Err()
 	}
@@ -137,7 +137,7 @@ func Materialize(ctx context.Context, src Source) (*relation.Table, error) {
 		for i, c := range cols {
 			row[i] = tu[c]
 		}
-		t.Rows = append(t.Rows, row)
+		t.Append(row...)
 	}
 	return t, nil
 }

@@ -22,7 +22,7 @@ func TestCSVMaterializePreservesColumnOrder(t *testing.T) {
 		t.Errorf("column order = %q, want header order", got)
 	}
 	if tb.NumRows() != 2 || tb.Value(1, "city") != "Chicago" {
-		t.Errorf("rows wrong: %+v", tb.Rows)
+		t.Errorf("rows wrong: %d rows, city[1]=%q", tb.NumRows(), tb.Value(1, "city"))
 	}
 }
 

@@ -27,7 +27,7 @@ func (s *TableSource) Columns() []string { return append([]string(nil), s.t.Cols
 // Tuples yields each row as a column->value map.
 func (s *TableSource) Tuples(ctx context.Context) iter.Seq2[Tuple, error] {
 	return func(yield func(Tuple, error) bool) {
-		for i, row := range s.t.Rows {
+		for i := 0; i < s.t.NumRows(); i++ {
 			if i%ctxCheckEvery == ctxCheckEvery-1 {
 				if err := ctx.Err(); err != nil {
 					yield(nil, err)
@@ -36,7 +36,7 @@ func (s *TableSource) Tuples(ctx context.Context) iter.Seq2[Tuple, error] {
 			}
 			tuple := make(Tuple, len(s.t.Cols))
 			for j, c := range s.t.Cols {
-				tuple[c] = row[j]
+				tuple[c] = s.t.At(i, j)
 			}
 			if !yield(tuple, nil) {
 				return

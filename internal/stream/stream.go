@@ -284,14 +284,20 @@ func (e *Engine) Submit(tuple map[string]string) error {
 		}
 	}
 
-	// Route phase: assign the row id and append to shard buffers under
-	// the lock, so every group sees its updates in one global
-	// submission order.
+	err := e.routeRow(ups)
+	*upsp = ups
+	e.upsPool.Put(upsp)
+	return err
+}
+
+// routeRow is the route phase shared by Submit and SubmitTable: assign
+// the next row id and append the tuple's updates to shard buffers under
+// the lock, so every group sees its updates in one global submission
+// order.
+func (e *Engine) routeRow(ups []update) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		*upsp = ups
-		e.upsPool.Put(upsp)
 		return ErrClosed
 	}
 	row := e.rows
@@ -305,8 +311,93 @@ func (e *Engine) Submit(tuple map[string]string) error {
 		}
 	}
 	e.mu.Unlock()
-	*upsp = ups
-	e.upsPool.Put(upsp)
+	return nil
+}
+
+// SubmitTable folds every row of a materialized table into the engine,
+// in row order, with the same semantics as per-tuple Submit calls. It
+// is the dictionary-encoded fast path for table-backed references (the
+// WithWarmup replay): every tableau cell is matched once per distinct
+// value of its column, and the per-row match phase collapses to code
+// lookups — O(distinct × match + rows × lookup) instead of
+// O(rows × match).
+func (e *Engine) SubmitTable(t *relation.Table) error {
+	if err := e.ctx.Err(); err != nil {
+		return err
+	}
+	for _, rc := range e.required {
+		if t.Col(rc.Column) < 0 {
+			return &pfd.MissingColumnError{Column: rc.Column, PFD: rc.PFD}
+		}
+	}
+
+	// Evaluate every tableau cell over its column's dictionary once.
+	type rowEval struct {
+		lhs      []pfd.CellDictEval
+		lhsCodes [][]uint32
+		rhs      pfd.CellDictEval
+		rhsCodes []uint32
+	}
+	evs := make([][]rowEval, len(e.pfds))
+	for pi, p := range e.pfds {
+		rhsCol := t.MustCol(p.RHS)
+		evs[pi] = make([]rowEval, len(p.Tableau))
+		for ri, tr := range p.Tableau {
+			re := &evs[pi][ri]
+			re.rhs = pfd.EvalCellDict(tr.RHS, t.Dict(rhsCol))
+			re.rhsCodes = t.Codes(rhsCol)
+			re.lhs = make([]pfd.CellDictEval, len(p.LHS))
+			re.lhsCodes = make([][]uint32, len(p.LHS))
+			for j, a := range p.LHS {
+				ci := t.MustCol(a)
+				re.lhs[j] = pfd.EvalCellDict(tr.LHS[j], t.Dict(ci))
+				re.lhsCodes[j] = t.Codes(ci)
+			}
+		}
+	}
+
+	var keyBuf []byte
+	ups := make([]update, 0, 16)
+	for id := 0; id < t.NumRows(); id++ {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+		ups = ups[:0]
+		for pi, p := range e.pfds {
+			for ri := range p.Tableau {
+				re := &evs[pi][ri]
+				keyBuf = keyBuf[:0]
+				ok := true
+				for j := range re.lhs {
+					code := re.lhsCodes[j][id]
+					if !re.lhs[j].Match[code] {
+						ok = false
+						break
+					}
+					keyBuf = append(keyBuf, re.lhs[j].Span[code]...)
+					keyBuf = append(keyBuf, '\x00')
+				}
+				if !ok {
+					continue
+				}
+				key := string(keyBuf) // same layout as pfd.LHSKey
+				m := e.meta[pi][ri]
+				code := re.rhsCodes[id]
+				if !re.rhs.Match[code] {
+					if m.constantLHS {
+						ups = append(ups, update{pfdIdx: pi, rowIdx: ri, key: key, span: m.constRHS, kind: opConstMismatch})
+					} else {
+						ups = append(ups, update{pfdIdx: pi, rowIdx: ri, key: key, kind: opSpanMiss})
+					}
+					continue
+				}
+				ups = append(ups, update{pfdIdx: pi, rowIdx: ri, key: key, span: re.rhs.Span[code], kind: opApply})
+			}
+		}
+		if err := e.routeRow(ups); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"pfd/internal/pattern"
 	"pfd/internal/pfd"
+	"pfd/internal/relation"
 )
 
 // testPFDs exercises every update kind: a constant row with a constant
@@ -303,5 +304,62 @@ func TestDiscardViolations(t *testing.T) {
 	}
 	if rep.Rows != len(stream) {
 		t.Fatalf("Rows = %d, want %d", rep.Rows, len(stream))
+	}
+}
+
+// TestSubmitTableMatchesSubmit pins the dictionary-encoded table fast
+// path: folding a materialized table with SubmitTable must produce the
+// exact violation report that per-tuple Submit calls produce on the
+// same rows in the same order, across shard counts.
+func TestSubmitTableMatchesSubmit(t *testing.T) {
+	pfds := testPFDs()
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		stream := randomStream(r, 40+r.Intn(120))
+		tbl := relation.New("Zip", "zip", "city")
+		for _, tuple := range stream {
+			tbl.Append(tuple["zip"], tuple["city"])
+		}
+		for _, shards := range []int{1, 4} {
+			perTuple := New(pfds, Options{Shards: shards, BatchSize: 7, FlushInterval: -1})
+			for _, tuple := range stream {
+				if err := perTuple.Submit(tuple); err != nil {
+					t.Fatalf("Submit: %v", err)
+				}
+			}
+			want := perTuple.Close()
+
+			table := New(pfds, Options{Shards: shards, BatchSize: 7, FlushInterval: -1})
+			if err := table.SubmitTable(tbl); err != nil {
+				t.Fatalf("SubmitTable: %v", err)
+			}
+			got := table.Close()
+
+			if got.Rows != want.Rows {
+				t.Fatalf("shards=%d: Rows = %d, want %d", shards, got.Rows, want.Rows)
+			}
+			if !reflect.DeepEqual(got.Violations, want.Violations) {
+				t.Fatalf("shards=%d trial=%d: reports differ\n got %d: %+v\nwant %d: %+v",
+					shards, trial, len(got.Violations), got.Violations, len(want.Violations), want.Violations)
+			}
+		}
+	}
+}
+
+// TestSubmitTableMissingColumn verifies the fast path rejects tables
+// lacking a referenced column with the same typed error as Submit.
+func TestSubmitTableMissingColumn(t *testing.T) {
+	pfds := testPFDs()
+	tbl := relation.New("Zip", "zip") // no city column
+	tbl.Append("90012")
+	e := New(pfds, Options{Shards: 2, FlushInterval: -1})
+	defer e.Close()
+	err := e.SubmitTable(tbl)
+	var mce *pfd.MissingColumnError
+	if !errors.As(err, &mce) || mce.Column != "city" {
+		t.Fatalf("SubmitTable error = %v, want MissingColumnError{city}", err)
+	}
+	if rep := e.Close(); rep.Rows != 0 {
+		t.Fatalf("rejected table advanced Rows to %d", rep.Rows)
 	}
 }
