@@ -6,7 +6,8 @@
 // Usage:
 //
 //	benchdiff -old BENCH_PR5.json -new BENCH_CI.json \
-//	          [-max-ratio 2.0] [-match pattern/,pfd/,repair/,discovery/Discover/T13,stream/]
+//	          [-max-ratio 2.0] [-match pattern/,pfd/,repair/,discovery/Discover/T13,stream/] \
+//	          [-max-alloc-ratio 2.0] [-alloc-match pattern/,pfd/,repair/]
 //
 // -match is a comma-separated list of result-name prefixes to gate on.
 // The default watches the compiled-matcher and detection hot paths,
@@ -16,6 +17,14 @@
 // baseline result missing from the new snapshot is an error: a renamed
 // benchmark must update the baseline, not silently drop out of the
 // gate.
+//
+// Results under the -alloc-match prefixes are additionally gated on
+// allocs/op: new > max-alloc-ratio × old + 0.5 fails (the absolute
+// half-alloc slack keeps near-zero baselines from failing on noise).
+// The allocation gate only applies when both snapshots carry the
+// number, so baselines written before allocs/op existed still work;
+// unlike ns/op, allocation counts are machine-insensitive, which makes
+// this the reliable guard for the zero-alloc hot paths.
 //
 // ns/op comparisons are machine-sensitive: the 2x default headroom
 // absorbs same-class CPU variance, but a baseline generated on very
@@ -47,6 +56,8 @@ func main() {
 	newPath := flag.String("new", "", "fresh snapshot (required)")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new ns/op > ratio × old ns/op")
 	match := flag.String("match", "pattern/,pfd/,repair/,discovery/Discover/T13,stream/", "comma-separated result-name prefixes to gate on")
+	maxAllocRatio := flag.Float64("max-alloc-ratio", 2.0, "fail when new allocs/op > ratio × old allocs/op + 0.5 (on -alloc-match paths)")
+	allocMatch := flag.String("alloc-match", "pattern/,pfd/,repair/", "comma-separated result-name prefixes to gate allocs/op on")
 	flag.Parse()
 	if *oldPath == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
@@ -63,12 +74,8 @@ func main() {
 		fatal(err)
 	}
 
-	var prefixes []string
-	for _, p := range strings.Split(*match, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			prefixes = append(prefixes, p)
-		}
-	}
+	prefixes := splitPrefixes(*match)
+	allocPrefixes := splitPrefixes(*allocMatch)
 
 	fmt.Printf("benchdiff: %s (%s, %d cpu) -> %s (%s, %d cpu), max-ratio %.2f\n",
 		*oldPath, oldRep.GoVersion, oldRep.NumCPU,
@@ -95,6 +102,22 @@ func main() {
 		}
 		fmt.Printf("  %-9s %-40s %12.1f -> %12.1f ns/op  (%.2fx)\n",
 			status, ores.Name, ores.NsPerOp, nres.NsPerOp, ratio)
+
+		// Allocation gate: only on the alloc-watched prefixes, and only
+		// when both snapshots measured it (older baselines lack the
+		// field).
+		if !matchesAny(ores.Name, allocPrefixes) ||
+			ores.AllocsPerOp == nil || nres.AllocsPerOp == nil {
+			continue
+		}
+		oa, na := *ores.AllocsPerOp, *nres.AllocsPerOp
+		astatus := "ok"
+		if na > *maxAllocRatio*oa+0.5 {
+			astatus = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("  %-9s %-40s %12.1f -> %12.1f allocs/op\n",
+			astatus, ores.Name, oa, na)
 	}
 	if watched == 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: no baseline results match %q — nothing gated\n", *match)
@@ -106,6 +129,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: all %d watched paths within %.2fx\n", watched, *maxRatio)
+}
+
+func splitPrefixes(csv string) []string {
+	var out []string
+	for _, p := range strings.Split(csv, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func matchesAny(name string, prefixes []string) bool {

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	datagen -out ./data [-scale 0.1] [-seed 1] [-dirt 0.01] [-table T13]
+//	datagen -out ./data [-scale 0.1] [-seed 1] [-dirt 0.01] [-table T13] [-snapshot]
 //
 // For each dataset id it writes <id>.csv plus <id>.truth.csv listing the
-// ground-truth dependencies and the seeded dirty cells.
+// ground-truth dependencies and the seeded dirty cells. With -snapshot
+// it also writes <id>.pfdt, the binary table snapshot that pfd and
+// pfdstream load in one sequential read instead of re-parsing CSV.
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	dirt := flag.Float64("dirt", 0.01, "dirt rate")
 	only := flag.String("table", "", "emit a single dataset id (e.g. T4)")
+	snapshot := flag.Bool("snapshot", false, "also write <id>.pfdt binary table snapshots")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -45,6 +48,11 @@ func main() {
 		}
 		if err := writeTruth(*out, spec.ID, truth); err != nil {
 			fail(err)
+		}
+		if *snapshot {
+			if err := t.WriteSnapshotFile(filepath.Join(*out, spec.ID+".pfdt")); err != nil {
+				fail(err)
+			}
 		}
 		fmt.Printf("%s: %d rows x %d cols, %d ground-truth deps, %d dirty cells\n",
 			spec.ID, t.NumRows(), t.NumCols(), len(truth.Deps), len(truth.Errors))

@@ -20,6 +20,12 @@
 // same file drives pfdstream and pfdinfer. Without -rules the
 // subcommands re-discover on each run, as before.
 //
+// -save-table (discover only) writes the materialized input as a .pfdt
+// binary table snapshot alongside the rules; -in accepts a .pfdt path
+// in every subcommand, loading the dictionary-encoded table in one
+// sequential read instead of re-parsing CSV. The same snapshot feeds
+// pfdstream -ref.
+//
 // All subcommands run on the v2 API: input flows through a pfd.Source,
 // and SIGINT cancels the run cleanly (discovery stops at the next
 // candidate, exit status 1 with a canceled message).
@@ -51,6 +57,7 @@ func main() {
 	out := fs.String("out", "", "output CSV file (repair only)")
 	truthPath := fs.String("truth", "", "ground-truth sidecar CSV (score only)")
 	rulesPath := fs.String("rules", "", "ruleset artifact: discover writes it, other subcommands load it instead of re-discovering (.json selects the JSON codec)")
+	saveTable := fs.String("save-table", "", "write the materialized input as a .pfdt binary snapshot (discover only); later runs load it via -in")
 	k := fs.Int("k", 5, "minimum support K")
 	delta := fs.Float64("delta", 0.05, "allowed violation ratio δ")
 	coverage := fs.Float64("coverage", 0.10, "minimum coverage γ")
@@ -70,7 +77,14 @@ func main() {
 	defer stop()
 
 	name := strings.TrimSuffix(filepath.Base(*in), filepath.Ext(*in))
-	src := pfd.FromCSVFile(name, *in)
+	// .pfdt snapshots (written by discover -save-table) load in one
+	// sequential read — no CSV parsing, no re-interning.
+	var src pfd.Source
+	if filepath.Ext(*in) == ".pfdt" {
+		src = pfd.FromSnapshotFile(name, *in)
+	} else {
+		src = pfd.FromCSVFile(name, *in)
+	}
 
 	// The rule artifact: discover always mines it; the other
 	// subcommands load it when -rules is given (one discovery pass,
@@ -121,6 +135,12 @@ func main() {
 					fatal(err)
 				}
 				fmt.Printf("wrote %d rules -> %s\n", rules.Len(), *rulesPath)
+			}
+			if *saveTable != "" {
+				if err := table.WriteSnapshotFile(*saveTable); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %d-row table snapshot -> %s\n", table.NumRows(), *saveTable)
 			}
 			return
 		}
@@ -253,13 +273,15 @@ func runScore(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset, truthPa
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  pfd discover -in data.csv [-rules r.pfd] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] [-nogeneralize] [-v]
+  pfd discover -in data.csv [-rules r.pfd] [-save-table data.pfdt] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] [-nogeneralize] [-v]
   pfd detect   -in data.csv [-rules r.pfd] [flags]
   pfd repair   -in data.csv -out fixed.csv [-rules r.pfd] [flags]
   pfd score    -in data.csv -truth data.truth.csv [-rules r.pfd] [flags]
 
 -rules is the shared artifact: discover writes it, the others load it
-instead of re-mining (the same file feeds pfdstream and pfdinfer).`)
+instead of re-mining (the same file feeds pfdstream and pfdinfer).
+-in also accepts a .pfdt binary snapshot written by discover
+-save-table, loaded in one sequential read instead of CSV parsing.`)
 }
 
 func fatal(err error) {

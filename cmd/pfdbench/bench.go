@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"pfd/internal/discovery"
 	"pfd/internal/pattern"
 	"pfd/internal/pfd"
+	"pfd/internal/relation"
 	"pfd/internal/repair"
 )
 
@@ -25,22 +27,31 @@ import (
 // gate.
 
 // measure times fn, growing the iteration count until the run lasts at
-// least minDur (one warm-up call excluded).
+// least minDur (one warm-up call excluded). Alongside ns/op it records
+// allocs/op — the runtime Mallocs delta across the timed loop — so the
+// benchdiff gate can catch allocation regressions on the hot paths,
+// not just wall-clock ones.
 func measure(name string, minDur time.Duration, fn func()) benchfmt.Result {
 	fn() // warm-up: compile matchers, fill scratch pools
 	iters := 1
+	var ms runtime.MemStats
 	for {
+		runtime.ReadMemStats(&ms)
+		mallocs := ms.Mallocs
 		start := time.Now()
 		for i := 0; i < iters; i++ {
 			fn()
 		}
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
 		if elapsed >= minDur || iters > 1<<24 {
-			return benchfmt.Result{
+			r := benchfmt.Result{
 				Name:    name,
 				Iters:   iters,
 				NsPerOp: float64(elapsed.Nanoseconds()) / float64(iters),
 			}
+			r.SetAllocsPerOp(float64(ms.Mallocs-mallocs) / float64(iters))
+			return r
 		}
 		iters *= 4
 	}
@@ -78,6 +89,10 @@ func runBench(scale float64, seed int64, dirt float64, out string, microOnly boo
 		measure("pfd/Violations/zipState", 100*time.Millisecond, func() { vp.Violations(vt) }),
 		measure("repair/Detect/zipState", 100*time.Millisecond, func() { repair.Detect(vt, []*pfd.PFD{vp}) }),
 	)
+
+	// Micro: .pfdt snapshot load vs CSV parse+intern on the T13 table —
+	// the warmup-path win the snapshot format exists for.
+	rep.Results = append(rep.Results, benchSnapshot(scale, seed, dirt)...)
 
 	// Streaming engine: tuples/sec at 1/4/8 shards on the T13-scale
 	// stream, producers scaled with shards (the match phase runs in
@@ -125,6 +140,53 @@ func runBench(scale float64, seed int64, dirt float64, out string, microOnly boo
 	}
 	fmt.Printf("wrote %s (%d results)\n", out, len(rep.Results))
 	return nil
+}
+
+// benchSnapshot serializes the T13 table once in both formats and
+// times deserialization from memory: relation/LoadSnapshot/T13 (the
+// binary dict+codes read) against relation/ReadCSV/T13 (parse +
+// re-intern). The LoadSnapshot result carries speedup_vs_csv so the
+// ≥5× acceptance bar is visible in the snapshot itself.
+func benchSnapshot(scale float64, seed int64, dirt float64) []benchfmt.Result {
+	spec, ok := datagen.SpecByID("T13")
+	if !ok {
+		panic("T13 spec missing")
+	}
+	rows := int(float64(spec.PaperRows) * scale)
+	if rows < 2000 {
+		rows = 2000
+	}
+	t, _ := spec.Build(rows, seed, dirt)
+
+	var snapBuf, csvBuf bytes.Buffer
+	if err := t.WriteSnapshot(&snapBuf); err != nil {
+		panic(err)
+	}
+	if err := t.WriteCSV(&csvBuf); err != nil {
+		panic(err)
+	}
+	snap, csvb := snapBuf.Bytes(), csvBuf.Bytes()
+
+	load := measure("relation/LoadSnapshot/T13", 100*time.Millisecond, func() {
+		if _, err := relation.LoadSnapshot(bytes.NewReader(snap)); err != nil {
+			panic(err)
+		}
+	})
+	parse := measure("relation/ReadCSV/T13", 100*time.Millisecond, func() {
+		if _, err := relation.ReadCSV("T13", bytes.NewReader(csvb)); err != nil {
+			panic(err)
+		}
+	})
+	load.Metrics = map[string]float64{
+		"rows":           float64(rows),
+		"bytes":          float64(len(snap)),
+		"speedup_vs_csv": parse.NsPerOp / load.NsPerOp,
+	}
+	parse.Metrics = map[string]float64{
+		"rows":  float64(rows),
+		"bytes": float64(len(csvb)),
+	}
+	return []benchfmt.Result{load, parse}
 }
 
 func benchStream(scale float64, seed int64, dirt float64) []benchfmt.Result {

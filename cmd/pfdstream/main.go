@@ -12,9 +12,11 @@
 //	          [-json] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] < stream
 //	pfdstream -rules r.pfd [-ref reference.csv] [flags] < stream
 //
-// The reference CSV (with a header row) is mined offline with the
-// Figure 4 discovery algorithm; the resulting PFDs then guard the
-// stream through pfd.Validate. With -warm (the default) the reference
+// The reference batch — CSV with a header row, or a .pfdt binary
+// snapshot written by `pfd discover -save-table`, which loads in one
+// sequential read instead of CSV parse + intern — is mined offline
+// with the Figure 4 discovery algorithm; the resulting PFDs then guard
+// the stream through pfd.Validate. With -warm (the default) the reference
 // rows are folded into the engine first, so group consensus exists
 // before the first live tuple (-rules without -ref has no reference to
 // warm from). Stdin is CSV with a header row, or JSONL (one flat
@@ -43,6 +45,7 @@ import (
 	"iter"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -53,7 +56,7 @@ import (
 )
 
 func main() {
-	ref := flag.String("ref", "", "trusted reference CSV to mine PFDs from (or to warm with, under -rules)")
+	ref := flag.String("ref", "", "trusted reference batch to mine PFDs from (or to warm with, under -rules): CSV, or a .pfdt snapshot")
 	rulesPath := flag.String("rules", "", "ruleset artifact to validate against (skips mining)")
 	format := flag.String("format", "csv", "stdin format: csv (header row) or jsonl")
 	shards := flag.Int("shards", 0, "state shards (0 = GOMAXPROCS)")
@@ -98,7 +101,7 @@ func main() {
 		if *ref != "" && *warm {
 			// The reference only warms the group state here; skip the
 			// read entirely when -warm=false.
-			t, err := pfd.ReadTable(ctx, pfd.FromCSVFile("ref", *ref))
+			t, err := pfd.ReadTable(ctx, refSource(*ref))
 			if err != nil {
 				fatal(err)
 			}
@@ -106,7 +109,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "pfdstream: loaded %d rules from %s\n", rules.Len(), *rulesPath)
 	} else {
-		disc, err := pfd.Discover(ctx, pfd.FromCSVFile("ref", *ref),
+		disc, err := pfd.Discover(ctx, refSource(*ref),
 			pfd.WithMinSupport(*k), pfd.WithDelta(*delta),
 			pfd.WithMinCoverage(*coverage), pfd.WithMaxLHS(*lhs))
 		if err != nil {
@@ -312,6 +315,17 @@ func (s *liveClock) Tuples(ctx context.Context) iter.Seq2[pfd.Tuple, error] {
 		}
 		inner(yield)
 	}
+}
+
+// refSource opens the reference batch: a .pfdt binary snapshot
+// (written by `pfd discover -save-table`) loads in one sequential read
+// — no CSV parsing, no re-interning — which is the fast warmup path
+// for large references; anything else is header-first CSV.
+func refSource(path string) pfd.Source {
+	if filepath.Ext(path) == ".pfdt" {
+		return pfd.FromSnapshotFile("ref", path)
+	}
+	return pfd.FromCSVFile("ref", path)
 }
 
 func fatal(err error) {

@@ -11,11 +11,21 @@ import (
 
 // Result is one timed experiment.
 type Result struct {
-	Name    string             `json:"name"`
-	Iters   int                `json:"iters"`
-	NsPerOp float64            `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name    string  `json:"name"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the heap allocations per operation (runtime
+	// Mallocs delta over the timed loop). A pointer so baselines
+	// written before the field existed stay distinguishable from a
+	// measured zero: nil means "not measured", and cmd/benchdiff only
+	// gates allocations when both snapshots carry the number.
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
+
+// SetAllocsPerOp records the allocation count (a helper around the
+// pointer field).
+func (r *Result) SetAllocsPerOp(v float64) { r.AllocsPerOp = &v }
 
 // Report is a full snapshot: environment header plus results.
 type Report struct {

@@ -1,0 +1,50 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAllocsPerOpRoundTrip pins the pointer semantics the benchdiff
+// allocation gate relies on: a measured zero round-trips as 0 (still
+// gateable), while an unmeasured result omits the field entirely —
+// baselines written before allocs/op existed must stay
+// distinguishable from genuinely zero-alloc paths.
+func TestAllocsPerOpRoundTrip(t *testing.T) {
+	zero := Result{Name: "pfd/zeroalloc", Iters: 1, NsPerOp: 10}
+	zero.SetAllocsPerOp(0)
+	rep := &Report{
+		GoVersion: "go-test",
+		Results: []Result{
+			zero,
+			{Name: "legacy/unmeasured", Iters: 1, NsPerOp: 20},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := Write(path, rep); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(raw), `"allocs_per_op"`); n != 1 {
+		t.Errorf("allocs_per_op appears %d times in JSON, want 1 (omitted when unmeasured)", n)
+	}
+
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, ok := got.Find("pfd/zeroalloc")
+	if !ok || z.AllocsPerOp == nil || *z.AllocsPerOp != 0 {
+		t.Errorf("measured zero lost in round-trip: %+v", z)
+	}
+	l, ok := got.Find("legacy/unmeasured")
+	if !ok || l.AllocsPerOp != nil {
+		t.Errorf("unmeasured result grew an allocs count: %+v", l)
+	}
+}

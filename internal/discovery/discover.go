@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"pfd/internal/index"
+	"pfd/internal/kernel"
 	"pfd/internal/lattice"
 	"pfd/internal/pattern"
 	"pfd/internal/pfd"
@@ -216,8 +217,6 @@ type discoverer struct {
 	// draftIDs is the reusable bitset materializing a draft's row set; it
 	// is cloned only when the draft is accepted.
 	draftIDs *index.Bitset
-	// gCov is the reusable bitset for generalized-coverage counting.
-	gCov *index.Bitset
 	// order is the current candidate's LHS attributes sorted by pattern
 	// count — the draft-extension order. Draft entries align with it.
 	order []string
@@ -396,17 +395,9 @@ func (d *discoverer) tryCandidate(lhsIdx []int, rhsIdx int) *Dependency {
 		if g := d.generalize(lhs, rhs, rows); g != nil {
 			dep.PFD = g
 			dep.Variable = true
-			if d.gCov == nil || d.gCov.Cap() != t.NumRows() {
-				d.gCov = index.NewBitset(t.NumRows())
-			} else {
-				d.gCov.Clear()
-			}
-			for id, ok := range g.LHSMatchRows(t, 0) {
-				if ok {
-					d.gCov.Set(id)
-				}
-			}
-			dep.Support = d.gCov.Count()
+			// The generalized rule's coverage is the popcount of its LHS
+			// match bitmap — no per-row loop, no bitset scratch.
+			dep.Support = kernel.PopcountSum(g.LHSMatchBitmap(t, 0))
 			dep.Coverage = float64(dep.Support) / float64(t.NumRows())
 		}
 	}

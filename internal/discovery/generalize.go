@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"pfd/internal/kernel"
 	"pfd/internal/pattern"
 	"pfd/internal/pfd"
 	"pfd/internal/relation"
@@ -36,13 +37,9 @@ func (d *discoverer) generalize(lhs []string, rhs string, rows []pfd.Row) *pfd.P
 
 	// Validation on all records, including those below the support
 	// threshold (Example 8 applies the rule on r9 and r10). The LHS
-	// match is evaluated per dictionary entry, not per row.
-	covered := 0
-	for _, ok := range vp.LHSMatchRows(d.t, 0) {
-		if ok {
-			covered++
-		}
-	}
+	// match is evaluated per dictionary entry, then counted with one
+	// popcount over the match bitmap.
+	covered := kernel.PopcountSum(vp.LHSMatchBitmap(d.t, 0))
 	if covered == 0 {
 		return nil
 	}

@@ -5,9 +5,16 @@
 // single-semantics optimizations of Section 4.4.
 package index
 
-import "math/bits"
+import (
+	"math/bits"
 
-// A Bitset is a fixed-capacity set of tuple ids.
+	"pfd/internal/kernel"
+)
+
+// A Bitset is a fixed-capacity set of tuple ids. Its word layout is the
+// kernel bitmap layout (bit r of word r/64 is id r), and every word-wise
+// operation delegates to the internal/kernel scan primitives, so index
+// bitsets and PFD match bitmaps compose without conversion.
 type Bitset struct {
 	words []uint64
 	n     int // capacity in bits
@@ -15,20 +22,27 @@ type Bitset struct {
 
 // NewBitset creates an empty set over ids [0, n).
 func NewBitset(n int) *Bitset {
-	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+	return &Bitset{words: make([]uint64, kernel.Words(n)), n: n}
 }
 
 // NewBitsetBatch creates count empty sets over ids [0, n) backed by one
 // shared allocation — the bulk-materialization path for index postings,
 // where per-set make calls dominate construction.
 func NewBitsetBatch(count, n int) []Bitset {
-	words := (n + 63) / 64
+	words := kernel.Words(n)
 	backing := make([]uint64, count*words)
 	out := make([]Bitset, count)
 	for i := range out {
 		out[i] = Bitset{words: backing[i*words : (i+1)*words : (i+1)*words], n: n}
 	}
 	return out
+}
+
+// FromWords wraps a kernel bitmap over ids [0, n) as a Bitset without
+// copying — the bridge from pfd.LHSMatchBitmap into index set algebra.
+// The caller must not retain words.
+func FromWords(words []uint64, n int) *Bitset {
+	return &Bitset{words: words, n: n}
 }
 
 // Set adds id to the set.
@@ -38,23 +52,13 @@ func (b *Bitset) Set(id int) { b.words[id>>6] |= 1 << (uint(id) & 63) }
 func (b *Bitset) Has(id int) bool { return b.words[id>>6]&(1<<(uint(id)&63)) != 0 }
 
 // Count returns the cardinality.
-func (b *Bitset) Count() int {
-	c := 0
-	for _, w := range b.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
-}
+func (b *Bitset) Count() int { return kernel.PopcountSum(b.words) }
 
 // Cap returns the id capacity the set was created with.
 func (b *Bitset) Cap() int { return b.n }
 
 // Clear removes every id, retaining capacity.
-func (b *Bitset) Clear() {
-	for i := range b.words {
-		b.words[i] = 0
-	}
-}
+func (b *Bitset) Clear() { clear(b.words) }
 
 // Clone returns an independent copy.
 func (b *Bitset) Clone() *Bitset {
@@ -66,45 +70,24 @@ func (b *Bitset) Clone() *Bitset {
 // And returns the intersection as a new set.
 func (b *Bitset) And(o *Bitset) *Bitset {
 	out := NewBitset(b.n)
-	for i := range out.words {
-		if i < len(o.words) {
-			out.words[i] = b.words[i] & o.words[i]
-		}
-	}
+	m := min(len(b.words), len(o.words))
+	kernel.And(out.words[:m], b.words[:m], o.words[:m])
 	return out
 }
 
 // AndCount returns the cardinality of the intersection without allocating.
-func (b *Bitset) AndCount(o *Bitset) int {
-	c := 0
-	for i := range b.words {
-		if i < len(o.words) {
-			c += bits.OnesCount64(b.words[i] & o.words[i])
-		}
-	}
-	return c
-}
+func (b *Bitset) AndCount(o *Bitset) int { return kernel.AndCount(b.words, o.words) }
 
 // Or returns the union as a new set.
 func (b *Bitset) Or(o *Bitset) *Bitset {
-	out := NewBitset(b.n)
-	for i := range out.words {
-		w := b.words[i]
-		if i < len(o.words) {
-			w |= o.words[i]
-		}
-		out.words[i] = w
-	}
+	out := b.Clone()
+	kernel.OrInPlace(out.words, o.words[:min(len(b.words), len(o.words))])
 	return out
 }
 
 // OrInPlace unions o into b.
 func (b *Bitset) OrInPlace(o *Bitset) {
-	for i := range b.words {
-		if i < len(o.words) {
-			b.words[i] |= o.words[i]
-		}
-	}
+	kernel.OrInPlace(b.words, o.words[:min(len(b.words), len(o.words))])
 }
 
 // Equal reports whether the two sets hold the same ids.
@@ -121,39 +104,22 @@ func (b *Bitset) Equal(o *Bitset) bool {
 }
 
 // SubsetOf reports whether every id of b is in o.
-func (b *Bitset) SubsetOf(o *Bitset) bool {
-	for i := range b.words {
-		w := b.words[i]
-		var ow uint64
-		if i < len(o.words) {
-			ow = o.words[i]
-		}
-		if w&^ow != 0 {
-			return false
-		}
-	}
-	return true
-}
+func (b *Bitset) SubsetOf(o *Bitset) bool { return !kernel.AndNotAny(b.words, o.words) }
+
+// SetSorted adds every id of ids (sorted posting-list order) to the set.
+func (b *Bitset) SetSorted(ids []int32) { kernel.SetSorted(b.words, ids) }
 
 // IDs returns the members in ascending order.
 func (b *Bitset) IDs() []int {
-	out := make([]int, 0, 16)
-	for i, w := range b.words {
-		for w != 0 {
-			bit := bits.TrailingZeros64(w)
-			out = append(out, i*64+bit)
-			w &= w - 1
-		}
-	}
-	return out
+	return kernel.AppendIDs(make([]int, 0, 16), b.words)
 }
 
-// ForEach calls fn for every member in ascending order.
+// ForEach calls fn for every member in ascending order, without
+// allocating.
 func (b *Bitset) ForEach(fn func(id int)) {
 	for i, w := range b.words {
 		for w != 0 {
-			bit := bits.TrailingZeros64(w)
-			fn(i*64 + bit)
+			fn(i*kernel.WordBits + bits.TrailingZeros64(w))
 			w &= w - 1
 		}
 	}

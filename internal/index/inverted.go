@@ -184,8 +184,8 @@ func buildAttr(t *relation.Table, col string, prof relation.ColumnProfile, opt O
 	for i := range a.Entries {
 		e := &a.Entries[i]
 		e.IDs = &sets[i]
+		e.IDs.SetSorted(e.List)
 		for _, id := range e.List {
-			e.IDs.Set(int(id))
 			degree[id]++
 		}
 		a.byKey[e.Key] = int32(i)

@@ -1,0 +1,448 @@
+// Package kernel provides the branch-free columnar kernels the hot
+// scan paths run on: 64-row chunks of dictionary code vectors are
+// expanded into []uint64 row bitmaps (one bit per row), combined with
+// word-wide boolean algebra, counted with popcounts, and gathered back
+// into grouped row ids with a counting sort over interned span ids.
+//
+// The layout contract is shared with internal/relation's columnar
+// core: a column is a dictionary plus a per-row code vector, and any
+// per-row predicate factors into a per-dictionary flag table (computed
+// once per distinct value) fanned out through the codes. The kernels
+// here do the fan-out 64 rows per word: bit r of a bitmap is row r,
+// the last word of an n-row bitmap keeps its top 64-(n mod 64) bits
+// zero (see TailMask), and every operation is free of per-row
+// branches, so the compiler keeps the inner loops in registers and a
+// chunk worker can own an aligned word range without synchronization.
+package kernel
+
+import "math/bits"
+
+// WordBits is the chunk width: rows per bitmap word.
+const WordBits = 64
+
+// Words returns the number of 64-bit words a bitmap over n rows needs.
+func Words(n int) int { return (n + WordBits - 1) / WordBits }
+
+// TailMask returns the mask of valid bits in the last word of an n-row
+// bitmap: all ones when n is a multiple of 64 (or zero), otherwise the
+// low n mod 64 bits. Kernels producing bitmaps keep the tail bits
+// beyond n clear so that popcounts and combinators never see ghost
+// rows.
+func TailMask(n int) uint64 {
+	if r := n % WordBits; r != 0 {
+		return (1 << uint(r)) - 1
+	}
+	return ^uint64(0)
+}
+
+// MatchBitmap expands a per-dictionary match flag table into a row
+// bitmap: bit r of dst is set iff flags[codes[r]]. dst must hold
+// Words(len(codes)) words; it is fully overwritten (tail bits cleared)
+// and returned. flags is indexed by dictionary code, so the expensive
+// predicate (pattern matching, span evaluation) runs once per distinct
+// value and this kernel is pure table lookups — 64 rows per output
+// word, no per-row branches.
+func MatchBitmap(dst []uint64, codes []uint32, flags []bool) []uint64 {
+	n := len(codes)
+	var w uint64
+	for r := 0; r < n; r++ {
+		var b uint64
+		if flags[codes[r]] {
+			b = 1
+		}
+		w |= b << (uint(r) & 63)
+		if r&63 == 63 {
+			dst[r>>6] = w
+			w = 0
+		}
+	}
+	if n&63 != 0 {
+		dst[n>>6] = w
+	}
+	return dst
+}
+
+// MatchBitmapSigned is MatchBitmap over a signed per-dictionary id
+// table: bit r of dst is set iff ids[codes[r]] >= 0. It is the form
+// the PFD layer uses directly — interned span ids are >= 0 for
+// matching dictionary entries and -1 for rejected ones, so the match
+// flag is the id's sign bit and no separate bool table is needed.
+func MatchBitmapSigned(dst []uint64, codes []uint32, ids []int32) []uint64 {
+	n := len(codes)
+	var w uint64
+	for r := 0; r < n; r++ {
+		// Sign-bit extraction: ^id >> 31 is 1 for id >= 0, 0 for id < 0.
+		b := uint64(uint32(^ids[codes[r]]) >> 31)
+		w |= b << (uint(r) & 63)
+		if r&63 == 63 {
+			dst[r>>6] = w
+			w = 0
+		}
+	}
+	if n&63 != 0 {
+		dst[n>>6] = w
+	}
+	return dst
+}
+
+// AndMatchBitmapSigned intersects a signed match bitmap into dst:
+// dst &= MatchBitmapSigned(codes, ids), computed without materializing
+// the right-hand bitmap. It is the multi-attribute LHS combinator —
+// one pass per additional attribute, no scratch buffer.
+func AndMatchBitmapSigned(dst []uint64, codes []uint32, ids []int32) {
+	n := len(codes)
+	var w uint64
+	for r := 0; r < n; r++ {
+		b := uint64(uint32(^ids[codes[r]]) >> 31)
+		w |= b << (uint(r) & 63)
+		if r&63 == 63 {
+			dst[r>>6] &= w
+			w = 0
+		}
+	}
+	if n&63 != 0 {
+		dst[n>>6] &= w
+	}
+}
+
+// And writes a & b into dst (dst = a and dst = b are allowed). All
+// three must have equal length.
+func And(dst, a, b []uint64) {
+	_ = dst[:len(a)]
+	for i := range a {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// AndInPlace intersects src into dst: dst &= src.
+func AndInPlace(dst, src []uint64) {
+	_ = dst[:len(src)]
+	for i := range src {
+		dst[i] &= src[i]
+	}
+}
+
+// AndNot writes a &^ b into dst (aliasing allowed, equal lengths).
+func AndNot(dst, a, b []uint64) {
+	_ = dst[:len(a)]
+	for i := range a {
+		dst[i] = a[i] &^ b[i]
+	}
+}
+
+// AndNotAny reports whether a has any bit not in b — the kernel behind
+// subset tests: a ⊆ b iff AndNotAny(a, b) is false. b may be shorter
+// than a; missing words are treated as zero.
+func AndNotAny(a, b []uint64) bool {
+	for i, w := range a {
+		var bw uint64
+		if i < len(b) {
+			bw = b[i]
+		}
+		if w&^bw != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Or writes a | b into dst (aliasing allowed, equal lengths).
+func Or(dst, a, b []uint64) {
+	_ = dst[:len(a)]
+	for i := range a {
+		dst[i] = a[i] | b[i]
+	}
+}
+
+// OrInPlace unions src into dst: dst |= src. src may be shorter than
+// dst; missing words contribute nothing.
+func OrInPlace(dst, src []uint64) {
+	for i := range src {
+		dst[i] |= src[i]
+	}
+}
+
+// PopcountSum returns the total number of set bits — the support-count
+// kernel: a match bitmap's popcount is its row coverage.
+func PopcountSum(words []uint64) int {
+	c := 0
+	for _, w := range words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndCount returns the popcount of the intersection without
+// materializing it. b may be shorter than a; missing words are zero.
+func AndCount(a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
+}
+
+// SetSorted sets the bit of every id in ids. The ids must be in range
+// for the bitmap; sorted input (the usual case: posting lists, gathered
+// groups) maximizes word locality but is not required.
+func SetSorted(words []uint64, ids []int32) {
+	for _, id := range ids {
+		words[id>>6] |= 1 << (uint32(id) & 63)
+	}
+}
+
+// AppendIDs appends the positions of the set bits of words, in
+// ascending order, to dst and returns it.
+func AppendIDs(dst []int, words []uint64) []int {
+	for i, w := range words {
+		base := i * WordBits
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// AppendIDs32 is AppendIDs producing int32 row ids.
+func AppendIDs32(dst []int32, words []uint64) []int32 {
+	for i, w := range words {
+		base := int32(i * WordBits)
+		for w != 0 {
+			dst = append(dst, base+int32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Expand writes the bits of an n-row bitmap into dst as bools:
+// dst[r] = bit r of words. dst must have length n.
+func Expand(dst []bool, words []uint64) {
+	for r := range dst {
+		dst[r] = words[r>>6]>>(uint(r)&63)&1 == 1
+	}
+}
+
+// Groups is the reusable output and scratch of the gather kernels: row
+// ids grouped by interned span id, stored as one flat arena with group
+// boundaries — no per-group allocations, so a steady-state caller
+// (violation scanning over many tableau rows) stays off the allocator.
+//
+// After a gather, group g (0 <= g < Len()) holds Rows(g), ascending,
+// and Sid(g) is its span id. Groups are in ascending span-id order —
+// an arbitrary but deterministic order; callers needing a different
+// presentation order sort group indices themselves.
+type Groups struct {
+	// counts is the per-span-id histogram scratch (len >= numSids).
+	counts []int32
+	// sids[g] is group g's span id.
+	sids []int32
+	// start[g] is group g's offset into ids; start[Len()] ends the arena.
+	start []int32
+	// ids is the flat row-id arena.
+	ids []int32
+	// cursor is the per-group write cursor during scatter.
+	cursor []int32
+}
+
+// Len returns the number of non-empty groups gathered.
+func (g *Groups) Len() int { return len(g.sids) }
+
+// Sid returns group i's span id.
+func (g *Groups) Sid(i int) int32 { return g.sids[i] }
+
+// Rows returns group i's row ids, ascending. The slice aliases the
+// arena and is valid until the next gather into g.
+func (g *Groups) Rows(i int) []int32 { return g.ids[g.start[i]:g.start[i+1]] }
+
+// reset prepares the scratch for a gather over numSids span ids and
+// clears the histogram.
+func (g *Groups) reset(numSids int) {
+	if cap(g.counts) < numSids {
+		g.counts = make([]int32, numSids)
+	} else {
+		g.counts = g.counts[:numSids]
+		clear(g.counts)
+	}
+	g.sids = g.sids[:0]
+	g.start = g.start[:0]
+	g.cursor = g.cursor[:0]
+}
+
+// layout turns the filled histogram into dense group slots and arena
+// offsets, returning the slotOf table (span id -> group index, -1 when
+// the span id has no rows). total is the arena size.
+func (g *Groups) layout() (slotOf []int32, total int32) {
+	// Reuse the histogram slice as slotOf: counts[sid] is consumed in
+	// the same ascending pass that assigns slots.
+	for sid, c := range g.counts {
+		if c == 0 {
+			g.counts[sid] = -1
+			continue
+		}
+		slot := int32(len(g.sids))
+		g.sids = append(g.sids, int32(sid))
+		g.start = append(g.start, total)
+		g.cursor = append(g.cursor, total)
+		total += c
+		g.counts[sid] = slot
+	}
+	g.start = append(g.start, total)
+	if cap(g.ids) < int(total) {
+		g.ids = make([]int32, total)
+	} else {
+		g.ids = g.ids[:total]
+	}
+	return g.counts, total
+}
+
+// GatherGroupsCodes groups every row whose span id is >= 0 by that
+// span id: ids[codes[r]] names row r's group, -1 excludes it. Span ids
+// are interned per dictionary entry, so every id is < len(ids) and the
+// histogram is sized by the dictionary. weights, when non-nil, must be
+// the per-code live multiplicities of the column's dictionary
+// (relation.Table.DictCounts): the histogram is then computed in
+// O(distinct) off the dictionary instead of a rows pass. With nil
+// weights a counting pass over the codes builds it.
+//
+// This is the single-attribute grouping kernel of the violation scan:
+// two counting-sort passes (histogram, scatter), no hashing, no
+// per-group slices, rows emitted in ascending order within each group.
+func GatherGroupsCodes(g *Groups, codes []uint32, ids []int32, weights []int) {
+	g.reset(len(ids))
+	if weights != nil {
+		for code, sid := range ids {
+			if sid >= 0 {
+				g.counts[sid] += int32(weights[code])
+			}
+		}
+	} else {
+		for _, code := range codes {
+			if sid := ids[code]; sid >= 0 {
+				g.counts[sid]++
+			}
+		}
+	}
+	slotOf, _ := g.layout()
+	for r, code := range codes {
+		sid := ids[code]
+		if sid < 0 {
+			continue
+		}
+		slot := slotOf[sid]
+		g.ids[g.cursor[slot]] = int32(r)
+		g.cursor[slot]++
+	}
+}
+
+// A Runner executes fn(chunk) for every chunk in [0, chunks), possibly
+// concurrently, and returns once all calls have completed. The serial
+// runner is `func(chunks int, fn func(int)) { for c := range chunks {
+// fn(c) } }`; callers with a worker pool hand chunks to it. Kernels
+// invoking a Runner partition their work so that concurrent fn calls
+// touch disjoint memory and the result is identical for every
+// execution order — parallelism never changes output.
+type Runner func(chunks int, fn func(chunk int))
+
+// GatherGroupsCodesParallel is GatherGroupsCodes with both passes run
+// chunk-parallel: rows are split into fixed chunkRows-sized chunks,
+// each chunk histograms privately, a sequential layout pass turns the
+// per-chunk histograms into disjoint per-(chunk, group) arena regions,
+// and the scatter writes each chunk's rows into its own region. Row
+// ids stay ascending within every group because chunk c's region
+// precedes chunk c+1's and rows scatter in row order within a chunk.
+// The output is bit-identical to GatherGroupsCodes for every chunk
+// size and any Runner concurrency.
+func GatherGroupsCodesParallel(g *Groups, codes []uint32, ids []int32, chunkRows int, run Runner) {
+	numSids := len(ids)
+	chunks := (len(codes) + chunkRows - 1) / chunkRows
+	if chunks <= 1 {
+		GatherGroupsCodes(g, codes, ids, nil)
+		return
+	}
+	g.reset(numSids)
+	// Per-chunk histograms, flattened [chunk*numSids + sid].
+	hist := make([]int32, chunks*numSids)
+	run(chunks, func(c int) {
+		lo := c * chunkRows
+		hi := min(lo+chunkRows, len(codes))
+		h := hist[c*numSids : (c+1)*numSids]
+		for _, code := range codes[lo:hi] {
+			if sid := ids[code]; sid >= 0 {
+				h[sid]++
+			}
+		}
+	})
+	for c := 0; c < chunks; c++ {
+		h := hist[c*numSids : (c+1)*numSids]
+		for sid, n := range h {
+			g.counts[sid] += n
+		}
+	}
+	slotOf, _ := g.layout()
+	// Rewrite hist in place into per-(chunk, slot) write cursors: chunk
+	// c's region for a group starts where chunk c-1's ends.
+	for sid, slot := range slotOf {
+		if slot < 0 {
+			continue
+		}
+		cur := g.start[slot]
+		for c := 0; c < chunks; c++ {
+			n := hist[c*numSids+sid]
+			hist[c*numSids+sid] = cur
+			cur += n
+		}
+	}
+	run(chunks, func(c int) {
+		lo := c * chunkRows
+		hi := min(lo+chunkRows, len(codes))
+		cursors := hist[c*numSids : (c+1)*numSids]
+		for r := lo; r < hi; r++ {
+			sid := ids[codes[r]]
+			if sid < 0 {
+				continue
+			}
+			g.ids[cursors[sid]] = int32(r)
+			cursors[sid]++
+		}
+	})
+}
+
+// GatherGroupsBitmap groups the set rows of bm by span id:
+// ids[codes[r]] names row r's group for every bit r of bm. Unlike
+// GatherGroupsCodes it only visits set rows (zero words skip 64 rows
+// at once), so it is the kernel for pre-filtered scans — a bitmap
+// already And-combined across several attributes.
+func GatherGroupsBitmap(g *Groups, bm []uint64, codes []uint32, ids []int32) {
+	g.reset(len(ids))
+	for i, w := range bm {
+		base := i * WordBits
+		for w != 0 {
+			r := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			if sid := ids[codes[r]]; sid >= 0 {
+				g.counts[sid]++
+			}
+		}
+	}
+	slotOf, _ := g.layout()
+	for i, w := range bm {
+		base := i * WordBits
+		for w != 0 {
+			r := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			sid := ids[codes[r]]
+			if sid < 0 {
+				continue
+			}
+			slot := slotOf[sid]
+			g.ids[g.cursor[slot]] = int32(r)
+			g.cursor[slot]++
+		}
+	}
+}

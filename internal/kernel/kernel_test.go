@@ -1,0 +1,484 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveMatch is the scalar reference for the bitmap kernels: one bool
+// per row.
+func naiveMatch(codes []uint32, flags []bool) []bool {
+	out := make([]bool, len(codes))
+	for r, c := range codes {
+		out[r] = flags[c]
+	}
+	return out
+}
+
+func bitmapToBools(words []uint64, n int) []bool {
+	out := make([]bool, n)
+	Expand(out, words)
+	return out
+}
+
+func randomCodes(rng *rand.Rand, n, distinct int) []uint32 {
+	codes := make([]uint32, n)
+	for i := range codes {
+		codes[i] = uint32(rng.Intn(distinct))
+	}
+	return codes
+}
+
+func TestTailMask(t *testing.T) {
+	cases := map[int]uint64{
+		0:   ^uint64(0),
+		1:   1,
+		63:  (1 << 63) - 1,
+		64:  ^uint64(0),
+		65:  1,
+		100: (1 << 36) - 1,
+		128: ^uint64(0),
+	}
+	for n, want := range cases {
+		if got := TailMask(n); got != want {
+			t.Errorf("TailMask(%d) = %#x, want %#x", n, got, want)
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	for n, want := range map[int]int{0: 0, 1: 1, 63: 1, 64: 1, 65: 2, 128: 2, 129: 3} {
+		if got := Words(n); got != want {
+			t.Errorf("Words(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestMatchBitmapSizes covers zero rows, non-64-multiple row counts,
+// exact word boundaries, and single-distinct columns, checking both the
+// per-row bits and that tail bits beyond n stay clear.
+func TestMatchBitmapSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 100, 127, 128, 129, 1000} {
+		for _, distinct := range []int{1, 2, 7} {
+			codes := randomCodes(rng, n, distinct)
+			flags := make([]bool, distinct)
+			ids := make([]int32, distinct)
+			for i := range flags {
+				flags[i] = rng.Intn(2) == 0
+				if flags[i] {
+					ids[i] = int32(i)
+				} else {
+					ids[i] = -1
+				}
+			}
+			want := naiveMatch(codes, flags)
+
+			dst := make([]uint64, Words(n))
+			MatchBitmap(dst, codes, flags)
+			if got := bitmapToBools(dst, n); !equalBools(got, want) {
+				t.Fatalf("n=%d distinct=%d: MatchBitmap mismatch", n, distinct)
+			}
+			checkTail(t, dst, n)
+
+			dst2 := make([]uint64, Words(n))
+			// Dirty the destination to prove it is fully overwritten.
+			for i := range dst2 {
+				dst2[i] = ^uint64(0)
+			}
+			MatchBitmapSigned(dst2, codes, ids)
+			if got := bitmapToBools(dst2, n); !equalBools(got, want) {
+				t.Fatalf("n=%d distinct=%d: MatchBitmapSigned mismatch", n, distinct)
+			}
+			checkTail(t, dst2, n)
+
+			if got, want := PopcountSum(dst), countTrue(want); got != want {
+				t.Fatalf("n=%d: PopcountSum = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
+func checkTail(t *testing.T, words []uint64, n int) {
+	t.Helper()
+	if n%WordBits == 0 || len(words) == 0 {
+		return
+	}
+	if ghost := words[len(words)-1] &^ TailMask(n); ghost != 0 {
+		t.Fatalf("n=%d: ghost tail bits %#x", n, ghost)
+	}
+}
+
+func countTrue(bs []bool) int {
+	c := 0
+	for _, b := range bs {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCombinators(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(5) + 1
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		for i := range a {
+			a[i] = rng.Uint64()
+			b[i] = rng.Uint64()
+		}
+		dst := make([]uint64, n)
+
+		And(dst, a, b)
+		for i := range dst {
+			if dst[i] != a[i]&b[i] {
+				t.Fatal("And mismatch")
+			}
+		}
+		Or(dst, a, b)
+		for i := range dst {
+			if dst[i] != a[i]|b[i] {
+				t.Fatal("Or mismatch")
+			}
+		}
+		AndNot(dst, a, b)
+		for i := range dst {
+			if dst[i] != a[i]&^b[i] {
+				t.Fatal("AndNot mismatch")
+			}
+		}
+
+		ac := append([]uint64(nil), a...)
+		AndInPlace(ac, b)
+		for i := range ac {
+			if ac[i] != a[i]&b[i] {
+				t.Fatal("AndInPlace mismatch")
+			}
+		}
+		oc := append([]uint64(nil), a...)
+		OrInPlace(oc, b)
+		for i := range oc {
+			if oc[i] != a[i]|b[i] {
+				t.Fatal("OrInPlace mismatch")
+			}
+		}
+
+		wantAndCount := 0
+		for i := range a {
+			wantAndCount += popcount(a[i] & b[i])
+		}
+		if got := AndCount(a, b); got != wantAndCount {
+			t.Fatalf("AndCount = %d, want %d", got, wantAndCount)
+		}
+
+		// Subset algebra: a&b ⊆ a, and a ⊆ b iff no AndNot residue.
+		And(dst, a, b)
+		if AndNotAny(dst, a) {
+			t.Fatal("a&b should be subset of a")
+		}
+		if got, want := AndNotAny(a, b), wantResidueOf(a, b); got != want {
+			t.Fatalf("AndNotAny = %v, want %v", got, want)
+		}
+		// Short-b forms treat missing words as zero.
+		if n > 1 {
+			if got, want := AndCount(a, b[:n-1]), AndCount(a[:n-1], b[:n-1]); got != want {
+				t.Fatalf("short AndCount = %d, want %d", got, want)
+			}
+			if a[n-1] != 0 && !AndNotAny(a, b[:n-1]) {
+				t.Fatal("short AndNotAny should see residue in missing word")
+			}
+		}
+	}
+}
+
+func popcount(w uint64) int {
+	c := 0
+	for ; w != 0; w &= w - 1 {
+		c++
+	}
+	return c
+}
+
+func wantResidueOf(a, b []uint64) bool {
+	for i := range a {
+		if a[i]&^b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSetSortedAppendIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(300)
+		var ids []int32
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				ids = append(ids, int32(i))
+			}
+		}
+		words := make([]uint64, Words(n))
+		SetSorted(words, ids)
+
+		got := AppendIDs32(nil, words)
+		if len(got) != len(ids) {
+			t.Fatalf("AppendIDs32: got %d ids, want %d", len(got), len(ids))
+		}
+		for i := range got {
+			if got[i] != ids[i] {
+				t.Fatalf("AppendIDs32[%d] = %d, want %d", i, got[i], ids[i])
+			}
+		}
+		gotInt := AppendIDs(nil, words)
+		for i := range gotInt {
+			if gotInt[i] != int(ids[i]) {
+				t.Fatalf("AppendIDs[%d] = %d, want %d", i, gotInt[i], ids[i])
+			}
+		}
+		if got := PopcountSum(words); got != len(ids) {
+			t.Fatalf("PopcountSum = %d, want %d", got, len(ids))
+		}
+	}
+}
+
+// naiveGather is the scalar reference for the gather kernels.
+func naiveGather(codes []uint32, ids []int32, only []bool) (sids []int32, groups map[int32][]int32) {
+	groups = map[int32][]int32{}
+	for r, code := range codes {
+		if only != nil && !only[r] {
+			continue
+		}
+		sid := ids[code]
+		if sid < 0 {
+			continue
+		}
+		if _, ok := groups[sid]; !ok {
+			sids = append(sids, sid)
+		}
+		groups[sid] = append(groups[sid], int32(r))
+	}
+	// Kernel emits groups in ascending span-id order.
+	for i := 1; i < len(sids); i++ {
+		for j := i; j > 0 && sids[j-1] > sids[j]; j-- {
+			sids[j-1], sids[j] = sids[j], sids[j-1]
+		}
+	}
+	return sids, groups
+}
+
+func checkGroups(t *testing.T, g *Groups, sids []int32, groups map[int32][]int32) {
+	t.Helper()
+	if g.Len() != len(sids) {
+		t.Fatalf("Groups.Len = %d, want %d", g.Len(), len(sids))
+	}
+	for i := 0; i < g.Len(); i++ {
+		if g.Sid(i) != sids[i] {
+			t.Fatalf("group %d: sid %d, want %d", i, g.Sid(i), sids[i])
+		}
+		want := groups[sids[i]]
+		got := g.Rows(i)
+		if len(got) != len(want) {
+			t.Fatalf("group %d: %d rows, want %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("group %d row %d: %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestGatherGroupsCodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var g Groups // reused across trials to exercise scratch reuse
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(400)
+		distinct := rng.Intn(10) + 1
+		codes := randomCodes(rng, n, distinct)
+		ids := make([]int32, distinct)
+		next := int32(0)
+		for i := range ids {
+			if rng.Intn(3) == 0 {
+				ids[i] = -1
+			} else {
+				ids[i] = next
+				// Several codes may share a span id (span interning).
+				if rng.Intn(2) == 0 {
+					next++
+				}
+			}
+		}
+		wantSids, wantGroups := naiveGather(codes, ids, nil)
+
+		GatherGroupsCodes(&g, codes, ids, nil)
+		checkGroups(t, &g, wantSids, wantGroups)
+
+		// Weighted histogram path: DictCounts-style weights must produce
+		// the identical result when weights equal the live code counts.
+		weights := make([]int, distinct)
+		for _, c := range codes {
+			weights[c]++
+		}
+		GatherGroupsCodes(&g, codes, ids, weights)
+		checkGroups(t, &g, wantSids, wantGroups)
+	}
+}
+
+func TestGatherGroupsBitmap(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var g Groups
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(400)
+		distinct := rng.Intn(10) + 1
+		codes := randomCodes(rng, n, distinct)
+		ids := make([]int32, distinct)
+		for i := range ids {
+			if rng.Intn(4) == 0 {
+				ids[i] = -1
+			} else {
+				ids[i] = int32(rng.Intn(distinct))
+			}
+		}
+		only := make([]bool, n)
+		bm := make([]uint64, Words(n))
+		for r := range only {
+			only[r] = rng.Intn(2) == 0
+			if only[r] {
+				bm[r>>6] |= 1 << (uint(r) & 63)
+			}
+		}
+		wantSids, wantGroups := naiveGather(codes, ids, only)
+		GatherGroupsBitmap(&g, bm, codes, ids)
+		checkGroups(t, &g, wantSids, wantGroups)
+	}
+}
+
+// serialRunner is the trivial Runner; parallelRunner exercises real
+// concurrency with out-of-order chunk starts.
+func serialRunner(chunks int, fn func(int)) {
+	for c := 0; c < chunks; c++ {
+		fn(c)
+	}
+}
+
+func reverseRunner(chunks int, fn func(int)) {
+	for c := chunks - 1; c >= 0; c-- {
+		fn(c)
+	}
+}
+
+func TestAndMatchBitmapSigned(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		codesA := randomCodes(rng, n, 5)
+		codesB := randomCodes(rng, n, 5)
+		idsA := make([]int32, 5)
+		idsB := make([]int32, 5)
+		for i := range idsA {
+			idsA[i] = int32(rng.Intn(3)) - 1
+			idsB[i] = int32(rng.Intn(3)) - 1
+		}
+		want := make([]uint64, Words(n))
+		tmp := make([]uint64, Words(n))
+		MatchBitmapSigned(want, codesA, idsA)
+		MatchBitmapSigned(tmp, codesB, idsB)
+		AndInPlace(want, tmp)
+
+		got := make([]uint64, Words(n))
+		MatchBitmapSigned(got, codesA, idsA)
+		AndMatchBitmapSigned(got, codesB, idsB)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d word %d: %#x, want %#x", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGatherGroupsCodesParallel pins the parallel gather bit-identical
+// to the sequential one for assorted chunk sizes (including chunks that
+// don't divide the row count) and chunk execution orders.
+func TestGatherGroupsCodesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var seq, par Groups
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(700)
+		distinct := rng.Intn(12) + 1
+		codes := randomCodes(rng, n, distinct)
+		ids := make([]int32, distinct)
+		for i := range ids {
+			ids[i] = int32(rng.Intn(distinct+1)) - 1
+		}
+		GatherGroupsCodes(&seq, codes, ids, nil)
+		for _, chunkRows := range []int{1, 7, 64, 100, 1024} {
+			for _, run := range []Runner{serialRunner, reverseRunner} {
+				GatherGroupsCodesParallel(&par, codes, ids, chunkRows, run)
+				if par.Len() != seq.Len() {
+					t.Fatalf("chunk=%d: Len %d, want %d", chunkRows, par.Len(), seq.Len())
+				}
+				for i := 0; i < seq.Len(); i++ {
+					if par.Sid(i) != seq.Sid(i) {
+						t.Fatalf("chunk=%d group %d: sid mismatch", chunkRows, i)
+					}
+					a, b := par.Rows(i), seq.Rows(i)
+					if len(a) != len(b) {
+						t.Fatalf("chunk=%d group %d: size mismatch", chunkRows, i)
+					}
+					for j := range a {
+						if a[j] != b[j] {
+							t.Fatalf("chunk=%d group %d row %d: %d != %d", chunkRows, i, j, a[j], b[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGatherGroupsZeroRows(t *testing.T) {
+	var g Groups
+	GatherGroupsCodes(&g, nil, []int32{0, 1, -1}, nil)
+	if g.Len() != 0 {
+		t.Fatalf("zero-row gather: Len = %d, want 0", g.Len())
+	}
+	GatherGroupsBitmap(&g, nil, nil, []int32{0})
+	if g.Len() != 0 {
+		t.Fatalf("zero-row bitmap gather: Len = %d, want 0", g.Len())
+	}
+	// Zero dictionary too (fresh table with no rows appended).
+	GatherGroupsCodes(&g, nil, nil, nil)
+	if g.Len() != 0 {
+		t.Fatalf("zero-dict gather: Len = %d, want 0", g.Len())
+	}
+}
+
+func TestExpand(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 65, 130} {
+		words := make([]uint64, Words(n))
+		for i := 0; i < n; i += 3 {
+			words[i>>6] |= 1 << (uint(i) & 63)
+		}
+		out := make([]bool, n)
+		Expand(out, words)
+		for r := range out {
+			if out[r] != (r%3 == 0) {
+				t.Fatalf("n=%d: Expand[%d] = %v", n, r, out[r])
+			}
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package pfd
 
 import (
+	"math/bits"
 	"sort"
 
+	"pfd/internal/kernel"
 	"pfd/internal/relation"
 )
 
@@ -158,23 +160,25 @@ func (p *PFD) MatchesLHS(t *relation.Table, ri, id int) bool {
 	return true
 }
 
-// LHSMatchRows evaluates tableau row ri's LHS once over each column's
-// dictionary and returns the per-table-row match bitmap — the batch
-// counterpart of MatchesLHS for callers scanning every row (coverage
-// counting, generalize validation).
-func (p *PFD) LHSMatchRows(t *relation.Table, ri int) []bool {
+// LHSMatchBitmap evaluates tableau row ri's LHS once over each
+// column's dictionary and returns the match rows as a kernel bitmap
+// (bit id set iff table row id matches every LHS cell), built by
+// chunk-parallel And-combining of the per-attribute match bitmaps.
+// Popcount it for coverage counts; combine it with index bitsets
+// directly — both share the 64-rows-per-word layout.
+func (p *PFD) LHSMatchBitmap(t *relation.Table, ri int) []uint64 {
 	evs, codes := p.evalLHSDicts(t, ri)
+	words := make([]uint64, kernel.Words(t.NumRows()))
+	matchBitmapInto(words, evs, codes, t.NumRows())
+	return words
+}
+
+// LHSMatchRows is LHSMatchBitmap expanded to one bool per table row —
+// the batch counterpart of MatchesLHS for callers that want positional
+// indexing.
+func (p *PFD) LHSMatchRows(t *relation.Table, ri int) []bool {
 	out := make([]bool, t.NumRows())
-	for id := range out {
-		ok := true
-		for j := range evs {
-			if evs[j].sid[codes[j][id]] < 0 {
-				ok = false
-				break
-			}
-		}
-		out[id] = ok
-	}
+	kernel.Expand(out, p.LHSMatchBitmap(t, ri))
 	return out
 }
 
@@ -197,16 +201,24 @@ func (p *PFD) Satisfied(t *relation.Table) bool {
 //
 // Pattern matching runs once per (tableau cell, distinct column value):
 // every cell is evaluated over its column's dictionary up front
-// (memoized across calls — see cellDict), and the per-row pass is pure
-// code lookups. Single-attribute LHS rows group by interned span id —
-// no per-row string hashing at all; wider LHS rows fall back to the
-// concatenated span key, built from cached spans.
+// (memoized across calls — see cellDict), and the per-row pass runs on
+// the internal/kernel scan primitives. Single-attribute LHS rows group
+// by interned span id with the counting-sort gather — histogram in
+// O(distinct) off the dictionary multiplicities, one allocation-free
+// scatter, chunk-parallel on large tables; wider LHS rows And-combine
+// per-attribute match bitmaps (chunk-parallel) and build the
+// concatenated span key only for rows that survive the bitmap. Group
+// emission order is sorted by span key and row ids are ascending, so
+// the output is byte-identical at any worker or chunk count.
 func (p *PFD) Violations(t *relation.Table) []Violation {
 	var out []Violation
 	var keyBuf []byte
 	groupIdx := map[string]int{}
 	var keys []string
-	var groupIDs [][]int
+	var groupIDs [][]int32
+	var gg kernel.Groups
+	var bm []uint64
+	var order []int
 	var scan groupScan
 	nrows := t.NumRows()
 	rhsCol := t.MustCol(p.RHS)
@@ -215,42 +227,48 @@ func (p *PFD) Violations(t *relation.Table) []Violation {
 		constant := row.ConstantLHS()
 		lhsEvs, lhsCodes := p.evalLHSDicts(t, ri)
 		rhsEv := p.cellDict(ri, rhsPos, row.RHS, t, rhsCol)
-		keys = keys[:0]
-		groupIDs = groupIDs[:0]
 
 		if len(p.LHS) == 1 {
 			// Span-id grouping: the group of a row is its LHS span id.
-			ev, codes0 := &lhsEvs[0], lhsCodes[0]
-			groupOf := make([]int32, len(ev.sids))
-			for i := range groupOf {
-				groupOf[i] = -1
+			ev := &lhsEvs[0]
+			if nrows >= 2*chunkRows && scanWorkers > 1 {
+				kernel.GatherGroupsCodesParallel(&gg, lhsCodes[0], ev.sid, chunkRows, runChunks)
+			} else {
+				ci := t.MustCol(p.LHS[0])
+				kernel.GatherGroupsCodes(&gg, lhsCodes[0], ev.sid, t.DictCounts(ci))
 			}
-			for id := 0; id < nrows; id++ {
-				sid := ev.sid[codes0[id]]
-				if sid < 0 {
-					continue
-				}
-				gi := groupOf[sid]
-				if gi < 0 {
-					gi = int32(len(groupIDs))
-					groupOf[sid] = gi
-					keys = append(keys, ev.sids[sid])
-					groupIDs = append(groupIDs, nil)
-				}
-				groupIDs[gi] = append(groupIDs[gi], id)
+			order = order[:0]
+			for i := 0; i < gg.Len(); i++ {
+				order = append(order, i)
 			}
-		} else {
-			// Joint key: '\x00'-joined spans, interned once per group.
-			clear(groupIdx)
-		rows:
-			for id := 0; id < nrows; id++ {
+			sort.Slice(order, func(i, j int) bool {
+				return ev.sids[gg.Sid(order[i])] < ev.sids[gg.Sid(order[j])]
+			})
+			for _, gi := range order {
+				out = append(out, p.groupViolations(&scan, ri, row, gg.Rows(gi), constant, rhsCodes, &rhsEv)...)
+			}
+			continue
+		}
+
+		// Joint key: '\x00'-joined spans, interned once per group. The
+		// bitmap pre-filter means key assembly only runs for rows whose
+		// every attribute matched; zero words skip 64 rows at a time.
+		if cap(bm) < kernel.Words(nrows) {
+			bm = make([]uint64, kernel.Words(nrows))
+		}
+		bm = bm[:kernel.Words(nrows)]
+		matchBitmapInto(bm, lhsEvs, lhsCodes, nrows)
+		keys = keys[:0]
+		groupIDs = groupIDs[:0]
+		clear(groupIdx)
+		for wi, w := range bm {
+			base := wi * kernel.WordBits
+			for w != 0 {
+				id := base + bits.TrailingZeros64(w)
+				w &= w - 1
 				keyBuf = keyBuf[:0]
 				for j := range lhsEvs {
 					code := lhsCodes[j][id]
-					sid := lhsEvs[j].sid[code]
-					if sid < 0 {
-						continue rows
-					}
 					keyBuf = append(keyBuf, lhsEvs[j].span[code]...)
 					keyBuf = append(keyBuf, '\x00') // unambiguous separator
 				}
@@ -262,13 +280,13 @@ func (p *PFD) Violations(t *relation.Table) []Violation {
 					keys = append(keys, k)
 					groupIDs = append(groupIDs, nil)
 				}
-				groupIDs[gi] = append(groupIDs[gi], id)
+				groupIDs[gi] = append(groupIDs[gi], int32(id))
 			}
 		}
 
-		order := make([]int, len(keys))
-		for i := range order {
-			order[i] = i
+		order = order[:0]
+		for i := range keys {
+			order = append(order, i)
 		}
 		sort.Slice(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
 		for _, gi := range order {
@@ -288,8 +306,8 @@ type groupScan struct {
 	stamp       []uint32 // span id -> epoch at which slotOf is valid
 	epoch       uint32
 	spanKeys    []string
-	spanIDs     [][]int
-	nonMatching []int
+	spanIDs     [][]int32
+	nonMatching []int32
 	order       []int
 }
 
@@ -314,7 +332,7 @@ func (sc *groupScan) reset(numSids int) {
 
 // addSpan records id under span id sid, assigning a slot on first sight
 // while reusing the tuple-slice capacity of earlier groups.
-func (sc *groupScan) addSpan(sid int32, span string, id int) {
+func (sc *groupScan) addSpan(sid int32, span string, id int32) {
 	var slot int32
 	if sc.stamp[sid] == sc.epoch {
 		slot = sc.slotOf[sid]
@@ -335,7 +353,7 @@ func (sc *groupScan) addSpan(sid int32, span string, id int) {
 
 // groupViolations checks one LHS-equivalence group. The RHS cell's
 // verdict per tuple comes from the precomputed dictionary evaluation.
-func (p *PFD) groupViolations(sc *groupScan, ri int, row Row, ids []int, constant bool, rhsCodes []uint32, rhsEv *dictEval) []Violation {
+func (p *PFD) groupViolations(sc *groupScan, ri int, row Row, ids []int32, constant bool, rhsCodes []uint32, rhsEv *dictEval) []Violation {
 	var out []Violation
 	sc.reset(len(rhsEv.sids))
 	for _, id := range ids {
@@ -353,8 +371,8 @@ func (p *PFD) groupViolations(sc *groupScan, ri int, row Row, ids []int, constan
 		for _, id := range sc.nonMatching {
 			out = append(out, Violation{
 				TableauRow:   ri,
-				ErrorCell:    relation.Cell{Row: id, Col: p.RHS},
-				Cells:        p.tupleCells(id),
+				ErrorCell:    relation.Cell{Row: int(id), Col: p.RHS},
+				Cells:        p.tupleCells(int(id)),
 				Expected:     p.constantExpectation(row),
 				HasConsensus: p.constantExpectation(row) != "",
 				WitnessRow:   -1,
@@ -369,8 +387,8 @@ func (p *PFD) groupViolations(sc *groupScan, ri int, row Row, ids []int, constan
 			w := witnessOther(ids, id)
 			out = append(out, Violation{
 				TableauRow: ri,
-				ErrorCell:  relation.Cell{Row: id, Col: p.RHS},
-				Cells:      append(p.tupleCells(id), p.tupleCells(w)...),
+				ErrorCell:  relation.Cell{Row: int(id), Col: p.RHS},
+				Cells:      append(p.tupleCells(int(id)), p.tupleCells(w)...),
 				WitnessRow: w,
 			})
 		}
@@ -396,16 +414,16 @@ func (p *PFD) groupViolations(sc *groupScan, ri int, row Row, ids []int, constan
 		for _, id := range sc.spanIDs[si] {
 			v := Violation{
 				TableauRow:   ri,
-				ErrorCell:    relation.Cell{Row: id, Col: p.RHS},
+				ErrorCell:    relation.Cell{Row: int(id), Col: p.RHS},
 				Expected:     consensus,
 				HasConsensus: ok,
 				WitnessRow:   -1,
 			}
 			if ok {
-				v.WitnessRow = consensusIDs[0]
-				v.Cells = append(p.tupleCells(id), p.tupleCells(v.WitnessRow)...)
+				v.WitnessRow = int(consensusIDs[0])
+				v.Cells = append(p.tupleCells(int(id)), p.tupleCells(v.WitnessRow)...)
 			} else {
-				v.Cells = p.tupleCells(id)
+				v.Cells = p.tupleCells(int(id))
 			}
 			out = append(out, v)
 		}
@@ -433,7 +451,7 @@ func (p *PFD) tupleCells(id int) []relation.Cell {
 }
 
 // strictMajority returns the span held by more than half the group.
-func (sc *groupScan) strictMajority() (string, []int, bool) {
+func (sc *groupScan) strictMajority() (string, []int32, bool) {
 	total := 0
 	for _, ids := range sc.spanIDs {
 		total += len(ids)
@@ -446,10 +464,10 @@ func (sc *groupScan) strictMajority() (string, []int, bool) {
 	return "", nil, false
 }
 
-func witnessOther(ids []int, not int) int {
+func witnessOther(ids []int32, not int32) int {
 	for _, id := range ids {
 		if id != not {
-			return id
+			return int(id)
 		}
 	}
 	return -1

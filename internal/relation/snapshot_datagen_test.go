@@ -1,0 +1,51 @@
+package relation_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pfd/internal/datagen"
+	"pfd/internal/relation"
+)
+
+// TestSnapshotRoundTripEvaluationTables pins snapshot round-trip
+// equality on generated instances of the paper's evaluation tables —
+// the small/medium/large spread the acceptance criteria name.
+func TestSnapshotRoundTripEvaluationTables(t *testing.T) {
+	for _, id := range []string{"T1", "T5", "T13"} {
+		spec, ok := datagen.SpecByID(id)
+		if !ok {
+			t.Fatalf("no spec %s", id)
+		}
+		rows := spec.PaperRows / 20
+		if rows < 200 {
+			rows = 200
+		}
+		want, _ := spec.Build(rows, 7, 0.02)
+
+		var buf bytes.Buffer
+		if err := want.WriteSnapshot(&buf); err != nil {
+			t.Fatalf("%s: WriteSnapshot: %v", id, err)
+		}
+		got, err := relation.LoadSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("%s: LoadSnapshot: %v", id, err)
+		}
+		if got.Name != want.Name || got.NumRows() != want.NumRows() || got.NumCols() != want.NumCols() {
+			t.Fatalf("%s: shape mismatch: %q %dx%d vs %q %dx%d", id,
+				got.Name, got.NumRows(), got.NumCols(), want.Name, want.NumRows(), want.NumCols())
+		}
+		for ci, col := range want.Cols {
+			if got.Cols[ci] != col {
+				t.Fatalf("%s: column %d = %q, want %q", id, ci, got.Cols[ci], col)
+			}
+		}
+		for r := 0; r < want.NumRows(); r++ {
+			for ci := range want.Cols {
+				if g, w := got.At(r, ci), want.At(r, ci); g != w {
+					t.Fatalf("%s: At(%d,%d) = %q, want %q", id, r, ci, g, w)
+				}
+			}
+		}
+	}
+}

@@ -34,8 +34,13 @@ type column struct {
 var nextColID atomic.Uint64
 
 // intern returns the code for v, adding it to the dictionary on first
-// sight.
+// sight. A nil lookup means "not built yet" (snapshot loads defer it —
+// read-only consumers never pay for the map) and is rebuilt from the
+// dictionary here, on the first write that needs it.
 func (c *column) intern(v string) uint32 {
+	if c.lookup == nil {
+		c.rebuildLookup()
+	}
 	if code, ok := c.lookup[v]; ok {
 		return code
 	}
@@ -44,6 +49,17 @@ func (c *column) intern(v string) uint32 {
 	c.counts = append(c.counts, 0)
 	c.lookup[v] = code
 	return code
+}
+
+// rebuildLookup derives the value→code map from the dictionary,
+// keeping the first code on (malformed-input) duplicates.
+func (c *column) rebuildLookup() {
+	c.lookup = make(map[string]uint32, len(c.dict))
+	for code, v := range c.dict {
+		if _, dup := c.lookup[v]; !dup {
+			c.lookup[v] = uint32(code)
+		}
+	}
 }
 
 func (c *column) append(v string) {
@@ -68,12 +84,16 @@ func (c *column) clone() column {
 		dict:   append([]string(nil), c.dict...),
 		counts: append([]int(nil), c.counts...),
 		codes:  append([]uint32(nil), c.codes...),
-		lookup: make(map[string]uint32, len(c.lookup)),
 		id:     nextColID.Add(1),
 	}
-	for v, code := range c.lookup {
-		cp.lookup[v] = code
+	if c.lookup != nil {
+		cp.lookup = make(map[string]uint32, len(c.lookup))
+		for v, code := range c.lookup {
+			cp.lookup[v] = code
+		}
 	}
+	// A nil lookup (deferred by a snapshot load) stays nil in the copy
+	// and is rebuilt on its first intern.
 	return cp
 }
 

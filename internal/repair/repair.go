@@ -8,7 +8,10 @@ package repair
 
 import (
 	"context"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pfd/internal/pfd"
 	"pfd/internal/relation"
@@ -41,19 +44,73 @@ func Detect(t *relation.Table, pfds []*pfd.PFD) []Finding {
 	return fs
 }
 
+// detectWorkers is the Violations worker-pool width (the discovery
+// pool's pattern: atomic claim counter, GOMAXPROCS workers). A variable
+// so tests can pin it.
+var detectWorkers = runtime.GOMAXPROCS(0)
+
 // DetectContext is Detect with cancellation and per-PFD progress: the
 // context is observed between PFDs (each PFD's Violations pass is the
 // unit of work), and onPFD, when non-nil, is invoked after each PFD
-// with the number done and the total. On cancellation it returns nil
-// findings and ctx.Err() — partial detection output is never useful,
-// because the dedup across PFDs has not run to completion.
+// with the number done and the total (serialized — safe for plain
+// progress counters). On cancellation it returns nil findings and
+// ctx.Err() — partial detection output is never useful, because the
+// dedup across PFDs has not run to completion.
+//
+// The per-PFD Violations passes run on a worker pool: each PFD's scan
+// is independent (read-only table, per-PFD memo), and the dedup fold
+// below consumes the per-PFD results strictly in pfds order, so the
+// findings are identical to a sequential run at any worker count.
 func DetectContext(ctx context.Context, t *relation.Table, pfds []*pfd.PFD, onPFD func(done, total int)) ([]Finding, error) {
-	byCell := map[relation.Cell]Finding{}
-	for pi, p := range pfds {
+	violations := make([][]pfd.Violation, len(pfds))
+	workers := detectWorkers
+	if workers > len(pfds) {
+		workers = len(pfds)
+	}
+	if workers <= 1 {
+		for pi, p := range pfds {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			violations[pi] = p.Violations(t)
+			if onPFD != nil {
+				onPFD(pi+1, len(pfds))
+			}
+		}
+	} else {
+		var next, done atomic.Int64
+		var progressMu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					pi := int(next.Add(1)) - 1
+					if pi >= len(pfds) || ctx.Err() != nil {
+						return
+					}
+					violations[pi] = pfds[pi].Violations(t)
+					d := int(done.Add(1))
+					if onPFD != nil {
+						progressMu.Lock()
+						onPFD(d, len(pfds))
+						progressMu.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		for _, v := range p.Violations(t) {
+	}
+
+	// Dedup fold, strictly in pfds order — the order-sensitive step that
+	// keeps parallel detection deterministic.
+	byCell := map[relation.Cell]Finding{}
+	for pi, p := range pfds {
+		for _, v := range violations[pi] {
 			if !v.HasConsensus {
 				continue
 			}
@@ -69,9 +126,6 @@ func DetectContext(ctx context.Context, t *relation.Table, pfds []*pfd.PFD, onPF
 				continue
 			}
 			byCell[f.Cell] = f
-		}
-		if onPFD != nil {
-			onPFD(pi+1, len(pfds))
 		}
 	}
 	out := make([]Finding, 0, len(byCell))

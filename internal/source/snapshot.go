@@ -1,0 +1,116 @@
+package source
+
+import (
+	"context"
+	"iter"
+
+	"pfd/internal/relation"
+)
+
+// SnapshotSource reads a .pfdt binary table snapshot
+// (relation.WriteSnapshot / LoadSnapshot). Loading is a single
+// sequential read that rebuilds the dictionary-encoded table without
+// re-parsing CSV or re-interning strings, so materializing a snapshot
+// source is the fast warmup path for pfd/pfdstream.
+//
+// The file is loaded lazily on first use and cached: the source is
+// re-iterable, and ReadTable returns the cached table itself (not a
+// copy — callers that mutate the result mutate the source, as with
+// TableSource).
+type SnapshotSource struct {
+	name string // override; "" keeps the name stored in the snapshot
+	path string
+	t    *relation.Table
+	err  error
+}
+
+// SnapshotFile names a .pfdt table snapshot. name overrides the
+// relation name stored in the snapshot; pass "" to keep the stored
+// name. Load failures (missing file, truncation, checksum or version
+// mismatch — the typed relation.ErrSnapshot* errors) surface as a
+// *ParseError from iteration or materialization, wrapping the cause.
+func SnapshotFile(name, path string) *SnapshotSource {
+	return &SnapshotSource{name: name, path: path}
+}
+
+// load reads and caches the snapshot on first use.
+func (s *SnapshotSource) load() (*relation.Table, error) {
+	if s.t == nil && s.err == nil {
+		t, err := relation.LoadSnapshotFile(s.path)
+		if err != nil {
+			s.err = &ParseError{Source: s.displayName(), Path: s.path, Err: err}
+		} else {
+			if s.name != "" {
+				t.Name = s.name
+			}
+			s.t = t
+		}
+	}
+	return s.t, s.err
+}
+
+// displayName is the name for error messages before a successful load.
+func (s *SnapshotSource) displayName() string {
+	if s.name != "" {
+		return s.name
+	}
+	return s.path
+}
+
+// Name returns the override name when one was given, and otherwise the
+// relation name stored in the snapshot (the path, if the file cannot
+// be loaded — the error itself surfaces from Tuples or ReadTable).
+func (s *SnapshotSource) Name() string {
+	if s.name != "" {
+		return s.name
+	}
+	if t, err := s.load(); err == nil {
+		return t.Name
+	}
+	return s.path
+}
+
+// Columns returns the snapshot's column names in order, or nil when
+// the file cannot be loaded.
+func (s *SnapshotSource) Columns() []string {
+	t, err := s.load()
+	if err != nil {
+		return nil
+	}
+	return append([]string(nil), t.Cols...)
+}
+
+// Tuples yields each row as a column->value map.
+func (s *SnapshotSource) Tuples(ctx context.Context) iter.Seq2[Tuple, error] {
+	return func(yield func(Tuple, error) bool) {
+		t, err := s.load()
+		if err != nil {
+			yield(nil, err)
+			return
+		}
+		for i := 0; i < t.NumRows(); i++ {
+			if i%ctxCheckEvery == ctxCheckEvery-1 {
+				if err := ctx.Err(); err != nil {
+					yield(nil, err)
+					return
+				}
+			}
+			tuple := make(Tuple, len(t.Cols))
+			for j, c := range t.Cols {
+				tuple[c] = t.At(i, j)
+			}
+			if !yield(tuple, nil) {
+				return
+			}
+		}
+	}
+}
+
+// ReadTable returns the loaded table without copying — the fast path
+// Materialize takes for snapshot-backed sources.
+func (s *SnapshotSource) ReadTable(ctx context.Context) (*relation.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.load()
+}

@@ -1,0 +1,107 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pfd/internal/relation"
+)
+
+func writeSnapshotFixture(t *testing.T) string {
+	t.Helper()
+	tb := relation.New("Zip", "zip", "city")
+	tb.Append("90001", "Los Angeles")
+	tb.Append("60601", "Chicago")
+	path := filepath.Join(t.TempDir(), "zip.pfdt")
+	if err := tb.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSnapshotSourceMaterialize(t *testing.T) {
+	path := writeSnapshotFixture(t)
+	src := SnapshotFile("", path)
+	if src.Name() != "Zip" {
+		t.Errorf("Name = %q, want stored name", src.Name())
+	}
+	tb, err := Materialize(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 || tb.Value(1, "city") != "Chicago" {
+		t.Errorf("rows wrong: %d rows, city[1]=%q", tb.NumRows(), tb.Value(1, "city"))
+	}
+	if got := src.Columns(); len(got) != 2 || got[0] != "zip" || got[1] != "city" {
+		t.Errorf("Columns = %v", got)
+	}
+}
+
+func TestSnapshotSourceNameOverride(t *testing.T) {
+	path := writeSnapshotFixture(t)
+	src := SnapshotFile("ref", path)
+	if src.Name() != "ref" {
+		t.Errorf("Name = %q, want override", src.Name())
+	}
+	tb, err := Materialize(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Name != "ref" {
+		t.Errorf("table name = %q, want override applied", tb.Name)
+	}
+}
+
+func TestSnapshotSourceReiterable(t *testing.T) {
+	src := SnapshotFile("", writeSnapshotFixture(t))
+	for pass := 0; pass < 2; pass++ {
+		n := 0
+		for tuple, err := range src.Tuples(context.Background()) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tuple["zip"] == "" {
+				t.Errorf("pass %d: tuple missing zip: %v", pass, tuple)
+			}
+			n++
+		}
+		if n != 2 {
+			t.Errorf("pass %d: %d tuples, want 2", pass, n)
+		}
+	}
+}
+
+func TestSnapshotSourceErrors(t *testing.T) {
+	// Missing file: a *ParseError from materialization and iteration.
+	src := SnapshotFile("ref", filepath.Join(t.TempDir(), "absent.pfdt"))
+	_, err := Materialize(context.Background(), src)
+	var pe *ParseError
+	if !errors.As(err, &pe) || !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file err = %v, want *ParseError wrapping ErrNotExist", err)
+	}
+	for _, err := range src.Tuples(context.Background()) {
+		if !errors.As(err, &pe) {
+			t.Fatalf("Tuples err = %v, want *ParseError", err)
+		}
+	}
+
+	// Corrupt file (a valid snapshot cut mid-header): the typed
+	// snapshot error stays errors.Is-matchable through the *ParseError
+	// wrap.
+	good, err := os.ReadFile(writeSnapshotFixture(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bad.pfdt")
+	if err := os.WriteFile(path, good[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := SnapshotFile("ref", path)
+	if _, err := Materialize(context.Background(), bad); !errors.As(err, &pe) ||
+		(!errors.Is(err, relation.ErrSnapshotTruncated) && !errors.Is(err, relation.ErrSnapshotChecksum)) {
+		t.Fatalf("corrupt file err = %v, want typed snapshot error behind *ParseError", err)
+	}
+}

@@ -49,8 +49,16 @@ var ErrClosed = errors.New("stream: engine is closed")
 // GOMAXPROCS shards, a 64-update batch, and a 2ms flush interval.
 type Options struct {
 	// Shards is the number of state partitions, each owned by one
-	// worker goroutine. <= 0 means runtime.GOMAXPROCS(0).
+	// worker goroutine. <= 0 means runtime.GOMAXPROCS(0). A positive
+	// value is clamped to runtime.GOMAXPROCS(0) unless ForceShards is
+	// set: shards beyond the usable CPUs only add routing and
+	// channel-handoff overhead (no state parallelism is gained when the
+	// workers time-slice one core).
 	Shards int
+	// ForceShards uses Shards exactly as given, above GOMAXPROCS
+	// included — for benchmarks that chart oversharding, and for tests
+	// that pin a shard topology regardless of the machine.
+	ForceShards bool
 	// BatchSize is how many routed updates accumulate per shard before
 	// the buffer is handed to the worker. <= 0 means 64.
 	BatchSize int
@@ -201,6 +209,8 @@ func NewContext(ctx context.Context, pfds []*pfd.PFD, opts Options) *Engine {
 		ctx = context.Background()
 	}
 	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	} else if !opts.ForceShards && opts.Shards > runtime.GOMAXPROCS(0) {
 		opts.Shards = runtime.GOMAXPROCS(0)
 	}
 	if opts.BatchSize <= 0 {

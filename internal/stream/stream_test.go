@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -87,7 +88,7 @@ func TestDifferentialAgainstChecker(t *testing.T) {
 		SortViolations(want, idx)
 		for _, shards := range []int{1, 4, 8} {
 			for _, batchSize := range []int{1, 3, 64} {
-				e := New(pfds, Options{Shards: shards, BatchSize: batchSize, FlushInterval: -1})
+				e := New(pfds, Options{ForceShards: true, Shards: shards, BatchSize: batchSize, FlushInterval: -1})
 				for _, tuple := range stream {
 					if err := e.Submit(tuple); err != nil {
 						t.Fatalf("Submit: %v", err)
@@ -121,7 +122,7 @@ func TestSnapshotBarrierConsistency(t *testing.T) {
 	wantAll := sequentialViolations(t, pfds, stream)
 	SortViolations(wantAll, idx)
 
-	e := New(pfds, Options{Shards: 4, BatchSize: 5, FlushInterval: -1})
+	e := New(pfds, Options{ForceShards: true, Shards: 4, BatchSize: 5, FlushInterval: -1})
 	for _, tuple := range stream[:cut] {
 		if err := e.Submit(tuple); err != nil {
 			t.Fatalf("Submit: %v", err)
@@ -157,7 +158,7 @@ func TestConcurrentProducers(t *testing.T) {
 	pfds := testPFDs()
 	const producers = 8
 	const perProducer = 200
-	e := New(pfds, Options{Shards: 4, BatchSize: 16})
+	e := New(pfds, Options{ForceShards: true, Shards: 4, BatchSize: 16})
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
 		wg.Add(1)
@@ -200,7 +201,7 @@ func TestOnViolationCallback(t *testing.T) {
 	pfds := testPFDs()
 	var mu sync.Mutex
 	live := 0
-	e := New(pfds, Options{Shards: 2, BatchSize: 1, FlushInterval: -1, OnViolation: func(pfd.StreamViolation) {
+	e := New(pfds, Options{ForceShards: true, Shards: 2, BatchSize: 1, FlushInterval: -1, OnViolation: func(pfd.StreamViolation) {
 		mu.Lock()
 		live++
 		mu.Unlock()
@@ -224,7 +225,7 @@ func TestOnViolationCallback(t *testing.T) {
 
 func TestSubmitErrors(t *testing.T) {
 	pfds := testPFDs()
-	e := New(pfds, Options{Shards: 2})
+	e := New(pfds, Options{ForceShards: true, Shards: 2})
 	var mce *pfd.MissingColumnError
 	if err := e.Submit(map[string]string{"zip": "90001"}); !errors.As(err, &mce) {
 		t.Fatalf("missing column: got %v, want *pfd.MissingColumnError", err)
@@ -248,7 +249,7 @@ func TestFlushIntervalDelivers(t *testing.T) {
 	pfds := testPFDs()
 	fired := make(chan pfd.StreamViolation, 1)
 	e := New(pfds, Options{
-		Shards: 2, BatchSize: 1 << 20, FlushInterval: time.Millisecond,
+		ForceShards: true, Shards: 2, BatchSize: 1 << 20, FlushInterval: time.Millisecond,
 		OnViolation: func(v pfd.StreamViolation) {
 			select {
 			case fired <- v:
@@ -279,7 +280,7 @@ func TestDiscardViolations(t *testing.T) {
 	var mu sync.Mutex
 	live := 0
 	e := New(pfds, Options{
-		Shards: 2, BatchSize: 1, FlushInterval: -1, DiscardViolations: true,
+		ForceShards: true, Shards: 2, BatchSize: 1, FlushInterval: -1, DiscardViolations: true,
 		OnViolation: func(pfd.StreamViolation) {
 			mu.Lock()
 			live++
@@ -321,7 +322,7 @@ func TestSubmitTableMatchesSubmit(t *testing.T) {
 			tbl.Append(tuple["zip"], tuple["city"])
 		}
 		for _, shards := range []int{1, 4} {
-			perTuple := New(pfds, Options{Shards: shards, BatchSize: 7, FlushInterval: -1})
+			perTuple := New(pfds, Options{ForceShards: true, Shards: shards, BatchSize: 7, FlushInterval: -1})
 			for _, tuple := range stream {
 				if err := perTuple.Submit(tuple); err != nil {
 					t.Fatalf("Submit: %v", err)
@@ -329,7 +330,7 @@ func TestSubmitTableMatchesSubmit(t *testing.T) {
 			}
 			want := perTuple.Close()
 
-			table := New(pfds, Options{Shards: shards, BatchSize: 7, FlushInterval: -1})
+			table := New(pfds, Options{ForceShards: true, Shards: shards, BatchSize: 7, FlushInterval: -1})
 			if err := table.SubmitTable(tbl); err != nil {
 				t.Fatalf("SubmitTable: %v", err)
 			}
@@ -352,7 +353,7 @@ func TestSubmitTableMissingColumn(t *testing.T) {
 	pfds := testPFDs()
 	tbl := relation.New("Zip", "zip") // no city column
 	tbl.Append("90012")
-	e := New(pfds, Options{Shards: 2, FlushInterval: -1})
+	e := New(pfds, Options{ForceShards: true, Shards: 2, FlushInterval: -1})
 	defer e.Close()
 	err := e.SubmitTable(tbl)
 	var mce *pfd.MissingColumnError
@@ -362,4 +363,32 @@ func TestSubmitTableMissingColumn(t *testing.T) {
 	if rep := e.Close(); rep.Rows != 0 {
 		t.Fatalf("rejected table advanced Rows to %d", rep.Rows)
 	}
+}
+
+// TestShardClamp pins the oversharding guard: an explicit shard count
+// above GOMAXPROCS is clamped (extra shards on a saturated box are
+// pure routing overhead) unless ForceShards pins the topology.
+func TestShardClamp(t *testing.T) {
+	pfds := testPFDs()
+	maxp := runtime.GOMAXPROCS(0)
+	over := maxp + 7
+
+	e := New(pfds, Options{Shards: over})
+	if got := len(e.shards); got != maxp {
+		t.Errorf("shards = %d, want clamped to GOMAXPROCS %d", got, maxp)
+	}
+	e.Close()
+
+	f := New(pfds, Options{ForceShards: true, Shards: over})
+	if got := len(f.shards); got != over {
+		t.Errorf("forced shards = %d, want %d", got, over)
+	}
+	f.Close()
+
+	// Within-budget counts pass through unclamped.
+	g := New(pfds, Options{Shards: 1})
+	if got := len(g.shards); got != 1 {
+		t.Errorf("shards = %d, want 1", got)
+	}
+	g.Close()
 }

@@ -112,9 +112,15 @@ func newStreamConfig(opts []StreamOption) streamConfig {
 }
 
 // WithShards sets the number of state partitions (worker goroutines)
-// of the sharded engine. <= 0 means GOMAXPROCS.
+// of the sharded engine. <= 0 means GOMAXPROCS. An explicit positive
+// count is used exactly as given — including above GOMAXPROCS, where
+// extra shards only add routing overhead; without this option the
+// engine never runs more shards than usable CPUs.
 func WithShards(n int) StreamOption {
-	return func(c *streamConfig) { c.engine.Shards = n }
+	return func(c *streamConfig) {
+		c.engine.Shards = n
+		c.engine.ForceShards = n > 0
+	}
 }
 
 // WithBatchSize sets how many routed updates accumulate per shard

@@ -4,8 +4,29 @@ import (
 	"context"
 	"io"
 
+	"pfd/internal/relation"
 	"pfd/internal/source"
 )
+
+// Typed .pfdt snapshot load failures, re-exported so callers can
+// errors.Is-match the cause behind the *ParseError that
+// FromSnapshotFile sources return and the direct error that
+// LoadSnapshotFile returns.
+// The version policy mirrors the Ruleset JSON envelope: readers accept
+// format versions 1 through SnapshotVersion and reject newer ones with
+// ErrSnapshotVersion (before the checksum verdict, so "upgrade" is
+// reported rather than "corrupt").
+var (
+	ErrSnapshotMagic     = relation.ErrSnapshotMagic
+	ErrSnapshotVersion   = relation.ErrSnapshotVersion
+	ErrSnapshotChecksum  = relation.ErrSnapshotChecksum
+	ErrSnapshotTruncated = relation.ErrSnapshotTruncated
+	ErrSnapshotCorrupt   = relation.ErrSnapshotCorrupt
+)
+
+// SnapshotVersion is the .pfdt snapshot format version this build
+// writes (see Table.WriteSnapshotFile and FromSnapshotFile).
+const SnapshotVersion = relation.SnapshotVersion
 
 // Tuple is one record: column name -> value.
 type Tuple = source.Tuple
@@ -14,7 +35,8 @@ type Tuple = source.Tuple
 // Validate, and RepairToFixpoint all consume Sources, so CSV files,
 // JSONL streams, in-memory tables, and live channels are
 // interchangeable. See the constructors FromCSV, FromCSVFile,
-// FromJSONL, FromJSONLFile, FromTable, and FromTuples.
+// FromJSONL, FromJSONLFile, FromSnapshotFile, FromTable, and
+// FromTuples.
 type Source = source.Source
 
 // ParseError reports malformed input from a Source: it carries the
@@ -42,6 +64,23 @@ func FromJSONL(name string, r io.Reader) Source { return source.NewJSONL(name, r
 
 // FromJSONLFile names a JSONL file as a re-iterable Source.
 func FromJSONLFile(name, path string) Source { return source.JSONLFile(name, path) }
+
+// FromSnapshotFile names a .pfdt binary table snapshot (written by
+// Table.WriteSnapshotFile or `pfd discover -save-table`) as a
+// re-iterable Source. Loading is a single sequential read that
+// rebuilds the dictionary-encoded table directly — no CSV parsing, no
+// string re-interning — so it is the fast path for large reference
+// tables. name overrides the relation name stored in the snapshot;
+// pass "" to keep the stored name. A missing, truncated, corrupted,
+// or future-version file surfaces as a *ParseError wrapping the typed
+// snapshot error.
+func FromSnapshotFile(name, path string) Source { return source.SnapshotFile(name, path) }
+
+// LoadSnapshotFile reads a .pfdt table snapshot directly into a Table
+// — the counterpart of Table.WriteSnapshotFile for callers that want
+// the table itself rather than a Source. Failures are the typed
+// ErrSnapshot* errors.
+func LoadSnapshotFile(path string) (*Table, error) { return relation.LoadSnapshotFile(path) }
 
 // FromTable wraps an in-memory table as a re-iterable Source.
 // Materializing it is free and returns the table itself.
