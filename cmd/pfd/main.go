@@ -4,7 +4,7 @@
 // Usage:
 //
 //	pfd discover -in data.csv [-rules r.pfd] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1]
-//	pfd detect   -in data.csv [-rules r.pfd] [flags as above]
+//	pfd detect   -in data.csv [-rules r.pfd] [-json] [flags as above]
 //	pfd repair   -in data.csv -out fixed.csv [-rules r.pfd] [flags as above]
 //	pfd score    -in data.csv -truth data.truth.csv [-rules r.pfd] [flags as above]
 //
@@ -33,6 +33,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +64,7 @@ func main() {
 	coverage := fs.Float64("coverage", 0.10, "minimum coverage γ")
 	lhs := fs.Int("lhs", 1, "maximum LHS attributes")
 	noGen := fs.Bool("nogeneralize", false, "keep constant PFDs; skip generalization")
+	jsonOut := fs.Bool("json", false, "emit the detect report as JSON on stdout (same pfd.Report envelope as pfdstream -json)")
 	verbose := fs.Bool("v", false, "report discovery progress per lattice level")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -148,7 +150,7 @@ func main() {
 
 	switch cmd {
 	case "detect":
-		runDetect(ctx, table, rules)
+		runDetect(ctx, table, rules, *jsonOut)
 	case "repair":
 		if *out == "" {
 			fatal(fmt.Errorf("repair requires -out"))
@@ -199,8 +201,32 @@ func detect(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset) *pfd.Dete
 	return det
 }
 
-func runDetect(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset) {
+func runDetect(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset, jsonOut bool) {
 	det := detect(ctx, table, rules)
+	if jsonOut {
+		// Batch detection speaks the same versioned report envelope as
+		// `pfdstream -json` and the pfdserved read endpoints; a batch
+		// run has no warmup phase, so every row is live.
+		rep := pfd.NewReport(rules.Name)
+		rep.Rows = table.NumRows()
+		rep.LiveRows = table.NumRows()
+		rep.LiveViolations = len(det.Findings())
+		for _, f := range det.Findings() {
+			rep.Violations = append(rep.Violations, pfd.ReportFinding{
+				Row:      f.Cell.Row,
+				Column:   f.Cell.Col,
+				Expected: f.Proposed,
+				PFD:      f.By.Embedded(),
+			})
+		}
+		rep.Sort()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if len(det.Findings()) == 0 {
 		fmt.Println("no violations found")
 		return
@@ -274,7 +300,7 @@ func runScore(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset, truthPa
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pfd discover -in data.csv [-rules r.pfd] [-save-table data.pfdt] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] [-nogeneralize] [-v]
-  pfd detect   -in data.csv [-rules r.pfd] [flags]
+  pfd detect   -in data.csv [-rules r.pfd] [-json] [flags]
   pfd repair   -in data.csv -out fixed.csv [-rules r.pfd] [flags]
   pfd score    -in data.csv -truth data.truth.csv [-rules r.pfd] [flags]
 

@@ -7,9 +7,10 @@
 //
 // Usage:
 //
-//	pfdstream -ref reference.csv [-format csv|jsonl] [-shards N]
-//	          [-workers N] [-batch 64] [-flush 2ms] [-warm] [-quiet]
-//	          [-json] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] < stream
+//	pfdstream -ref reference.csv [-in stream.csv] [-format csv|jsonl]
+//	          [-shards N] [-workers N] [-batch 64] [-flush 2ms] [-warm]
+//	          [-quiet] [-json] [-k 5] [-delta 0.05] [-coverage 0.10]
+//	          [-lhs 1] < stream
 //	pfdstream -rules r.pfd [-ref reference.csv] [flags] < stream
 //
 // The reference batch — CSV with a header row, or a .pfdt binary
@@ -19,7 +20,8 @@
 // the stream through pfd.Validate. With -warm (the default) the reference
 // rows are folded into the engine first, so group consensus exists
 // before the first live tuple (-rules without -ref has no reference to
-// warm from). Stdin is CSV with a header row, or JSONL (one flat
+// warm from). The live stream comes from stdin, or from a file with
+// -in: CSV with a header row, or JSONL (one flat
 // object per line) with -format jsonl — both are pfd.Source
 // implementations from the shared ingestion layer, so the parsing
 // (and its error reporting) is identical to every other entry point.
@@ -31,7 +33,9 @@
 // A summary with throughput goes to stderr. With -json the final
 // report — rows, live violations, throughput — is emitted as a single
 // JSON object on stdout instead of per-violation lines, for machine
-// consumption. The exit status is 1 when live tuples raised
+// consumption — the report is the versioned pfd.Report envelope, the
+// same contract every pfdserved read endpoint answers with, parsed on
+// either side by pfd.ParseReport. The exit status is 1 when live tuples raised
 // violations, 2 on usage, I/O, or cancellation (SIGINT) errors, 0
 // otherwise — so the command composes as a pipeline gate.
 package main
@@ -47,7 +51,6 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,7 +61,8 @@ import (
 func main() {
 	ref := flag.String("ref", "", "trusted reference batch to mine PFDs from (or to warm with, under -rules): CSV, or a .pfdt snapshot")
 	rulesPath := flag.String("rules", "", "ruleset artifact to validate against (skips mining)")
-	format := flag.String("format", "csv", "stdin format: csv (header row) or jsonl")
+	in := flag.String("in", "", "input stream file (default: stdin)")
+	format := flag.String("format", "csv", "input format: csv (header row) or jsonl")
 	shards := flag.Int("shards", 0, "state shards (0 = GOMAXPROCS)")
 	workers := flag.Int("workers", 0, "producer goroutines (0 = shard count)")
 	batchSize := flag.Int("batch", 64, "updates per shard batch")
@@ -124,12 +128,21 @@ func main() {
 			rules.Len(), *ref, refTable.NumRows())
 	}
 
+	input := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		input = f
+	}
 	var stdin pfd.Source
 	switch *format {
 	case "csv":
-		stdin = pfd.FromCSV("stream", os.Stdin)
+		stdin = pfd.FromCSV("stream", input)
 	case "jsonl":
-		stdin = pfd.FromJSONL("stream", os.Stdin)
+		stdin = pfd.FromJSONL("stream", input)
 	default:
 		fatal(fmt.Errorf("unknown -format %q (want csv or jsonl)", *format))
 	}
@@ -144,7 +157,7 @@ func main() {
 	var liveViolations atomic.Int64
 	var retroSignals atomic.Int64
 	var printMu sync.Mutex
-	var jsonFindings []reportFinding // -json: live findings, handler-collected
+	var jsonFindings []pfd.ReportFinding // -json: live findings, handler-collected
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	useWarm := *warm && refTable != nil
@@ -176,12 +189,7 @@ func main() {
 			if *jsonOut {
 				printMu.Lock()
 				defer printMu.Unlock()
-				jsonFindings = append(jsonFindings, reportFinding{
-					Row:      v.Cell.Row - warmRows,
-					Column:   v.Cell.Col,
-					Expected: v.Expected,
-					PFD:      v.PFD.Embedded(),
-				})
+				jsonFindings = append(jsonFindings, pfd.FindingOf(v, warmRows))
 				return
 			}
 			if *quiet {
@@ -220,7 +228,7 @@ func main() {
 	liveRows := val.LiveRows()
 	tps := float64(liveRows) / elapsed.Seconds()
 	if *jsonOut {
-		rep := buildReport(val, elapsed, *shards, nw, retroSignals.Load(), jsonFindings)
+		rep := buildReport(rules.Name, val, elapsed, *shards, nw, retroSignals.Load(), jsonFindings)
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rep); err != nil {
@@ -241,60 +249,25 @@ func main() {
 	}
 }
 
-// report is the -json output: the final StreamReport plus the run's
-// shape and throughput, one object on stdout.
-type report struct {
-	Rows           int             `json:"rows"`
-	WarmRows       int             `json:"warm_rows"`
-	LiveRows       int             `json:"live_rows"`
-	LiveViolations int             `json:"live_violations"`
-	RetroSignals   int64           `json:"retro_signals"`
-	ElapsedMS      float64         `json:"elapsed_ms"`
-	TuplesPerSec   float64         `json:"tuples_per_sec"`
-	Shards         int             `json:"shards"`
-	Workers        int             `json:"workers"`
-	Violations     []reportFinding `json:"violations"`
-}
-
-// reportFinding is one live violation; Row is the live row number
-// (the warm offset removed, matching the text output).
-type reportFinding struct {
-	Row      int    `json:"row"`
-	Column   string `json:"column"`
-	Expected string `json:"expected,omitempty"`
-	PFD      string `json:"pfd"`
-}
-
-// buildReport assembles the -json report from a finished validation
+// buildReport assembles the -json report — the versioned pfd.Report
+// envelope the pfdserved API also speaks — from a finished validation
 // and the handler-collected live findings (retroactive signals are a
 // count, for the reasons the command doc explains). The findings are
 // sorted here: the handler runs on shard workers, so arrival order is
 // nondeterministic.
-func buildReport(val *pfd.Validation, elapsed time.Duration, shards, workers int, retro int64, findings []reportFinding) report {
-	if findings == nil {
-		findings = []reportFinding{}
-	}
-	sort.Slice(findings, func(i, j int) bool {
-		if findings[i].Row != findings[j].Row {
-			return findings[i].Row < findings[j].Row
-		}
-		if findings[i].Column != findings[j].Column {
-			return findings[i].Column < findings[j].Column
-		}
-		return findings[i].PFD < findings[j].PFD
-	})
-	return report{
-		Rows:           val.Rows(),
-		WarmRows:       val.WarmRows(),
-		LiveRows:       val.LiveRows(),
-		LiveViolations: len(findings),
-		RetroSignals:   retro,
-		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
-		TuplesPerSec:   float64(val.LiveRows()) / elapsed.Seconds(),
-		Shards:         shards,
-		Workers:        workers,
-		Violations:     findings,
-	}
+func buildReport(name string, val *pfd.Validation, elapsed time.Duration, shards, workers int, retro int64, findings []pfd.ReportFinding) *pfd.Report {
+	rep := pfd.NewReport(name)
+	rep.Rows = val.Rows()
+	rep.WarmRows = val.WarmRows()
+	rep.LiveRows = val.LiveRows()
+	rep.LiveViolations = len(findings)
+	rep.RetroSignals = retro
+	rep.Shards = shards
+	rep.Workers = workers
+	rep.SetTiming(elapsed)
+	rep.Violations = append(rep.Violations, findings...)
+	rep.Sort()
+	return rep
 }
 
 // liveClock wraps the stdin source and stamps when its iteration

@@ -34,23 +34,20 @@ func TestReportGolden(t *testing.T) {
 
 	// Collect live findings through the handler, as main does (the
 	// engine log stays disabled in every mode).
-	var findings []reportFinding
+	var findings []pfd.ReportFinding
 	val, err := rules.Validate(context.Background(), pfd.FromTable(live),
 		pfd.WithSequentialChecker(), pfd.WithoutViolationLog(),
 		pfd.WithWarmup(pfd.FromTable(warm)),
 		pfd.WithViolationHandler(func(v pfd.StreamViolation) {
 			if v.NewTuple {
-				findings = append(findings, reportFinding{
-					Row: v.Cell.Row - 12, Column: v.Cell.Col,
-					Expected: v.Expected, PFD: v.PFD.Embedded(),
-				})
+				findings = append(findings, pfd.FindingOf(v, 12))
 			}
 		}))
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	rep := buildReport(val, 250*time.Millisecond, 4, 2, 3, findings)
+	rep := buildReport("golden", val, 250*time.Millisecond, 4, 2, 3, findings)
 	got, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -87,21 +84,18 @@ func TestReportCountsConsistent(t *testing.T) {
 	}
 	live.Append("90002", "LA?") // minority against the consensus
 
-	var findings []reportFinding
+	var findings []pfd.ReportFinding
 	val, err := rules.Validate(context.Background(), pfd.FromTable(live),
 		pfd.WithSequentialChecker(), pfd.WithoutViolationLog(),
 		pfd.WithViolationHandler(func(v pfd.StreamViolation) {
 			if v.NewTuple {
-				findings = append(findings, reportFinding{
-					Row: v.Cell.Row, Column: v.Cell.Col,
-					Expected: v.Expected, PFD: v.PFD.Embedded(),
-				})
+				findings = append(findings, pfd.FindingOf(v, 0))
 			}
 		}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := buildReport(val, time.Second, 1, 1, 0, findings)
+	rep := buildReport("counts", val, time.Second, 1, 1, 0, findings)
 	if rep.Rows != 9 || rep.WarmRows != 0 || rep.LiveRows != 9 {
 		t.Errorf("row counts: %+v", rep)
 	}

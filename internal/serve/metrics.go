@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// handleMetrics renders Prometheus text exposition format (version
+// 0.0.4), hand-assembled: the repo takes no dependencies, and the text
+// format is simple enough that a client library would be the only
+// import it justified. Gauges come from the same non-blocking
+// tenantStatus snapshot the tenant list uses, so scrapes never stall
+// behind a draining engine.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	metric := func(name, typ, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	metric("pfd_up", "gauge", "1 while the process is alive.")
+	fmt.Fprintf(&b, "pfd_up 1\n")
+
+	state := s.state.Load()
+	metric("pfd_server_state", "gauge", "Server lifecycle: 0 serving, 1 draining, 2 stopped.")
+	fmt.Fprintf(&b, "pfd_server_state %d\n", state)
+
+	metric("pfd_uptime_seconds", "gauge", "Seconds since the server started.")
+	fmt.Fprintf(&b, "pfd_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+
+	statuses := make([]tenantStatus, 0, 8)
+	for _, t := range s.snapshotTenants() {
+		statuses = append(statuses, t.status())
+	}
+
+	metric("pfd_tenants", "gauge", "Number of registered tenants.")
+	fmt.Fprintf(&b, "pfd_tenants %d\n", len(statuses))
+
+	perTenant := []struct {
+		name, typ, help string
+		value           func(st tenantStatus) string
+	}{
+		{"pfd_tenant_rows_total", "counter", "Tuples accepted by the tenant across all engine generations.",
+			func(st tenantStatus) string { return fmt.Sprintf("%d", st.Rows) }},
+		{"pfd_tenant_live_violations_total", "counter", "Violations where the incoming tuple is the culprit.",
+			func(st tenantStatus) string { return fmt.Sprintf("%d", st.LiveViolations) }},
+		{"pfd_tenant_retro_signals_total", "counter", "Violations that retroactively implicate earlier tuples.",
+			func(st tenantStatus) string { return fmt.Sprintf("%d", st.RetroSignals) }},
+		{"pfd_tenant_ruleset_reloads_total", "counter", "Hot ruleset replacements since the tenant was created.",
+			func(st tenantStatus) string { return fmt.Sprintf("%d", st.Reloads) }},
+		{"pfd_tenant_engine_state", "gauge", "Engine generation state: 0 idle, 1 running, 2 draining.",
+			func(st tenantStatus) string {
+				switch st.State {
+				case "running":
+					return "1"
+				case "draining":
+					return "2"
+				default:
+					return "0"
+				}
+			}},
+		{"pfd_tenant_backlog_batches", "gauge", "Batches queued on shard channels, not yet applied.",
+			func(st tenantStatus) string { return fmt.Sprintf("%d", st.BacklogBatches) }},
+		{"pfd_tenant_backlog_updates", "gauge", "Routed updates sitting in partial batches.",
+			func(st tenantStatus) string { return fmt.Sprintf("%d", st.BacklogBuffer) }},
+		{"pfd_tenant_tuples_per_sec", "gauge", "Throughput of the running engine generation.",
+			func(st tenantStatus) string { return fmt.Sprintf("%.3f", st.TuplesPerSec) }},
+		{"pfd_tenant_rules", "gauge", "Rules in the tenant's active ruleset.",
+			func(st tenantStatus) string { return fmt.Sprintf("%d", st.Rules) }},
+	}
+	for _, m := range perTenant {
+		metric(m.name, m.typ, m.help)
+		for _, st := range statuses {
+			fmt.Fprintf(&b, "%s{tenant=%q} %s\n", m.name, st.Name, m.value(st))
+		}
+	}
+
+	metric("pfd_http_requests_total", "counter", "HTTP requests by route pattern and status code.")
+	s.reqMu.Lock()
+	keys := make([]string, 0, len(s.reqs))
+	for k := range s.reqs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		route, code, _ := strings.Cut(k, "\x00")
+		fmt.Fprintf(&b, "pfd_http_requests_total{route=%q,code=%q} %d\n", route, code, s.reqs[k])
+	}
+	s.reqMu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}

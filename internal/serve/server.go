@@ -1,0 +1,506 @@
+// Package serve implements pfdserved: a single-binary, multi-tenant
+// PFD validation daemon over the sharded streaming engine.
+//
+// Each tenant is an isolated validation stream — its own ruleset
+// (hot-reloadable, loaded through the Ruleset codecs), its own lazily
+// started stream.Engine generation, its own counters and retained
+// violations. The HTTP surface is versioned under /v1 and speaks the
+// versioned pfd.Report envelope on every read path, the same contract
+// `pfdstream -json` emits — CLI and service consumers parse one
+// format.
+//
+// Lifecycle (see DESIGN.md "Serving architecture" for the full
+// ordering argument):
+//
+//   - Ingest requests hold their tenant's generation lock for read, so
+//     a ruleset swap or drain (write lock) is a request-boundary
+//     barrier: every accepted tuple lands in exactly one engine
+//     generation, and a generation is drained to completion before
+//     the next starts. Hot reload therefore neither drops nor
+//     double-counts tuples.
+//   - Idle tenants are evicted by a janitor: the engine generation is
+//     drained (counters fold into the tenant's cumulative totals, the
+//     shard goroutines exit), the ruleset stays, and the next ingest
+//     lazily restarts — at the documented cost of an empty group
+//     consensus.
+//   - Shutdown: SetDraining flips /healthz to 503 and refuses new
+//     writes, in-flight ingests finish under their read locks, Drain
+//     then closes every engine so the final counters account for
+//     every accepted tuple. Read endpoints keep serving the drained
+//     state until the process exits.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pfd"
+)
+
+// Server lifecycle states (serverState).
+const (
+	stateServing int32 = iota
+	stateDraining
+	stateStopped
+)
+
+// tenantNameRE bounds tenant names to a charset that is safe in URLs
+// and Prometheus label values without escaping.
+var tenantNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// Server is the daemon core: the tenant registry and the HTTP API over
+// it. Create with New/NewContext, expose via Handler, stop with
+// SetDraining + Drain (cmd/pfdserved wires the signal handling).
+type Server struct {
+	cfg   Config
+	base  context.Context // engine lifetime context: cancel = hard abort
+	mux   *http.ServeMux
+	start time.Time
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+
+	state       atomic.Int32
+	drainOnce   sync.Once
+	stopJanitor chan struct{}
+	janitorDone chan struct{}
+
+	reqMu sync.Mutex
+	reqs  map[string]int64 // "METHOD pattern\x00code" -> count
+}
+
+// New creates a server whose engines live until Drain.
+func New(cfg Config) *Server { return NewContext(context.Background(), cfg) }
+
+// NewContext is New with a hard-abort context threaded into every
+// tenant engine: canceling it makes in-flight Submits fail fast and
+// backpressure-stalled producers unblock — the second-SIGTERM path.
+// Graceful shutdown never cancels it; it drains instead.
+func NewContext(base context.Context, cfg Config) *Server {
+	if base == nil {
+		base = context.Background()
+	}
+	if cfg.Ring < 0 {
+		cfg.Ring = 0
+	}
+	s := &Server{
+		cfg:         cfg,
+		base:        base,
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		tenants:     map[string]*tenant{},
+		stopJanitor: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+		reqs:        map[string]int64{},
+	}
+	s.routes()
+	go s.janitor()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/tenants", s.handleTenantList)
+	s.mux.HandleFunc("PUT /v1/tenants/{tenant}/ruleset", s.handleRulesetPut)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/ruleset", s.handleRulesetGet)
+	s.mux.HandleFunc("POST /v1/tenants/{tenant}/tuples", s.handleIngest)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/violations", s.handleViolations)
+	s.mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.handleTenantDelete)
+}
+
+// Handler returns the HTTP surface, wrapped with the request counter
+// behind /metrics' pfd_http_requests_total.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, pattern := s.mux.Handler(r)
+		cw := &countingWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(cw, r)
+		code := cw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		if pattern == "" {
+			pattern = "(none)"
+		}
+		s.reqMu.Lock()
+		s.reqs[pattern+"\x00"+strconv.Itoa(code)]++
+		s.reqMu.Unlock()
+	})
+}
+
+// countingWriter records the status code for the request counter.
+type countingWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (cw *countingWriter) WriteHeader(code int) {
+	if cw.code == 0 {
+		cw.code = code
+	}
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *countingWriter) Write(b []byte) (int, error) {
+	if cw.code == 0 {
+		cw.code = http.StatusOK
+	}
+	return cw.ResponseWriter.Write(b)
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.state.Load() != stateServing }
+
+// SetDraining flips the server to draining: /healthz answers 503 and
+// ingest/reload requests are refused, while read endpoints stay live.
+// The first step of the shutdown ordering — call it before waiting out
+// in-flight HTTP requests, so load balancers stop routing here.
+func (s *Server) SetDraining() {
+	s.state.CompareAndSwap(stateServing, stateDraining)
+}
+
+// Drain completes shutdown: it implies SetDraining, stops the janitor,
+// then closes every tenant engine — waiting, per tenant, for in-flight
+// ingests to release their generation locks, so every accepted tuple
+// is accounted in the final counters. Idempotent; read endpoints keep
+// working afterwards.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() {
+		s.SetDraining()
+		close(s.stopJanitor)
+		<-s.janitorDone
+		for _, t := range s.snapshotTenants() {
+			t.stop()
+		}
+		s.state.Store(stateStopped)
+		s.cfg.logf("drained: all tenant engines closed")
+	})
+}
+
+// LoadTenant installs a ruleset for a tenant programmatically — the
+// boot-time -rules preload and the test seam. Same semantics as PUT
+// /v1/tenants/{tenant}/ruleset.
+func (s *Server) LoadTenant(name string, rs *pfd.Ruleset) error {
+	if s.Draining() {
+		return errors.New("serve: draining")
+	}
+	if rs == nil || rs.Len() == 0 {
+		return errors.New("serve: empty ruleset")
+	}
+	t, err := s.tenant(name, true)
+	if err != nil {
+		return err
+	}
+	t.setRuleset(rs)
+	return nil
+}
+
+// snapshotTenants copies the registry values for lock-free iteration.
+func (s *Server) snapshotTenants() []*tenant {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// tenant looks a tenant up, optionally creating it (subject to the
+// MaxTenants cap).
+func (s *Server) tenant(name string, create bool) (*tenant, error) {
+	if !tenantNameRE.MatchString(name) {
+		return nil, fmt.Errorf("serve: invalid tenant name %q (want %s)", name, tenantNameRE)
+	}
+	s.mu.RLock()
+	t := s.tenants[name]
+	s.mu.RUnlock()
+	if t != nil || !create {
+		return t, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.tenants[name]; t != nil {
+		return t, nil
+	}
+	if s.cfg.MaxTenants > 0 && len(s.tenants) >= s.cfg.MaxTenants {
+		return nil, fmt.Errorf("serve: tenant cap reached (%d)", s.cfg.MaxTenants)
+	}
+	t = newTenant(name, &s.cfg, s.base)
+	s.tenants[name] = t
+	return t, nil
+}
+
+// janitor evicts idle tenant engines on a quarter-timeout cadence.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	if s.cfg.IdleTimeout <= 0 {
+		<-s.stopJanitor
+		return
+	}
+	period := s.cfg.IdleTimeout / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.evictIdle(time.Now())
+		case <-s.stopJanitor:
+			return
+		}
+	}
+}
+
+// evictIdle drains engines idle past IdleTimeout, returning how many
+// it evicted. Eviction keeps the ruleset and counters; only the group
+// consensus state and the shard goroutines go.
+func (s *Server) evictIdle(now time.Time) int {
+	evicted := 0
+	for _, t := range s.snapshotTenants() {
+		if now.Sub(time.Unix(0, t.lastActive.Load())) < s.cfg.IdleTimeout {
+			continue
+		}
+		t.mu.Lock()
+		// Re-check under the lock: an ingest may have raced in.
+		if t.eng != nil && now.Sub(time.Unix(0, t.lastActive.Load())) >= s.cfg.IdleTimeout {
+			s.cfg.logf("tenant %s: evicting idle engine", t.name)
+			t.closeEngineLocked()
+			evicted++
+		}
+		t.mu.Unlock()
+	}
+	return evicted
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.mu.RLock()
+	n := len(s.tenants)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tenants": n})
+}
+
+func (s *Server) handleTenantList(w http.ResponseWriter, r *http.Request) {
+	statuses := []tenantStatus{}
+	for _, t := range s.snapshotTenants() {
+		statuses = append(statuses, t.status())
+	}
+	state := "serving"
+	switch s.state.Load() {
+	case stateDraining:
+		state = "draining"
+	case stateStopped:
+		state = "stopped"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"state":      state,
+		"uptime_sec": time.Since(s.start).Seconds(),
+		"tenants":    statuses,
+	})
+}
+
+// maxRulesetBytes bounds a ruleset upload; rulesets are rule
+// artifacts, not data, and 16 MiB of them is already absurd.
+const maxRulesetBytes = 16 << 20
+
+func (s *Server) handleRulesetPut(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining: ruleset reloads refused")
+		return
+	}
+	rs, err := pfd.LoadRuleset(http.MaxBytesReader(w, r.Body, maxRulesetBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad ruleset: %v", err)
+		return
+	}
+	if rs.Len() == 0 {
+		writeError(w, http.StatusBadRequest, "ruleset holds no rules")
+		return
+	}
+	name := r.PathValue("tenant")
+	t, err := s.tenant(name, true)
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	replaced := t.setRuleset(rs)
+	code := http.StatusCreated
+	if replaced {
+		code = http.StatusOK
+	}
+	s.cfg.logf("tenant %s: ruleset loaded (%d rules, replaced=%v)", name, rs.Len(), replaced)
+	writeJSON(w, code, map[string]any{"tenant": name, "rules": rs.Len(), "replaced": replaced})
+}
+
+func (s *Server) handleRulesetGet(w http.ResponseWriter, r *http.Request) {
+	t, _ := s.tenant(r.PathValue("tenant"), false)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	rs := t.ruleset()
+	if rs == nil {
+		writeError(w, http.StatusNotFound, "tenant has no ruleset")
+		return
+	}
+	data, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining: ingest refused")
+		return
+	}
+	t, err := s.tenant(r.PathValue("tenant"), true)
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+
+	src, err := ingestSource(r)
+	if err != nil {
+		writeError(w, http.StatusUnsupportedMediaType, "%v", err)
+		return
+	}
+	accepted, err := t.ingest(r.Context(), src)
+	if err != nil {
+		writeJSON(w, ingestErrorCode(err), map[string]any{"error": err.Error(), "accepted": accepted})
+		return
+	}
+
+	rep := t.report(false, 0)
+	rep.Accepted = accepted
+	rep.Violations = rep.Violations[:0] // counts only; GET /report or /violations lists findings
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// ingestSource picks the tuple decoder for an ingest request:
+// ?format=csv|jsonl wins, else the Content-Type (text/csv vs NDJSON
+// types), defaulting to NDJSON. Both decoders are the shared
+// internal/source implementations every CLI uses, so parse semantics
+// and error reporting are identical across entry points.
+func ingestSource(r *http.Request) (pfd.Source, error) {
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		switch ct := r.Header.Get("Content-Type"); {
+		case ct == "", ct == "application/x-ndjson", ct == "application/jsonl",
+			ct == "application/json-lines", ct == "application/octet-stream":
+			format = "jsonl"
+		case ct == "text/csv" || ct == "application/csv":
+			format = "csv"
+		default:
+			return nil, fmt.Errorf("unsupported Content-Type %q (text/csv or application/x-ndjson; or pass ?format=csv|jsonl)", ct)
+		}
+	}
+	switch format {
+	case "jsonl", "ndjson":
+		return pfd.FromJSONL("ingest", r.Body), nil
+	case "csv":
+		return pfd.FromCSV("ingest", r.Body), nil
+	default:
+		return nil, fmt.Errorf("unknown format %q (want csv or jsonl)", format)
+	}
+}
+
+// ingestErrorCode maps an ingest failure to a status: malformed bodies
+// are the client's fault, schema misses are unprocessable, a draining
+// or drained engine is retryable-later.
+func ingestErrorCode(err error) int {
+	var parse *pfd.ParseError
+	var missing *pfd.MissingColumnError
+	switch {
+	case errors.As(err, &parse):
+		return http.StatusBadRequest
+	case errors.As(err, &missing):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, errNoRuleset):
+		return http.StatusConflict
+	case errors.Is(err, pfd.ErrEngineClosed), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	t, _ := s.tenant(r.PathValue("tenant"), false)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	// The report endpoint is the consistent read: it places a snapshot
+	// barrier, so every tuple accepted before this request is counted.
+	writeJSON(w, http.StatusOK, t.report(true, 0))
+}
+
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
+	t, _ := s.tenant(r.PathValue("tenant"), false)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, t.report(false, limit))
+}
+
+func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("tenant")
+	s.mu.Lock()
+	t := s.tenants[name]
+	delete(s.tenants, name)
+	s.mu.Unlock()
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	t.drain() // waits for in-flight ingests, accounts their tuples
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name, "rows": t.rowBase.Load()})
+}
+
+// ---- response helpers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client hung up; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

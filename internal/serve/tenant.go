@@ -1,0 +1,350 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pfd"
+)
+
+// errNoRuleset refuses ingest into a tenant that has never been given
+// rules.
+var errNoRuleset = errors.New("tenant has no ruleset (PUT /v1/tenants/{tenant}/ruleset first)")
+
+// tenant is one isolated validation stream: its own ruleset, its own
+// engine generation, its own counters and recent-violation ring.
+// Nothing is shared across tenants except the server configuration.
+//
+// The generation lock (mu) is the reload/drain barrier: an ingest
+// request holds it for read for its whole body, a ruleset swap or
+// engine drain holds it for write. Swaps therefore happen exactly at
+// request boundaries — every accepted tuple lands in exactly one
+// engine generation, which is what makes hot reload neither drop nor
+// double-count tuples: the old generation is drained to completion
+// (its rows folded into rowBase) before the next request can start
+// the new one.
+type tenant struct {
+	name string
+	cfg  *Config
+	base context.Context // engine lifetime context (hard abort)
+
+	mu       sync.RWMutex // generation lock; see type comment
+	rules    *pfd.Ruleset
+	eng      *pfd.StreamEngine
+	engStart time.Time
+
+	// rowBase is the row total of closed engine generations. Written
+	// under mu (write-locked); read atomically so draining-state
+	// status snapshots never block on the lock.
+	rowBase atomic.Int64
+
+	liveViolations atomic.Int64
+	retroSignals   atomic.Int64
+	reloads        atomic.Int64
+	lastActive     atomic.Int64 // unixnano of the last ingest or reload
+	genDraining    atomic.Bool  // an engine generation is mid-Close
+	stopped        atomic.Bool  // server drain: no new generations, ever
+
+	ringMu sync.Mutex
+	ring   []pfd.ReportFinding // circular, len == cfg.Ring
+	next   int                 // next write slot
+	filled int
+}
+
+func newTenant(name string, cfg *Config, base context.Context) *tenant {
+	t := &tenant{name: name, cfg: cfg, base: base}
+	if cfg.Ring > 0 {
+		t.ring = make([]pfd.ReportFinding, cfg.Ring)
+	}
+	t.touch()
+	return t
+}
+
+func (t *tenant) touch() { t.lastActive.Store(time.Now().UnixNano()) }
+
+// setRuleset installs rules, draining the previous engine generation
+// first (under the write lock, so no ingest is in flight). The next
+// ingest lazily starts an engine over the new rules.
+func (t *tenant) setRuleset(rs *pfd.Ruleset) (replaced bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	replaced = t.rules != nil
+	t.rules = rs
+	t.closeEngineLocked()
+	if replaced {
+		t.reloads.Add(1)
+	}
+	t.touch()
+	return replaced
+}
+
+// ruleset returns the current rules (nil when none loaded).
+func (t *tenant) ruleset() *pfd.Ruleset {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rules
+}
+
+// closeEngineLocked drains the current engine generation and folds its
+// row count into rowBase. Violations need no folding — the handler
+// counted them as they fired, and Close's drain delivers any still
+// queued before returning. Caller holds mu for write.
+func (t *tenant) closeEngineLocked() {
+	if t.eng == nil {
+		return
+	}
+	t.genDraining.Store(true)
+	rep := t.eng.Close()
+	t.rowBase.Add(int64(rep.Rows))
+	t.eng = nil
+	t.genDraining.Store(false)
+}
+
+// startEngineLocked begins a new engine generation over the current
+// rules. Caller holds mu for write and has checked t.rules != nil.
+func (t *tenant) startEngineLocked() {
+	// Findings carry globally monotone row numbers across generations:
+	// the handler shifts each engine-local row up by the generation's
+	// base. FindingOf subtracts its offset, hence the negation.
+	base := int(t.rowBase.Load())
+	opts := []pfd.StreamOption{
+		// Long-lived engines must not retain violations: the service
+		// consumes them through the handler into bounded state.
+		pfd.WithoutViolationLog(),
+		pfd.WithViolationHandler(func(v pfd.StreamViolation) {
+			if !v.NewTuple {
+				t.retroSignals.Add(1)
+				return
+			}
+			t.liveViolations.Add(1)
+			t.push(pfd.FindingOf(v, -base))
+		}),
+	}
+	if t.cfg.Shards > 0 {
+		opts = append(opts, pfd.WithShards(t.cfg.Shards))
+	}
+	if t.cfg.Batch > 0 {
+		opts = append(opts, pfd.WithBatchSize(t.cfg.Batch))
+	}
+	if t.cfg.Flush != 0 {
+		opts = append(opts, pfd.WithFlushInterval(t.cfg.Flush))
+	}
+	t.eng = pfd.NewStreamEngineContext(t.base, t.rules.PFDs, opts...)
+	t.engStart = time.Now()
+	t.cfg.logf("tenant %s: engine started (%d rules, %d shards)", t.name, len(t.rules.PFDs), t.eng.Shards())
+}
+
+// acquire returns the live engine with the generation lock read-held,
+// lazily starting a generation when none is running. The caller MUST
+// call release exactly once when its request is done.
+func (t *tenant) acquire() (eng *pfd.StreamEngine, release func(), err error) {
+	for {
+		t.mu.RLock()
+		if t.stopped.Load() {
+			// The server drained: never start a generation that would
+			// outlive the final counters.
+			t.mu.RUnlock()
+			return nil, nil, pfd.ErrEngineClosed
+		}
+		if t.rules == nil {
+			t.mu.RUnlock()
+			return nil, nil, errNoRuleset
+		}
+		if t.eng != nil {
+			return t.eng, t.mu.RUnlock, nil
+		}
+		t.mu.RUnlock()
+		t.mu.Lock()
+		if !t.stopped.Load() && t.rules != nil && t.eng == nil {
+			t.startEngineLocked()
+		}
+		t.mu.Unlock()
+	}
+}
+
+// ingest feeds one request body into the tenant's engine, in body
+// order from this single goroutine (so one request's violation
+// attribution is deterministic). It returns how many tuples the
+// engine accepted — on error, the tuples before the failure are
+// already accepted and accounted.
+func (t *tenant) ingest(ctx context.Context, src pfd.Source) (accepted int, err error) {
+	eng, release, err := t.acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	t.touch()
+	defer t.touch()
+	for tuple, terr := range src.Tuples(ctx) {
+		if terr != nil {
+			return accepted, terr
+		}
+		if serr := eng.Submit(tuple); serr != nil {
+			return accepted, serr
+		}
+		accepted++
+	}
+	return accepted, nil
+}
+
+// drain closes the running engine generation, keeping the ruleset and
+// counters; the next ingest starts fresh (with empty group consensus —
+// the documented cost of eviction). Used by idle eviction and tenant
+// deletion.
+func (t *tenant) drain() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closeEngineLocked()
+}
+
+// stop is drain plus a terminal mark: after server shutdown no ingest
+// may lazily start another generation, or its tuples would be missing
+// from the final accounting (and its goroutines would outlive Drain).
+// Waiting for the write lock is what lets in-flight ingests finish.
+func (t *tenant) stop() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stopped.Store(true)
+	t.closeEngineLocked()
+}
+
+// rows returns the cumulative accepted-tuple count: closed generations
+// plus the live engine. The live part is a cheap counter read, not a
+// snapshot barrier.
+func (t *tenant) rows() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.rowBase.Load()
+	if t.eng != nil {
+		n += int64(t.eng.Rows())
+	}
+	return n
+}
+
+// push appends a finding to the recent-violations ring. Called from
+// engine shard workers — it must stay cheap and must not call back
+// into the engine.
+func (t *tenant) push(f pfd.ReportFinding) {
+	t.ringMu.Lock()
+	if len(t.ring) > 0 {
+		t.ring[t.next] = f
+		t.next = (t.next + 1) % len(t.ring)
+		if t.filled < len(t.ring) {
+			t.filled++
+		}
+	}
+	t.ringMu.Unlock()
+}
+
+// recent copies the retained findings in arrival order, oldest first.
+// limit <= 0 means all.
+func (t *tenant) recent(limit int) []pfd.ReportFinding {
+	t.ringMu.Lock()
+	defer t.ringMu.Unlock()
+	n := t.filled
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]pfd.ReportFinding, 0, n)
+	// Walk the last n entries ending at t.next-1.
+	start := t.next - n
+	if start < 0 {
+		start += len(t.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// report assembles the tenant's pfd.Report. With barrier set it places
+// a snapshot barrier on the live engine, so the row count reflects
+// everything submitted before the call; without it the counters are
+// read cheaply.
+func (t *tenant) report(barrier bool, limit int) *pfd.Report {
+	r := pfd.NewReport(t.name)
+
+	t.mu.RLock()
+	rows := t.rowBase.Load()
+	var engineRows int
+	var elapsed time.Duration
+	if t.eng != nil {
+		if barrier {
+			engineRows = t.eng.Snapshot().Rows
+		} else {
+			engineRows = t.eng.Rows()
+		}
+		rows += int64(engineRows)
+		elapsed = time.Since(t.engStart)
+		r.Shards = t.eng.Shards()
+	}
+	t.mu.RUnlock()
+
+	r.Rows = int(rows)
+	r.LiveRows = int(rows) // the service has no warmup phase
+	r.LiveViolations = int(t.liveViolations.Load())
+	r.RetroSignals = t.retroSignals.Load()
+	if elapsed > 0 {
+		// Throughput rates the running generation, not the lifetime
+		// total: rows from closed generations have no wall time here.
+		r.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+		r.TuplesPerSec = float64(engineRows) / elapsed.Seconds()
+	}
+	r.Violations = t.recent(limit)
+	r.Sort()
+	return r
+}
+
+// tenantStatus is the monitoring snapshot used by the tenant list and
+// /metrics. It never blocks on a draining generation: the draining
+// branch reads only atomics.
+type tenantStatus struct {
+	Name           string  `json:"name"`
+	State          string  `json:"state"` // idle | running | draining
+	Rules          int     `json:"rules"`
+	Rows           int64   `json:"rows"`
+	LiveViolations int64   `json:"live_violations"`
+	RetroSignals   int64   `json:"retro_signals"`
+	Reloads        int64   `json:"reloads"`
+	TuplesPerSec   float64 `json:"tuples_per_sec"`
+	BacklogBatches int     `json:"backlog_batches"`
+	BacklogBuffer  int     `json:"backlog_buffered"`
+	IdleSec        float64 `json:"idle_sec"`
+}
+
+func (t *tenant) status() tenantStatus {
+	st := tenantStatus{
+		Name:           t.name,
+		LiveViolations: t.liveViolations.Load(),
+		RetroSignals:   t.retroSignals.Load(),
+		Reloads:        t.reloads.Load(),
+		IdleSec:        time.Since(time.Unix(0, t.lastActive.Load())).Seconds(),
+	}
+	if t.genDraining.Load() {
+		// Mid-drain the generation lock is held; report from atomics
+		// only so scrapes never stall behind a long Close.
+		st.State = "draining"
+		st.Rows = t.rowBase.Load()
+		return st
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.rules != nil {
+		st.Rules = len(t.rules.PFDs)
+	}
+	st.Rows = t.rowBase.Load()
+	if t.eng == nil {
+		st.State = "idle"
+		return st
+	}
+	st.State = t.eng.State().String()
+	st.Rows += int64(t.eng.Rows())
+	st.BacklogBatches, st.BacklogBuffer = t.eng.Backlog()
+	if el := time.Since(t.engStart); el > 0 {
+		st.TuplesPerSec = float64(t.eng.Rows()) / el.Seconds()
+	}
+	return st
+}

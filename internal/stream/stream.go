@@ -36,6 +36,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pfd/internal/pfd"
@@ -44,6 +45,36 @@ import (
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("stream: engine is closed")
+
+// EngineState describes where an Engine is in its lifecycle, so a
+// hosting service can answer health checks truthfully instead of
+// hanging requests on an engine that is mid-drain.
+type EngineState int32
+
+const (
+	// EngineRunning: accepting Submits.
+	EngineRunning EngineState = iota
+	// EngineDraining: Close has begun — pending batches are being
+	// flushed and the shard workers drained. Submits fail with
+	// ErrClosed; the final report is not yet available.
+	EngineDraining
+	// EngineClosed: fully drained, the final report is available.
+	EngineClosed
+)
+
+// String renders the state for logs and metrics ("running",
+// "draining", "closed").
+func (s EngineState) String() string {
+	switch s {
+	case EngineRunning:
+		return "running"
+	case EngineDraining:
+		return "draining"
+	case EngineClosed:
+		return "closed"
+	}
+	return "unknown"
+}
 
 // Options configure the engine. The zero value is usable: it means
 // GOMAXPROCS shards, a 64-update batch, and a 2ms flush interval.
@@ -179,6 +210,7 @@ type Engine struct {
 	closeOnce sync.Once
 	finalRows int
 	final     Report
+	state     atomic.Int32 // EngineState; written only by Close
 
 	batchPool sync.Pool // *[]update with cap >= BatchSize
 	upsPool   sync.Pool // *[]update scratch for Submit's match phase
@@ -569,6 +601,7 @@ func (e *Engine) Snapshot() Report {
 // Snapshot calls return the same final report.
 func (e *Engine) Close() Report {
 	e.closeOnce.Do(func() {
+		e.state.Store(int32(EngineDraining))
 		e.mu.Lock()
 		e.closed = true
 		close(e.stopFlush)
@@ -585,8 +618,33 @@ func (e *Engine) Close() Report {
 		}
 		e.sortViolations(all)
 		e.final = Report{Rows: e.finalRows, Violations: all}
+		e.state.Store(int32(EngineClosed))
 	})
 	return e.final
+}
+
+// State reports the engine's lifecycle state. It is safe to call
+// concurrently with everything, including Close: a service can poll it
+// from a health endpoint while a drain is in progress.
+func (e *Engine) State() EngineState { return EngineState(e.state.Load()) }
+
+// Shards returns the effective shard count (after the GOMAXPROCS
+// clamp), for reporting.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Backlog reports approximately how much routed work is queued but not
+// yet applied: the number of batches sitting in shard channels, and
+// the updates still accumulating in the per-shard fill buffers. It is
+// a monitoring gauge — the engine keeps moving while it is read, so
+// the numbers are a snapshot, not an invariant.
+func (e *Engine) Backlog() (batches, buffered int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for si, s := range e.shards {
+		batches += len(s.in)
+		buffered += len(e.pending[si])
+	}
+	return batches, buffered
 }
 
 // canceled reports whether the engine context has been canceled.

@@ -244,6 +244,25 @@ type StreamOptions = stream.Options
 // StreamReport is a consistent snapshot of a StreamEngine.
 type StreamReport = stream.Report
 
+// EngineState describes where a StreamEngine is in its lifecycle —
+// running, draining (Close in progress), or closed — via
+// StreamEngine.State. A hosting service uses it to answer health
+// checks truthfully during shutdown instead of hanging requests on an
+// engine that is mid-drain.
+type EngineState = stream.EngineState
+
+// The StreamEngine lifecycle states; see EngineState.
+const (
+	EngineRunning  = stream.EngineRunning
+	EngineDraining = stream.EngineDraining
+	EngineClosed   = stream.EngineClosed
+)
+
+// ErrEngineClosed is returned by StreamEngine.Submit once Close has
+// begun: the engine is draining (or drained) and accepts no more
+// tuples.
+var ErrEngineClosed = stream.ErrClosed
+
 // NewStreamEngine starts a sharded streaming validator over the PFDs.
 // Close it to release the shard workers and obtain the final report.
 //
