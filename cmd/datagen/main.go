@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	datagen -out ./data [-scale 0.1] [-seed 1] [-dirt 0.01] [-table T13] [-snapshot]
+//	datagen -out ./data [-scale 0.1] [-rows N] [-seed 1] [-dirt 0.01] [-table T13] [-snapshot] [-chunk-rows M]
 //
 // For each dataset id it writes <id>.csv plus <id>.truth.csv listing the
 // ground-truth dependencies and the seeded dirty cells. With -snapshot
 // it also writes <id>.pfdt, the binary table snapshot that pfd and
 // pfdstream load in one sequential read instead of re-parsing CSV.
+//
+// With -chunk-rows M the generator streams instead: each table is drawn
+// M rows at a time and written directly to <id>.cNNNN.pfdt chunk
+// snapshots (plus the truth sidecar), never materializing the full
+// table. Combined with -rows this produces out-of-core workloads far
+// larger than memory; feed the chunk files straight to
+// `pfd discover 'data/T13.c*.pfdt'`.
 package main
 
 import (
@@ -25,10 +32,12 @@ import (
 func main() {
 	out := flag.String("out", "data", "output directory")
 	scale := flag.Float64("scale", 0.1, "fraction of the paper's row counts")
+	rowsFlag := flag.Int("rows", 0, "absolute row count per table (overrides -scale)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	dirt := flag.Float64("dirt", 0.01, "dirt rate")
 	only := flag.String("table", "", "emit a single dataset id (e.g. T4)")
 	snapshot := flag.Bool("snapshot", false, "also write <id>.pfdt binary table snapshots")
+	chunkRows := flag.Int("chunk-rows", 0, "stream <id>.cNNNN.pfdt chunk snapshots of this many rows instead of CSV")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -41,6 +50,15 @@ func main() {
 		rows := int(float64(spec.PaperRows) * *scale)
 		if rows < 100 {
 			rows = 100
+		}
+		if *rowsFlag > 0 {
+			rows = *rowsFlag
+		}
+		if *chunkRows > 0 {
+			if err := writeChunked(*out, spec, rows, *chunkRows, *seed, *dirt); err != nil {
+				fail(err)
+			}
+			continue
 		}
 		t, truth := spec.Build(rows, *seed, *dirt)
 		if err := writeTable(*out, spec.ID, t); err != nil {
@@ -57,6 +75,27 @@ func main() {
 		fmt.Printf("%s: %d rows x %d cols, %d ground-truth deps, %d dirty cells\n",
 			spec.ID, t.NumRows(), t.NumCols(), len(truth.Deps), len(truth.Errors))
 	}
+}
+
+// writeChunked streams one spec straight to chunk snapshots: each chunk
+// is generated, written, and dropped before the next is drawn, so the
+// full table never exists in memory.
+func writeChunked(dir string, spec datagen.Spec, rows, chunkRows int, seed int64, dirt float64) error {
+	chunks := 0
+	truth, err := datagen.BuildChunked(spec, rows, chunkRows, seed, dirt,
+		func(idx int, chunk *relation.Table) error {
+			chunks++
+			return chunk.WriteSnapshotFile(filepath.Join(dir, fmt.Sprintf("%s.c%04d.pfdt", spec.ID, idx)))
+		})
+	if err != nil {
+		return err
+	}
+	if err := writeTruth(dir, spec.ID, truth); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d rows in %d chunk snapshots (%d rows/chunk), %d ground-truth deps, %d dirty cells\n",
+		spec.ID, rows, chunks, chunkRows, len(truth.Deps), len(truth.Errors))
+	return nil
 }
 
 func writeTable(dir, id string, t *relation.Table) error {

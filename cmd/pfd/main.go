@@ -39,7 +39,9 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"pfd"
 	"pfd/internal/datagen"
@@ -64,8 +66,14 @@ func main() {
 	coverage := fs.Float64("coverage", 0.10, "minimum coverage γ")
 	lhs := fs.Int("lhs", 1, "maximum LHS attributes")
 	noGen := fs.Bool("nogeneralize", false, "keep constant PFDs; skip generalization")
-	jsonOut := fs.Bool("json", false, "emit the detect report as JSON on stdout (same pfd.Report envelope as pfdstream -json)")
+	jsonOut := fs.Bool("json", false, "emit a JSON report on stdout (detect: the pfd.Report envelope; discover: the pfd-discover-report envelope with peak RSS and rows/s)")
 	verbose := fs.Bool("v", false, "report discovery progress per lattice level")
+	oocFlag := fs.Bool("ooc", false, "force out-of-core discovery (discover only; implied by -sample/-chunk-rows/-mem-limit/-spill)")
+	sample := fs.Int("sample", 0, "out-of-core: target sample rows mined in memory (0 = default 64Ki, negative disables)")
+	chunkRows := fs.Int("chunk-rows", 0, "out-of-core: rows per ingest chunk (0 = default 64Ki)")
+	memLimit := fs.String("mem-limit", "", "out-of-core: resident chunk-data budget, e.g. 64m or 2g (chunks beyond it spill to .pfdt files)")
+	spillDir := fs.String("spill", "", "out-of-core: directory for spilled chunk snapshots (default: fresh temp dir)")
+	sampleVerify := fs.Bool("sample-verify", false, "out-of-core: only verify candidates the sample surfaced (approximate, faster)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -78,14 +86,38 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	name := strings.TrimSuffix(filepath.Base(*in), filepath.Ext(*in))
-	// .pfdt snapshots (written by discover -save-table) load in one
-	// sequential read — no CSV parsing, no re-interning.
-	var src pfd.Source
-	if filepath.Ext(*in) == ".pfdt" {
-		src = pfd.FromSnapshotFile(name, *in)
-	} else {
-		src = pfd.FromCSVFile(name, *in)
+	src, err := openInput(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Out-of-core discovery: chunked ingest, dictionary merge,
+	// sample-then-verify — never materializes the input.
+	oocMode := *oocFlag || *sample != 0 || *chunkRows > 0 || *memLimit != "" || *spillDir != "" || *sampleVerify
+	if oocMode {
+		if cmd != "discover" {
+			fatal(fmt.Errorf("out-of-core flags apply to discover only"))
+		}
+		if *saveTable != "" {
+			fatal(fmt.Errorf("-save-table would materialize the input; incompatible with out-of-core discovery"))
+		}
+		limit, err := parseBytes(*memLimit)
+		if err != nil {
+			fatal(err)
+		}
+		params := pfd.Params{MinSupport: *k, Delta: *delta, MinCoverage: *coverage, MaxLHS: *lhs, DisableGeneralize: *noGen}
+		opts := []pfd.OOCOption{
+			pfd.WithOOCParams(params),
+			pfd.WithChunkRows(*chunkRows),
+			pfd.WithSampleRows(*sample),
+			pfd.WithMemLimit(limit),
+			pfd.WithSpillDir(*spillDir),
+		}
+		if *sampleVerify {
+			opts = append(opts, pfd.WithSampleVerify())
+		}
+		runDiscoverOOC(ctx, src, opts, *rulesPath, *jsonOut, *verbose)
+		return
 	}
 
 	// The rule artifact: discover always mines it; the other
@@ -125,24 +157,38 @@ func main() {
 					p.Level, p.MaxLevel, p.Candidates, p.Dependencies)
 			}))
 		}
+		start := time.Now()
 		disc, err := pfd.Discover(ctx, src, opts...)
 		if err != nil {
 			fatal(err)
 		}
 		table, rules = disc.Table(), disc.Ruleset()
 		if cmd == "discover" {
-			runDiscover(disc)
+			if *jsonOut {
+				emitDiscoverReport(discoverReport{
+					Name:         rules.Name,
+					Rows:         table.NumRows(),
+					Mode:         "in-memory",
+					Dependencies: reportDeps(disc.Dependencies()),
+				}, table.NumRows(), time.Since(start))
+			} else {
+				printDeps(disc.Dependencies())
+			}
+			notices := os.Stdout
+			if *jsonOut {
+				notices = os.Stderr
+			}
 			if *rulesPath != "" {
 				if err := rules.WriteFile(*rulesPath); err != nil {
 					fatal(err)
 				}
-				fmt.Printf("wrote %d rules -> %s\n", rules.Len(), *rulesPath)
+				fmt.Fprintf(notices, "wrote %d rules -> %s\n", rules.Len(), *rulesPath)
 			}
 			if *saveTable != "" {
 				if err := table.WriteSnapshotFile(*saveTable); err != nil {
 					fatal(err)
 				}
-				fmt.Printf("wrote %d-row table snapshot -> %s\n", table.NumRows(), *saveTable)
+				fmt.Fprintf(notices, "wrote %d-row table snapshot -> %s\n", table.NumRows(), *saveTable)
 			}
 			return
 		}
@@ -167,12 +213,174 @@ func main() {
 	}
 }
 
-func runDiscover(disc *pfd.Discovery) {
-	if len(disc.Dependencies()) == 0 {
+// openInput builds the input source: a CSV file, a .pfdt snapshot, or
+// — for out-of-core workloads — a comma-separated list or glob of
+// .pfdt chunk files forming one relation.
+func openInput(in string) (pfd.Source, error) {
+	var paths []string
+	if strings.Contains(in, ",") {
+		paths = strings.Split(in, ",")
+	} else if strings.ContainsAny(in, "*?[") {
+		matches, err := filepath.Glob(in)
+		if err != nil {
+			return nil, fmt.Errorf("bad -in pattern %q: %w", in, err)
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("-in pattern %q matches no files", in)
+		}
+		paths = matches
+	}
+	if paths != nil {
+		for _, p := range paths {
+			if filepath.Ext(p) != ".pfdt" {
+				return nil, fmt.Errorf("multi-file -in requires .pfdt chunks; got %q", p)
+			}
+		}
+		name := strings.TrimSuffix(filepath.Base(paths[0]), filepath.Ext(paths[0]))
+		// datagen chunk files are named <table>.c0000.pfdt; strip the
+		// chunk ordinal so the relation keeps the table's name.
+		if i := strings.LastIndex(name, ".c"); i > 0 {
+			name = name[:i]
+		}
+		return pfd.FromSnapshotFiles(name, paths...), nil
+	}
+	name := strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
+	// .pfdt snapshots (written by discover -save-table) load in one
+	// sequential read — no CSV parsing, no re-interning.
+	if filepath.Ext(in) == ".pfdt" {
+		return pfd.FromSnapshotFile(name, in), nil
+	}
+	return pfd.FromCSVFile(name, in), nil
+}
+
+// parseBytes parses a human byte size: plain bytes, or a k/m/g suffix
+// (optionally followed by "b" or "ib"), case-insensitive.
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	t := strings.ToLower(strings.TrimSpace(s))
+	t = strings.TrimSuffix(t, "ib")
+	t = strings.TrimSuffix(t, "b")
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "k"):
+		mult, t = 1<<10, strings.TrimSuffix(t, "k")
+	case strings.HasSuffix(t, "m"):
+		mult, t = 1<<20, strings.TrimSuffix(t, "m")
+	case strings.HasSuffix(t, "g"):
+		mult, t = 1<<30, strings.TrimSuffix(t, "g")
+	}
+	n, err := strconv.ParseInt(t, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad -mem-limit %q (want e.g. 67108864, 64m, 2g)", s)
+	}
+	return n * mult, nil
+}
+
+// discoverReport is the `pfd discover -json` envelope: the mined
+// dependencies plus run telemetry (peak RSS, rows/s, and — out of
+// core — chunking and spill volume).
+type discoverReport struct {
+	Format       string           `json:"format"`
+	Version      int              `json:"version"`
+	Name         string           `json:"name"`
+	Rows         int              `json:"rows"`
+	Mode         string           `json:"mode"`
+	Dependencies []discoverDep    `json:"dependencies"`
+	ElapsedMS    int64            `json:"elapsed_ms"`
+	RowsPerSec   float64          `json:"rows_per_sec"`
+	PeakRSSBytes int64            `json:"peak_rss_bytes"`
+	Chunks       int              `json:"chunks,omitempty"`
+	SpilledBytes int64            `json:"spilled_bytes,omitempty"`
+	SampleRows   int              `json:"sample_rows,omitempty"`
+	Health       []pfd.RuleHealth `json:"health,omitempty"`
+}
+
+type discoverDep struct {
+	Embedded    string  `json:"embedded"`
+	Variable    bool    `json:"variable"`
+	Support     int     `json:"support"`
+	Coverage    float64 `json:"coverage"`
+	TableauRows int     `json:"tableau_rows"`
+}
+
+func reportDeps(deps []*pfd.Dependency) []discoverDep {
+	out := make([]discoverDep, len(deps))
+	for i, d := range deps {
+		out[i] = discoverDep{
+			Embedded: d.Embedded(), Variable: d.Variable,
+			Support: d.Support, Coverage: d.Coverage,
+			TableauRows: len(d.PFD.Tableau),
+		}
+	}
+	return out
+}
+
+func emitDiscoverReport(rep discoverReport, rows int, elapsed time.Duration) {
+	rep.Format = "pfd-discover-report"
+	rep.Version = 1
+	rep.ElapsedMS = elapsed.Milliseconds()
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.RowsPerSec = float64(rows) / secs
+	}
+	rep.PeakRSSBytes = metrics.PeakRSSBytes()
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// runDiscoverOOC is the out-of-core discover path: chunked ingest with
+// spilling, sample-then-verify, and a confirm pass for rule health.
+func runDiscoverOOC(ctx context.Context, src pfd.Source, opts []pfd.OOCOption, rulesPath string, jsonOut, verbose bool) {
+	start := time.Now()
+	disc, err := pfd.DiscoverOutOfCore(ctx, src, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	st := disc.Stats()
+	if verbose {
+		fmt.Fprintf(os.Stderr, "pfd: %d rows in %d chunks (%d spilled, %d bytes); sample %d rows (stride %d); lattice %d candidates: %d bound-pruned, %d screened, %d evaluated in %d batches\n",
+			st.Rows, st.Chunks, st.SpilledChunks, st.SpilledBytes,
+			st.SampleRows, st.SampleStride,
+			st.Candidates, st.PrunedByBound, st.ScreenedOut, st.Evaluated, st.Batches)
+	}
+	if jsonOut {
+		emitDiscoverReport(discoverReport{
+			Name:         disc.Ruleset().Name,
+			Rows:         st.Rows,
+			Mode:         "out-of-core",
+			Dependencies: reportDeps(disc.Dependencies()),
+			Chunks:       st.Chunks,
+			SpilledBytes: st.SpilledBytes,
+			SampleRows:   st.SampleRows,
+			Health:       disc.Health(),
+		}, st.Rows, elapsed)
+	} else {
+		printDeps(disc.Dependencies())
+	}
+	if rulesPath != "" {
+		rules := disc.Ruleset()
+		if err := rules.WriteFile(rulesPath); err != nil {
+			fatal(err)
+		}
+		notices := os.Stdout
+		if jsonOut {
+			notices = os.Stderr
+		}
+		fmt.Fprintf(notices, "wrote %d rules -> %s\n", rules.Len(), rulesPath)
+	}
+}
+
+func printDeps(deps []*pfd.Dependency) {
+	if len(deps) == 0 {
 		fmt.Println("no dependencies found")
 		return
 	}
-	for d := range disc.All() {
+	for _, d := range deps {
 		kind := "constant"
 		if d.Variable {
 			kind = "variable"
@@ -299,7 +507,8 @@ func runScore(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset, truthPa
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  pfd discover -in data.csv [-rules r.pfd] [-save-table data.pfdt] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] [-nogeneralize] [-v]
+  pfd discover -in data.csv [-rules r.pfd] [-save-table data.pfdt] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] [-nogeneralize] [-json] [-v]
+  pfd discover -in 'chunks/*.pfdt' [-sample N] [-chunk-rows M] [-mem-limit 64m] [-spill DIR] [-sample-verify] [flags]
   pfd detect   -in data.csv [-rules r.pfd] [-json] [flags]
   pfd repair   -in data.csv -out fixed.csv [-rules r.pfd] [flags]
   pfd score    -in data.csv -truth data.truth.csv [-rules r.pfd] [flags]
@@ -307,7 +516,9 @@ func usage() {
 -rules is the shared artifact: discover writes it, the others load it
 instead of re-mining (the same file feeds pfdstream and pfdinfer).
 -in also accepts a .pfdt binary snapshot written by discover
--save-table, loaded in one sequential read instead of CSV parsing.`)
+-save-table (one sequential read instead of CSV parsing), and — for
+discover — a comma list or glob of .pfdt chunk files mined out of
+core under -mem-limit without ever materializing the relation.`)
 }
 
 func fatal(err error) {

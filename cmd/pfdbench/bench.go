@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -10,14 +11,16 @@ import (
 	"pfd/internal/benchutil"
 	"pfd/internal/datagen"
 	"pfd/internal/discovery"
+	"pfd/internal/ooc"
 	"pfd/internal/pattern"
 	"pfd/internal/pfd"
 	"pfd/internal/relation"
 	"pfd/internal/repair"
+	"pfd/internal/source"
 )
 
 // The bench experiment writes a machine-readable performance snapshot
-// (default BENCH_PR5.json, schema in internal/benchfmt) so successive
+// (default BENCH_PR8.json, schema in internal/benchfmt) so successive
 // PRs carry a perf trajectory: micro timings of the compiled-matcher
 // hot paths, streaming-engine throughput at 1/4/8 shards, and macro
 // timings of discovery/detection per dataset with the headline quality
@@ -98,6 +101,11 @@ func runBench(scale float64, seed int64, dirt float64, out string, microOnly boo
 	// stream, producers scaled with shards (the match phase runs in
 	// producer goroutines; the consensus state is shard-partitioned).
 	rep.Results = append(rep.Results, benchStream(scale, seed, dirt)...)
+
+	// Out-of-core discovery: the chunked path against in-memory
+	// discovery on the same T13 workload (the ≤1.5× acceptance ratio),
+	// plus sample-then-verify throughput.
+	rep.Results = append(rep.Results, benchOOC(scale, seed, dirt)...)
 
 	// Macro: full discovery per dataset with the headline quality
 	// metrics. Micro mode keeps only T13 — the heaviest workload and the
@@ -215,6 +223,73 @@ func benchStream(scale float64, seed int64, dirt float64) []benchfmt.Result {
 		out = append(out, r)
 	}
 	return out
+}
+
+// benchOOC times chunked out-of-core discovery on the T13 workload —
+// 8 chunks, a 10% sample, full verification, no confirm pass, so the
+// work compared is exactly what in-memory discovery does — and reports
+// ratio_vs_inmemory (the ≤1.5× acceptance bar). A second result rates
+// sample-then-verify throughput, where the sample screens the lattice
+// before the exact evaluation pass.
+func benchOOC(scale float64, seed int64, dirt float64) []benchfmt.Result {
+	spec, ok := datagen.SpecByID("T13")
+	if !ok {
+		panic("T13 spec missing")
+	}
+	rows := int(float64(spec.PaperRows) * scale)
+	if rows < 2000 {
+		rows = 2000
+	}
+	t, _ := spec.Build(rows, seed, dirt)
+	ctx := context.Background()
+	params := discovery.DefaultParams()
+
+	inmem := measure("discovery/InMemoryBaseline/T13", 200*time.Millisecond, func() {
+		discovery.Discover(t, params)
+	})
+
+	var res *ooc.Result
+	chunked := measure("discovery/OOC/T13", 200*time.Millisecond, func() {
+		var err error
+		res, err = ooc.Discover(ctx, source.FromTable(t), ooc.Options{
+			Params:      params,
+			ChunkRows:   (rows + 7) / 8,
+			SampleRows:  rows / 10,
+			SkipConfirm: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	chunked.Metrics = map[string]float64{
+		"rows":               float64(rows),
+		"chunks":             float64(res.Stats.Chunks),
+		"deps":               float64(len(res.Dependencies)),
+		"ratio_vs_inmemory":  chunked.NsPerOp / inmem.NsPerOp,
+		"peak_resident_byte": float64(res.Stats.PeakResident),
+	}
+
+	var sres *ooc.Result
+	sampled := measure("ooc/SampleVerify/T13", 200*time.Millisecond, func() {
+		var err error
+		sres, err = ooc.Discover(ctx, source.FromTable(t), ooc.Options{
+			Params:      params,
+			ChunkRows:   (rows + 7) / 8,
+			SampleRows:  rows / 4,
+			Verify:      ooc.VerifySample,
+			SkipConfirm: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	sampled.Metrics = map[string]float64{
+		"rows":         float64(rows),
+		"deps":         float64(len(sres.Dependencies)),
+		"screened_out": float64(sres.Stats.ScreenedOut),
+		"rows_per_sec": float64(rows) / (sampled.NsPerOp / 1e9),
+	}
+	return []benchfmt.Result{inmem, chunked, sampled}
 }
 
 // precisionRecall computes discovered-vs-truth precision and recall.

@@ -67,6 +67,16 @@ func run() error {
 		}
 		log.Printf("preloaded %d rules into tenant %s from %s", rs.Len(), cfg.Tenant, cfg.Rules)
 	}
+	if cfg.Ref != "" {
+		tbl, err := pfd.LoadSnapshotFile(cfg.Ref)
+		if err != nil {
+			return err
+		}
+		if err := srv.SetTenantRef(cfg.Tenant, tbl); err != nil {
+			return err
+		}
+		log.Printf("tenant %s: warmup reference %s (%d rows)", cfg.Tenant, cfg.Ref, tbl.NumRows())
+	}
 
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {

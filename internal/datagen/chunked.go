@@ -1,0 +1,46 @@
+package datagen
+
+import (
+	"errors"
+
+	"pfd/internal/relation"
+)
+
+// BuildChunked generates a spec's table as a sequence of bounded chunks
+// instead of one resident instance, calling emit for each chunk as soon
+// as it is built. Only one chunk is alive at a time, so arbitrarily
+// large row counts stream in constant memory — the producer side of the
+// out-of-core discovery path.
+//
+// Each chunk is an independent draw from the spec's generator with a
+// seed derived from the chunk index, which keeps any chunk reproducible
+// without generating its predecessors. The returned Truth covers the
+// concatenated table: the dependency set (identical for every chunk of
+// a spec) plus every seeded dirty cell with its row offset into the
+// combined row space.
+func BuildChunked(spec Spec, rows, chunkRows int, seed int64, dirt float64, emit func(idx int, chunk *relation.Table) error) (*Truth, error) {
+	if chunkRows <= 0 {
+		return nil, errors.New("datagen: chunkRows must be positive")
+	}
+	truth := &Truth{Errors: map[relation.Cell]string{}}
+	for start, idx := 0, 0; start < rows; start, idx = start+chunkRows, idx+1 {
+		n := chunkRows
+		if start+n > rows {
+			n = rows - start
+		}
+		// 7919 (the 1000th prime) spreads chunk seeds so adjacent chunks
+		// never share a generator stream.
+		chunk, tr := spec.Build(n, seed+int64(idx)*7919, dirt)
+		if idx == 0 {
+			truth.Deps = tr.Deps
+		}
+		for cell, orig := range tr.Errors {
+			cell.Row += start
+			truth.Errors[cell] = orig
+		}
+		if err := emit(idx, chunk); err != nil {
+			return nil, err
+		}
+	}
+	return truth, nil
+}

@@ -1,0 +1,44 @@
+package discovery
+
+import (
+	"context"
+
+	"pfd/internal/index"
+	"pfd/internal/lattice"
+	"pfd/internal/relation"
+)
+
+// Normalize fills zero parameter values with the defaults — the same
+// normalization DiscoverContext applies internally, exported so the
+// out-of-core driver works with the exact effective parameters.
+func (p Params) Normalize() Params { return p.normalize() }
+
+// EvalCandidates evaluates the given lattice candidates against t with
+// the identical machinery DiscoverContext uses: the inverted pattern
+// index is built over usableNames with the same options, and every
+// candidate runs through the same worker pool and decision function.
+// Candidate LHS/RHS are column indices into t.Cols.
+//
+// This is the exact-evaluation primitive of the out-of-core driver:
+// because index construction and column profiling are strictly
+// per-column, evaluating a candidate against a projection of the full
+// relation that keeps all rows (and the full-table profiles of the
+// projected columns) yields byte-identical dependencies to evaluating
+// it against the full table. Callers are responsible for passing
+// already-normalized params when byte-identity with a DiscoverContext
+// run matters (normalization is idempotent, so passing raw defaults is
+// still correct).
+func EvalCandidates(ctx context.Context, t *relation.Table, profiles []relation.ColumnProfile, usableNames []string, params Params, cands []lattice.Candidate) ([]*Dependency, error) {
+	params = params.normalize()
+	inv := index.Build(t, profiles, usableNames, index.Options{
+		MaxGram:      params.MaxGram,
+		MinIDs:       params.MinSupport,
+		DisablePrune: params.DisableSubstringPrune,
+	})
+	profByName := make(map[string]relation.ColumnProfile, len(profiles))
+	for _, p := range profiles {
+		profByName[p.Name] = p
+	}
+	shared := sharedState{t: t, inv: inv, params: params, profiles: profByName}
+	return evalCandidates(ctx, shared, cands)
+}

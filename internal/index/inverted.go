@@ -76,16 +76,14 @@ func Build(t *relation.Table, profiles []relation.ColumnProfile, cols []string, 
 	return inv
 }
 
-func buildAttr(t *relation.Table, col string, prof relation.ColumnProfile, opt Options) *Attribute {
-	ci := t.MustCol(col)
-	dict, counts, codes := t.Dict(ci), t.DictCounts(ci), t.Codes(ci)
-
-	// Partial-value extraction (tokenization / n-gram enumeration) runs
-	// once per distinct value; the per-row pass below only fans the
-	// precomputed keys out through the code vector. Within one value the
-	// extracted keys are pairwise distinct (token offsets differ, n-gram
-	// lengths differ, and the whole value is added only when no single
-	// token already equals it), so each row contributes each key once.
+// keysForDict extracts the partial-value keys of every live dictionary
+// entry, per the column's profile: tokens at separator boundaries plus
+// the whole value, or anchored prefix grams. Extraction runs once per
+// distinct value; within one value the keys are pairwise distinct
+// (token offsets differ, n-gram lengths differ, and the whole value is
+// added only when no single token already equals it), so each row
+// contributes each of its value's keys exactly once.
+func keysForDict(dict []string, counts []int, prof relation.ColumnProfile, opt Options) [][]Key {
 	keysByCode := make([][]Key, len(dict))
 	for code, v := range dict {
 		if v == "" || counts[code] == 0 {
@@ -121,6 +119,34 @@ func buildAttr(t *relation.Table, col string, prof relation.ColumnProfile, opt O
 		}
 		keysByCode[code] = keys
 	}
+	return keysByCode
+}
+
+// KeySupports computes the support histogram of one column from its
+// dictionary alone: for every partial-value key, the sum of the live
+// counts of the distinct values carrying it — exactly the supports the
+// index entries of Build would have, with no row data touched. The
+// out-of-core driver uses it to bound candidate coverage from the
+// merged global dictionary before deciding which candidates are worth
+// a chunk pass.
+func KeySupports(dict []string, counts []int, prof relation.ColumnProfile, opt Options) map[Key]int32 {
+	keysByCode := keysForDict(dict, counts, prof, opt)
+	support := make(map[Key]int32)
+	for code, keys := range keysByCode {
+		for _, k := range keys {
+			support[k] += int32(counts[code])
+		}
+	}
+	return support
+}
+
+func buildAttr(t *relation.Table, col string, prof relation.ColumnProfile, opt Options) *Attribute {
+	ci := t.MustCol(col)
+	dict, counts, codes := t.Dict(ci), t.DictCounts(ci), t.Codes(ci)
+
+	// Partial-value extraction runs once per distinct value; the per-row
+	// pass below only fans the precomputed keys out through the codes.
+	keysByCode := keysForDict(dict, counts, prof, opt)
 
 	// Support histogram over the dictionary, weighted by multiplicity: a
 	// key's support is the sum of the live counts of the distinct values

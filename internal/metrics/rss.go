@@ -1,0 +1,31 @@
+package metrics
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSBytes returns the process's peak resident set size (VmHWM
+// from /proc/self/status), or 0 where the proc filesystem is absent
+// (non-Linux) or unreadable. Callers treat 0 as "unknown", so the
+// graceful fallback needs no build tags.
+func PeakRSSBytes() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) >= 2 {
+			if kb, err := strconv.ParseInt(f[1], 10, 64); err == nil {
+				return kb * 1024
+			}
+		}
+		break
+	}
+	return 0
+}

@@ -1,0 +1,264 @@
+package ooc
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"os"
+	"path/filepath"
+
+	"pfd/internal/relation"
+	"pfd/internal/source"
+)
+
+// TableChunks is the columnar fast path a source can implement to hand
+// the driver pre-chunked tables (e.g. one per .pfdt file) instead of a
+// tuple stream. Chunk boundaries are then the source's.
+type TableChunks interface {
+	Chunks(ctx context.Context) iter.Seq2[*relation.Table, error]
+}
+
+// chunkRef is one ingested chunk: resident as a table, or spilled to a
+// .pfdt snapshot. The remap vectors (chunk code -> global code, per
+// column) always stay resident — they are small and append-only global
+// dictionaries keep them valid forever.
+type chunkRef struct {
+	table  *relation.Table // nil when spilled
+	path   string          // spill file when spilled
+	rows   int
+	remaps [][]uint32
+	bytes  int64 // estimated resident footprint
+}
+
+// chunkSet owns the ingested chunks and enforces the resident-bytes
+// budget by spilling the oldest resident chunk first.
+type chunkSet struct {
+	limit    int64  // resident-bytes budget; 0 = unlimited
+	spillDir string // configured spill location ("" = fresh temp dir)
+	scratch  string // directory we created and must remove
+	chunks   []*chunkRef
+	resident int64
+	stats    *Stats
+}
+
+func newChunkSet(limit int64, spillDir string, stats *Stats) *chunkSet {
+	return &chunkSet{limit: limit, spillDir: spillDir, stats: stats}
+}
+
+// add takes ownership of t (which must not be mutated afterwards) and
+// spills older chunks if the resident budget is exceeded.
+func (cs *chunkSet) add(t *relation.Table, remaps [][]uint32) error {
+	ref := &chunkRef{table: t, rows: t.NumRows(), remaps: remaps, bytes: estimateTableBytes(t)}
+	cs.chunks = append(cs.chunks, ref)
+	cs.resident += ref.bytes
+	if cs.resident > cs.stats.PeakResident {
+		cs.stats.PeakResident = cs.resident
+	}
+	if cs.limit > 0 && cs.resident > cs.limit {
+		for _, old := range cs.chunks {
+			if cs.resident <= cs.limit {
+				break
+			}
+			if old.table == nil {
+				continue
+			}
+			if err := cs.spill(old); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// spill writes ref's table to a .pfdt snapshot and drops it.
+func (cs *chunkSet) spill(ref *chunkRef) error {
+	if cs.scratch == "" {
+		dir := cs.spillDir
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "pfd-ooc-*"); err != nil {
+				return fmt.Errorf("ooc: create spill dir: %w", err)
+			}
+		} else if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("ooc: create spill dir: %w", err)
+		}
+		cs.scratch = dir
+	}
+	path := filepath.Join(cs.scratch, fmt.Sprintf("chunk%06d.pfdt", cs.stats.SpilledChunks))
+	if err := ref.table.WriteSnapshotFile(path); err != nil {
+		return fmt.Errorf("ooc: spill chunk: %w", err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		cs.stats.SpilledBytes += fi.Size()
+	}
+	cs.stats.SpilledChunks++
+	ref.path = path
+	ref.table = nil
+	cs.resident -= ref.bytes
+	return nil
+}
+
+// load returns ref's table, reading the spill file when needed. The
+// caller must not mutate it and must not hold it past the enclosing
+// chunk iteration (spilled chunks are not cached back).
+func (cs *chunkSet) load(ref *chunkRef) (*relation.Table, error) {
+	if ref.table != nil {
+		return ref.table, nil
+	}
+	t, err := relation.LoadSnapshotFile(ref.path)
+	if err != nil {
+		return nil, fmt.Errorf("ooc: reload spilled chunk: %w", err)
+	}
+	return t, nil
+}
+
+// cleanup removes the spill scratch directory, if any.
+func (cs *chunkSet) cleanup() {
+	if cs.scratch != "" {
+		os.RemoveAll(cs.scratch)
+	}
+}
+
+// estimateTableBytes approximates a chunk's resident footprint: codes
+// (4 bytes/row/col), dictionary strings with header overhead, and
+// counts.
+func estimateTableBytes(t *relation.Table) int64 {
+	var b int64
+	for c := range t.Cols {
+		b += 4 * int64(t.NumRows())
+		for _, v := range t.Dict(c) {
+			b += int64(len(v)) + 16
+		}
+		b += 8 * int64(len(t.Dict(c)))
+	}
+	return b
+}
+
+// ingest drains src into chunks, feeding every chunk through the
+// dictionary merger and every row past the sampler. Three paths, in
+// preference order: a TableChunks source defines its own chunk
+// boundaries; a TableReader is materialized once and sliced; a plain
+// tuple stream is packed into fresh chunks of opt.ChunkRows rows with
+// source.Materialize's tuple-to-row semantics.
+func ingest(ctx context.Context, src source.Source, opt Options, m *DictMerger, smp *sampler, cs *chunkSet) error {
+	consume := func(t *relation.Table) error {
+		base := m.Rows()
+		remaps, err := m.Merge(t)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < t.NumRows(); r++ {
+			smp.add(int64(base+r), t, r)
+		}
+		cs.stats.Chunks++
+		return cs.add(t, remaps)
+	}
+
+	if ch, ok := src.(TableChunks); ok {
+		for t, err := range ch.Chunks(ctx) {
+			if err != nil {
+				return err
+			}
+			if t.NumRows() == 0 {
+				// Merge fixes the column set even from an empty chunk.
+				if _, err := m.Merge(t); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := consume(t); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
+	}
+
+	if _, ok := src.(source.TableReader); ok {
+		t, err := source.Materialize(ctx, src)
+		if err != nil {
+			return err
+		}
+		return sliceTable(ctx, t, opt.ChunkRows, m, consume)
+	}
+
+	cols := src.Columns()
+	if len(cols) == 0 {
+		// Columns unknown until the stream ends; fall back to a full
+		// materialization (such sources are in-memory anyway).
+		t, err := source.Materialize(ctx, src)
+		if err != nil {
+			return err
+		}
+		return sliceTable(ctx, t, opt.ChunkRows, m, consume)
+	}
+
+	cur := relation.New(src.Name(), cols...)
+	row := make([]string, len(cols))
+	n := 0
+	for tuple, err := range src.Tuples(ctx) {
+		if err != nil {
+			return err
+		}
+		for i, c := range cols {
+			row[i] = tuple[c]
+		}
+		cur.Append(row...)
+		n++
+		if cur.NumRows() >= opt.ChunkRows {
+			if err := consume(cur); err != nil {
+				return err
+			}
+			cur = relation.New(src.Name(), cols...)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if cur.NumRows() > 0 || n == 0 {
+		if cur.NumRows() == 0 {
+			_, err := m.Merge(cur)
+			return err
+		}
+		return consume(cur)
+	}
+	return nil
+}
+
+// sliceTable re-chunks a materialized table without re-interning a
+// single string: every slice shares the parent's dictionaries and
+// subslices its code vectors. The merger then sees the parent
+// dictionary from the first chunk on — which IS the monolithic
+// first-appearance order of the concatenated rows — so every remap is
+// the identity and the global dictionary is byte-identical to the one
+// chunk-local interning would converge to.
+func sliceTable(ctx context.Context, t *relation.Table, chunkRows int, m *DictMerger, consume func(*relation.Table) error) error {
+	if t.NumRows() == 0 {
+		_, err := m.Merge(t)
+		return err
+	}
+	dicts := make([][]string, len(t.Cols))
+	for c := range t.Cols {
+		dicts[c] = t.Dict(c)
+	}
+	for start := 0; start < t.NumRows(); start += chunkRows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := start + chunkRows
+		if end > t.NumRows() {
+			end = t.NumRows()
+		}
+		codes := make([][]uint32, len(t.Cols))
+		for c := range t.Cols {
+			codes[c] = t.Codes(c)[start:end:end]
+		}
+		sub, err := relation.NewFromColumns(t.Name, t.Cols, dicts, codes)
+		if err != nil {
+			return err
+		}
+		if err := consume(sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package ooc
+
+import (
+	"bytes"
+	"testing"
+
+	"pfd/internal/relation"
+)
+
+// mergeChunks runs chunks through a merger and returns it with every
+// chunk's remaps.
+func mergeChunks(t *testing.T, chunks []*relation.Table) (*DictMerger, [][][]uint32) {
+	t.Helper()
+	m := NewDictMerger()
+	var remaps [][][]uint32
+	for _, c := range chunks {
+		rm, err := m.Merge(c)
+		if err != nil {
+			t.Fatalf("Merge: %v", err)
+		}
+		remaps = append(remaps, rm)
+	}
+	return m, remaps
+}
+
+// checkAgainstMonolithic asserts the three merge invariants against a
+// monolithic interning of the same rows: identical dictionaries
+// (first-appearance order), identical counts, and remap round-trips.
+func checkAgainstMonolithic(t *testing.T, mono *relation.Table, chunks []*relation.Table, m *DictMerger, remaps [][][]uint32) {
+	t.Helper()
+	for c := range mono.Cols {
+		wantDict := mono.Dict(c)
+		gotDict := m.Dict(c)
+		if len(wantDict) != len(gotDict) {
+			t.Fatalf("col %d: merged dict has %d entries, monolithic %d", c, len(gotDict), len(wantDict))
+		}
+		for i := range wantDict {
+			if wantDict[i] != gotDict[i] {
+				t.Fatalf("col %d code %d: merged dict %q, monolithic %q", c, i, gotDict[i], wantDict[i])
+			}
+		}
+		wantCounts := mono.DictCounts(c)
+		gotCounts := m.Counts(c)
+		for i := range wantCounts {
+			if wantCounts[i] != gotCounts[i] {
+				t.Fatalf("col %d code %d (%q): merged count %d, monolithic %d", c, i, wantDict[i], gotCounts[i], wantCounts[i])
+			}
+		}
+		for ci, chunk := range chunks {
+			dict := chunk.Dict(c)
+			remap := remaps[ci][c]
+			for code, v := range dict {
+				if g := remap[code]; m.Dict(c)[g] != v {
+					t.Fatalf("chunk %d col %d: remap sends %q to global code %d = %q", ci, c, v, g, m.Dict(c)[g])
+				}
+			}
+		}
+	}
+}
+
+func TestDictMergerMatchesMonolithic(t *testing.T) {
+	// Values spanning the edge cases: shared across chunks, present in
+	// exactly one chunk, empty strings, and invalid UTF-8.
+	rows := [][]string{
+		{"alpha", "x"},
+		{"beta", "y"},
+		{"alpha", "x"},
+		{"only-chunk-one", "y"},
+		{"", "x"},
+		{"beta", "\xff\xfe-bad-utf8"},
+		{"gamma", "x"},
+		{"alpha", "only-chunk-two"},
+		{"\xff\xfe-bad-utf8", "y"},
+		{"gamma", ""},
+	}
+	mono := relation.New("m", "a", "b")
+	for _, r := range rows {
+		mono.Append(r...)
+	}
+	var chunks []*relation.Table
+	for start := 0; start < len(rows); start += 4 {
+		end := min(start+4, len(rows))
+		c := relation.New("m", "a", "b")
+		for _, r := range rows[start:end] {
+			c.Append(r...)
+		}
+		chunks = append(chunks, c)
+	}
+	m, remaps := mergeChunks(t, chunks)
+	checkAgainstMonolithic(t, mono, chunks, m, remaps)
+	if m.Rows() != len(rows) {
+		t.Fatalf("Rows() = %d, want %d", m.Rows(), len(rows))
+	}
+}
+
+func TestDictMergerRetiredEntries(t *testing.T) {
+	// A Set that replaces a value's last occurrence retires its
+	// dictionary entry (count drops to zero). The merger must still
+	// intern it in code order — skipping it would shift every later
+	// chunk code — and profile it as absent via the zero count.
+	chunk := relation.New("m", "a")
+	chunk.Append("doomed")
+	chunk.Append("keeper")
+	chunk.SetAt(0, 0, "replacement")
+	if got := chunk.DictCounts(0)[0]; got != 0 {
+		t.Fatalf("precondition: expected retired entry, count %d", got)
+	}
+
+	m := NewDictMerger()
+	remap, err := m.Merge(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict, counts := m.Dict(0), m.Counts(0)
+	if len(dict) != 3 || dict[0] != "doomed" {
+		t.Fatalf("retired entry not interned in code order: dict %q", dict)
+	}
+	if counts[0] != 0 {
+		t.Fatalf("retired entry count = %d, want 0", counts[0])
+	}
+	for code, v := range chunk.Dict(0) {
+		if dict[remap[0][code]] != v {
+			t.Fatalf("remap broken for %q", v)
+		}
+	}
+
+	// A later chunk revives the value: counts accumulate on the same
+	// global code.
+	chunk2 := relation.New("m", "a")
+	chunk2.Append("doomed")
+	if _, err := m.Merge(chunk2); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counts(0)[0] != 1 {
+		t.Fatalf("revived count = %d, want 1", m.Counts(0)[0])
+	}
+}
+
+func TestDictMergerColumnMismatch(t *testing.T) {
+	m := NewDictMerger()
+	a := relation.New("m", "a", "b")
+	a.Append("1", "2")
+	if _, err := m.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	b := relation.New("m", "b", "a")
+	b.Append("1", "2")
+	if _, err := m.Merge(b); err == nil {
+		t.Fatal("column order mismatch not rejected")
+	}
+}
+
+// FuzzDictMerge splits fuzz input into values, packs them into two
+// 2-column chunks split at an arbitrary point, and checks the merge
+// invariants against monolithic interning of the same rows.
+func FuzzDictMerge(f *testing.F) {
+	f.Add([]byte("alpha,beta,alpha,,gamma,beta"), uint8(2))
+	f.Add([]byte("x"), uint8(0))
+	f.Add([]byte("\xff\xfe,\xff,\xfe\xff,\xff\xfe"), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, splitAt uint8) {
+		vals := bytes.Split(data, []byte{','})
+		// Two columns: even-indexed values feed column a, odd column b,
+		// padded so every row is complete.
+		var rows [][]string
+		for i := 0; i+1 < len(vals); i += 2 {
+			rows = append(rows, []string{string(vals[i]), string(vals[i+1])})
+		}
+		if len(rows) == 0 {
+			return
+		}
+		split := int(splitAt) % (len(rows) + 1)
+		mono := relation.New("f", "a", "b")
+		for _, r := range rows {
+			mono.Append(r...)
+		}
+		var chunks []*relation.Table
+		for _, part := range [][][]string{rows[:split], rows[split:]} {
+			c := relation.New("f", "a", "b")
+			for _, r := range part {
+				c.Append(r...)
+			}
+			chunks = append(chunks, c)
+		}
+		m, remaps := mergeChunks(t, chunks)
+		checkAgainstMonolithic(t, mono, chunks, m, remaps)
+	})
+}

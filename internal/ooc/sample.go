@@ -1,0 +1,52 @@
+package ooc
+
+import "pfd/internal/relation"
+
+// sampler keeps a deterministic systematic sample of the input rows:
+// the rows whose global index is a multiple of a stride that doubles
+// whenever the buffer reaches twice the target. The kept set depends
+// only on the row sequence and the target — not on chunk boundaries,
+// timing, or any RNG — so a given input always yields the same sample
+// and sample-mined candidate sets are reproducible.
+type sampler struct {
+	target int
+	stride int64
+	idxs   []int64
+	rows   [][]string
+}
+
+func newSampler(target int) *sampler {
+	return &sampler{target: target, stride: 1}
+}
+
+// add offers row r of chunk t, which is global row idx. The row is
+// materialized only when the stride keeps it.
+func (s *sampler) add(idx int64, t *relation.Table, r int) {
+	if s.target <= 0 || idx%s.stride != 0 {
+		return
+	}
+	s.idxs = append(s.idxs, idx)
+	s.rows = append(s.rows, t.AppendRowTo(make([]string, 0, len(t.Cols)), r))
+	if len(s.rows) >= 2*s.target {
+		s.stride *= 2
+		keep := 0
+		for i, ix := range s.idxs {
+			if ix%s.stride == 0 {
+				s.idxs[keep] = ix
+				s.rows[keep] = s.rows[i]
+				keep++
+			}
+		}
+		s.idxs = s.idxs[:keep]
+		s.rows = s.rows[:keep]
+	}
+}
+
+// table materializes the sample as a relation for in-memory mining.
+func (s *sampler) table(name string, cols []string) *relation.Table {
+	t := relation.New(name, cols...)
+	for _, row := range s.rows {
+		t.Append(row...)
+	}
+	return t
+}

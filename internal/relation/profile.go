@@ -135,6 +135,15 @@ func profileWeighted(name string, values []string, weights []int) ColumnProfile 
 	return p
 }
 
+// ProfileValues profiles a column given its distinct values and their
+// live multiplicities — the dictionary-level entry point. A merged
+// global dictionary plus exact counts yields the identical profile the
+// row scan would have computed, which is what lets the out-of-core
+// driver profile a 100M-row column without holding any rows.
+func ProfileValues(name string, values []string, weights []int) ColumnProfile {
+	return profileWeighted(name, values, weights)
+}
+
 // ProfileTable profiles every column of t, reading each column's
 // dictionary directly: per-value work (rune scans, numeric checks) runs
 // once per distinct value instead of once per row.

@@ -258,6 +258,56 @@ func (t *Table) Clone() *Table {
 	return c
 }
 
+// NewFromColumns assembles a table directly from dictionary-encoded
+// columns: per column a dictionary (code -> value, append-order) and a
+// per-row code vector. It is the constructor for tables whose columnar
+// representation already exists — the out-of-core driver stitches
+// projected tables together from a merged global dictionary plus
+// remapped chunk code vectors without ever re-interning a string.
+//
+// The dict and codes slices are adopted, not copied: the caller must
+// not mutate them afterwards, and the table must be treated as
+// read-only (Append/Set would alias the caller's dictionary). Counts
+// are rebuilt from the codes; the value→code lookup is left nil and
+// rebuilt lazily like a snapshot load. Codes are bounds-checked
+// against their dictionary so a bad remap surfaces here, not as a
+// panic deep inside a kernel.
+func NewFromColumns(name string, cols []string, dicts [][]string, codes [][]uint32) (*Table, error) {
+	if len(cols) != len(dicts) || len(cols) != len(codes) {
+		return nil, fmt.Errorf("relation: NewFromColumns %q: %d columns, %d dicts, %d code vectors",
+			name, len(cols), len(dicts), len(codes))
+	}
+	nrows := 0
+	if len(codes) > 0 {
+		nrows = len(codes[0])
+	}
+	t := &Table{Name: name, Cols: append([]string(nil), cols...)}
+	t.cols = make([]column, len(cols))
+	for i := range cols {
+		if len(codes[i]) != nrows {
+			return nil, fmt.Errorf("relation: NewFromColumns %q: column %q has %d rows, column %q has %d",
+				name, cols[i], len(codes[i]), cols[0], nrows)
+		}
+		counts := make([]int, len(dicts[i]))
+		for r, code := range codes[i] {
+			if int(code) >= len(dicts[i]) {
+				return nil, fmt.Errorf("relation: NewFromColumns %q: column %q row %d: code %d out of range (dict has %d)",
+					name, cols[i], r, code, len(dicts[i]))
+			}
+			counts[code]++
+		}
+		t.cols[i] = column{
+			dict:   dicts[i],
+			counts: counts,
+			codes:  codes[i],
+			id:     nextColID.Add(1),
+		}
+	}
+	t.nrows = nrows
+	t.reindex()
+	return t, nil
+}
+
 // Project returns a new table containing only the given columns, in
 // order.
 func (t *Table) Project(cols ...string) *Table {

@@ -30,6 +30,11 @@ type Config struct {
 	Rules string
 	// Tenant names the tenant -rules preloads into (flag -tenant).
 	Tenant string
+	// Ref optionally names a .pfdt table snapshot replayed into every
+	// new engine generation of tenant Tenant before it goes live, so
+	// idle eviction or a restart does not lose group consensus (flag
+	// -ref; same snapshot format `pfd discover -save-table` writes).
+	Ref string
 	// Shards is the per-tenant engine shard count (flag -shards;
 	// 0 = GOMAXPROCS, as in pfdstream).
 	Shards int
@@ -83,6 +88,7 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.Addr, "addr", c.Addr, "listen address ($"+EnvVar("addr")+")")
 	fs.StringVar(&c.Rules, "rules", c.Rules, "ruleset artifact to preload into -tenant at boot ($"+EnvVar("rules")+")")
 	fs.StringVar(&c.Tenant, "tenant", c.Tenant, "tenant the -rules artifact preloads into ($"+EnvVar("tenant")+")")
+	fs.StringVar(&c.Ref, "ref", c.Ref, ".pfdt warmup snapshot replayed into -tenant's engine generations ($"+EnvVar("ref")+")")
 	fs.IntVar(&c.Shards, "shards", c.Shards, "state shards per tenant engine, 0 = GOMAXPROCS ($"+EnvVar("shards")+")")
 	fs.IntVar(&c.Batch, "batch", c.Batch, "updates per shard batch, 0 = engine default ($"+EnvVar("batch")+")")
 	fs.DurationVar(&c.Flush, "flush", c.Flush, "max latency of a partial batch, 0 = engine default ($"+EnvVar("flush")+")")
@@ -131,6 +137,7 @@ func (c *Config) ApplyEnv(lookup func(string) (string, bool)) error {
 		str("addr", &c.Addr),
 		str("rules", &c.Rules),
 		str("tenant", &c.Tenant),
+		str("ref", &c.Ref),
 		num("shards", &c.Shards),
 		num("batch", &c.Batch),
 		dur("flush", &c.Flush),

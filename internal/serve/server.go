@@ -115,6 +115,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/ruleset", s.handleRulesetGet)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/tuples", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/health", s.handleRuleHealth)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/violations", s.handleViolations)
 	s.mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.handleTenantDelete)
 }
@@ -203,6 +204,25 @@ func (s *Server) LoadTenant(name string, rs *pfd.Ruleset) error {
 		return err
 	}
 	t.setRuleset(rs)
+	return nil
+}
+
+// SetTenantRef installs a warmup reference table for a tenant: every
+// new engine generation replays it before going live, so idle eviction
+// or a restart does not lose group consensus. The boot-time -ref
+// preload and the test seam; applies from the next generation.
+func (s *Server) SetTenantRef(name string, ref *pfd.Table) error {
+	if s.Draining() {
+		return errors.New("serve: draining")
+	}
+	t, err := s.tenant(name, true)
+	if err != nil {
+		return err
+	}
+	t.setRef(ref)
+	if ref != nil {
+		s.cfg.logf("tenant %s: warmup reference set (%d rows)", name, ref.NumRows())
+	}
 	return nil
 }
 
@@ -457,6 +477,35 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	// The report endpoint is the consistent read: it places a snapshot
 	// barrier, so every tuple accepted before this request is counted.
 	writeJSON(w, http.StatusOK, t.report(true, 0))
+}
+
+// handleRuleHealth serves the per-rule maintenance counters: support
+// and violations accumulated across engine generations, confidence,
+// and whether the rule still clears its δ-allowance (demoted rules
+// stay listed — the counters explain why they fell).
+func (s *Server) handleRuleHealth(w http.ResponseWriter, r *http.Request) {
+	t, _ := s.tenant(r.PathValue("tenant"), false)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	health := t.health()
+	if health == nil {
+		writeError(w, http.StatusNotFound, "tenant has no ruleset")
+		return
+	}
+	active := 0
+	for _, h := range health {
+		if h.Active {
+			active++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": t.name,
+		"rows":   t.rows(),
+		"active": active,
+		"rules":  health,
+	})
 }
 
 func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {

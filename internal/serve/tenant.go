@@ -35,6 +35,17 @@ type tenant struct {
 	rules    *pfd.Ruleset
 	eng      *pfd.StreamEngine
 	engStart time.Time
+	// ref, when set, is a trusted reference table replayed into every
+	// new engine generation before it goes live, so idle eviction or a
+	// restart does not lose group consensus. genWarm is the live
+	// generation's warm-row count; warm rows are excluded from every
+	// row total the tenant reports.
+	ref     *pfd.Table
+	genWarm int
+	// maint tracks per-rule health counters across generations: live
+	// violations fold in as they fire and batches advance support, so
+	// rules demote without re-mining. Replaced with the ruleset.
+	maint *pfd.Maintainer
 
 	// rowBase is the row total of closed engine generations. Written
 	// under mu (write-locked); read atomically so draining-state
@@ -73,12 +84,38 @@ func (t *tenant) setRuleset(rs *pfd.Ruleset) (replaced bool) {
 	defer t.mu.Unlock()
 	replaced = t.rules != nil
 	t.rules = rs
+	params := pfd.DefaultParams()
+	if rs.Provenance != nil && rs.Provenance.Params != nil {
+		params = *rs.Provenance.Params
+	}
+	t.maint = pfd.NewMaintainer(rs.PFDs, params)
 	t.closeEngineLocked()
 	if replaced {
 		t.reloads.Add(1)
 	}
 	t.touch()
 	return replaced
+}
+
+// setRef installs (or clears) the warmup reference. It applies to the
+// next engine generation: a running generation already carries its
+// consensus and is left alone.
+func (t *tenant) setRef(ref *pfd.Table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ref = ref
+}
+
+// health snapshots the per-rule maintenance counters (nil when no
+// ruleset has been loaded).
+func (t *tenant) health() []pfd.RuleHealth {
+	t.mu.RLock()
+	m := t.maint
+	t.mu.RUnlock()
+	if m == nil {
+		return nil
+	}
+	return m.Health()
 }
 
 // ruleset returns the current rules (nil when none loaded).
@@ -89,38 +126,58 @@ func (t *tenant) ruleset() *pfd.Ruleset {
 }
 
 // closeEngineLocked drains the current engine generation and folds its
-// row count into rowBase. Violations need no folding — the handler
-// counted them as they fired, and Close's drain delivers any still
-// queued before returning. Caller holds mu for write.
+// row count — minus the generation's warm-replay rows, which are
+// reference data, not ingest — into rowBase. Violations need no
+// folding: the handler counted them as they fired, and Close's drain
+// delivers any still queued before returning. Caller holds mu for
+// write.
 func (t *tenant) closeEngineLocked() {
 	if t.eng == nil {
 		return
 	}
 	t.genDraining.Store(true)
 	rep := t.eng.Close()
-	t.rowBase.Add(int64(rep.Rows))
+	t.rowBase.Add(int64(rep.Rows - t.genWarm))
+	t.genWarm = 0
 	t.eng = nil
 	t.genDraining.Store(false)
 }
 
 // startEngineLocked begins a new engine generation over the current
-// rules. Caller holds mu for write and has checked t.rules != nil.
+// rules, replaying the warmup reference (when one is set) before the
+// generation goes live. Caller holds mu for write and has checked
+// t.rules != nil.
 func (t *tenant) startEngineLocked() {
 	// Findings carry globally monotone row numbers across generations:
 	// the handler shifts each engine-local row up by the generation's
-	// base. FindingOf subtracts its offset, hence the negation.
+	// base (minus the warm-replay rows sitting below the first live
+	// tuple). FindingOf subtracts its offset, hence the negation.
 	base := int(t.rowBase.Load())
+	maint := t.maint
+	// Warm-replay suppression mirrors pfd.Validate's WithWarmup: the
+	// reference is trusted, its violations are delta-tolerated dirt,
+	// not live findings — and they must not charge the maintainer.
+	// warm is published before live flips, so handlers that observe
+	// live==true see the final offset.
+	var live atomic.Bool
+	var warm atomic.Int64
 	opts := []pfd.StreamOption{
 		// Long-lived engines must not retain violations: the service
 		// consumes them through the handler into bounded state.
 		pfd.WithoutViolationLog(),
 		pfd.WithViolationHandler(func(v pfd.StreamViolation) {
+			if !live.Load() {
+				return
+			}
 			if !v.NewTuple {
 				t.retroSignals.Add(1)
 				return
 			}
 			t.liveViolations.Add(1)
-			t.push(pfd.FindingOf(v, -base))
+			if maint != nil {
+				maint.ObserveViolation(v.PFD)
+			}
+			t.push(pfd.FindingOf(v, int(warm.Load())-base))
 		}),
 	}
 	if t.cfg.Shards > 0 {
@@ -133,8 +190,26 @@ func (t *tenant) startEngineLocked() {
 		opts = append(opts, pfd.WithFlushInterval(t.cfg.Flush))
 	}
 	t.eng = pfd.NewStreamEngineContext(t.base, t.rules.PFDs, opts...)
+	t.genWarm = 0
+	if t.ref != nil {
+		if err := t.eng.SubmitTable(t.ref); err != nil {
+			// A failed replay (hard abort mid-submit) leaves the engine
+			// live without consensus — degraded, not broken.
+			t.cfg.logf("tenant %s: warmup replay failed: %v", t.name, err)
+		} else {
+			t.eng.Snapshot() // barrier: drain warm batches before going live
+			t.genWarm = t.ref.NumRows()
+			warm.Store(int64(t.genWarm))
+		}
+	}
+	live.Store(true)
 	t.engStart = time.Now()
-	t.cfg.logf("tenant %s: engine started (%d rules, %d shards)", t.name, len(t.rules.PFDs), t.eng.Shards())
+	if t.genWarm > 0 {
+		t.cfg.logf("tenant %s: engine started (%d rules, %d shards, warmed with %d reference rows)",
+			t.name, len(t.rules.PFDs), t.eng.Shards(), t.genWarm)
+	} else {
+		t.cfg.logf("tenant %s: engine started (%d rules, %d shards)", t.name, len(t.rules.PFDs), t.eng.Shards())
+	}
 }
 
 // acquire returns the live engine with the generation lock read-held,
@@ -180,14 +255,21 @@ func (t *tenant) ingest(ctx context.Context, src pfd.Source) (accepted int, err 
 	defer t.touch()
 	for tuple, terr := range src.Tuples(ctx) {
 		if terr != nil {
-			return accepted, terr
+			err = terr
+			break
 		}
 		if serr := eng.Submit(tuple); serr != nil {
-			return accepted, serr
+			err = serr
+			break
 		}
 		accepted++
 	}
-	return accepted, nil
+	// Advance the maintainer's evidence base by what was accepted —
+	// reading t.maint is safe here, the generation lock is read-held.
+	if accepted > 0 && t.maint != nil {
+		t.maint.ObserveRows(accepted)
+	}
+	return accepted, err
 }
 
 // drain closes the running engine generation, keeping the ruleset and
@@ -219,7 +301,7 @@ func (t *tenant) rows() int64 {
 	defer t.mu.RUnlock()
 	n := t.rowBase.Load()
 	if t.eng != nil {
-		n += int64(t.eng.Rows())
+		n += int64(t.eng.Rows() - t.genWarm)
 	}
 	return n
 }
@@ -277,6 +359,7 @@ func (t *tenant) report(barrier bool, limit int) *pfd.Report {
 		} else {
 			engineRows = t.eng.Rows()
 		}
+		engineRows -= t.genWarm // warm-replay rows are reference, not ingest
 		rows += int64(engineRows)
 		elapsed = time.Since(t.engStart)
 		r.Shards = t.eng.Shards()
@@ -284,7 +367,7 @@ func (t *tenant) report(barrier bool, limit int) *pfd.Report {
 	t.mu.RUnlock()
 
 	r.Rows = int(rows)
-	r.LiveRows = int(rows) // the service has no warmup phase
+	r.LiveRows = int(rows) // warm-replay rows are already excluded
 	r.LiveViolations = int(t.liveViolations.Load())
 	r.RetroSignals = t.retroSignals.Load()
 	if elapsed > 0 {
@@ -341,10 +424,10 @@ func (t *tenant) status() tenantStatus {
 		return st
 	}
 	st.State = t.eng.State().String()
-	st.Rows += int64(t.eng.Rows())
+	st.Rows += int64(t.eng.Rows() - t.genWarm)
 	st.BacklogBatches, st.BacklogBuffer = t.eng.Backlog()
 	if el := time.Since(t.engStart); el > 0 {
-		st.TuplesPerSec = float64(t.eng.Rows()) / el.Seconds()
+		st.TuplesPerSec = float64(t.eng.Rows()-t.genWarm) / el.Seconds()
 	}
 	return st
 }

@@ -1,0 +1,139 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"pfd/internal/relation"
+)
+
+// SnapshotChunksSource reads an ordered list of .pfdt chunk files as
+// one logical relation — the workload format cmd/datagen -chunk-rows
+// streams out and the out-of-core discovery driver mines. Row order is
+// file order then row order within each file.
+//
+// Unlike SnapshotSource it never holds more than one chunk in memory:
+// each file is loaded, drained, and dropped. The Chunks iterator is
+// the columnar fast path (one *relation.Table per file, dictionaries
+// and codes intact); Tuples is the generic per-record view every other
+// consumer uses. Chunks after the first must carry the same columns in
+// the same order — a mismatch surfaces as a *ParseError naming the
+// offending file.
+type SnapshotChunksSource struct {
+	name  string
+	paths []string
+	cols  []string // cached from the first chunk header
+}
+
+// SnapshotChunks names an ordered list of .pfdt chunk files forming
+// one relation. name is the relation name ("" adopts the first
+// chunk's stored name).
+func SnapshotChunks(name string, paths ...string) *SnapshotChunksSource {
+	return &SnapshotChunksSource{name: name, paths: append([]string(nil), paths...)}
+}
+
+// Name returns the relation name.
+func (s *SnapshotChunksSource) Name() string {
+	if s.name != "" {
+		return s.name
+	}
+	if len(s.paths) > 0 {
+		return s.paths[0]
+	}
+	return "chunks"
+}
+
+// Columns returns the column names, loading the first chunk's header
+// on first call (the chunk itself is dropped again).
+func (s *SnapshotChunksSource) Columns() []string {
+	if s.cols == nil && len(s.paths) > 0 {
+		if t, err := relation.LoadSnapshotFile(s.paths[0]); err == nil {
+			s.cols = t.Cols
+			if s.name == "" {
+				s.name = t.Name
+			}
+		}
+	}
+	return s.cols
+}
+
+// Chunks iterates the chunk tables in file order. Each table is
+// freshly loaded and owned by the consumer; dropping it after use
+// keeps the peak footprint at one chunk. The sequence ends with a
+// *ParseError on a load failure or column mismatch, or ctx.Err() on
+// cancellation.
+func (s *SnapshotChunksSource) Chunks(ctx context.Context) iter.Seq2[*relation.Table, error] {
+	return func(yield func(*relation.Table, error) bool) {
+		for i, path := range s.paths {
+			if err := ctx.Err(); err != nil {
+				yield(nil, err)
+				return
+			}
+			t, err := relation.LoadSnapshotFile(path)
+			if err != nil {
+				yield(nil, &ParseError{Source: s.Name(), Path: path, Err: err})
+				return
+			}
+			if i == 0 {
+				if s.cols == nil {
+					s.cols = t.Cols
+				}
+				if s.name == "" {
+					s.name = t.Name
+				}
+			} else if !equalCols(t.Cols, s.cols) {
+				yield(nil, &ParseError{Source: s.Name(), Path: path,
+					Err: fmt.Errorf("chunk columns %v do not match first chunk's %v", t.Cols, s.cols)})
+				return
+			}
+			t.Name = s.Name()
+			if !yield(t, nil) {
+				return
+			}
+		}
+	}
+}
+
+// Tuples iterates every record across all chunks, in order.
+func (s *SnapshotChunksSource) Tuples(ctx context.Context) iter.Seq2[Tuple, error] {
+	return func(yield func(Tuple, error) bool) {
+		n := 0
+		for t, err := range s.Chunks(ctx) {
+			if err != nil {
+				yield(nil, err)
+				return
+			}
+			buf := make([]string, 0, len(t.Cols))
+			for r := 0; r < t.NumRows(); r++ {
+				n++
+				if n%ctxCheckEvery == 0 {
+					if err := ctx.Err(); err != nil {
+						yield(nil, err)
+						return
+					}
+				}
+				buf = t.AppendRowTo(buf[:0], r)
+				tuple := make(Tuple, len(t.Cols))
+				for i, c := range t.Cols {
+					tuple[c] = buf[i]
+				}
+				if !yield(tuple, nil) {
+					return
+				}
+			}
+		}
+	}
+}
+
+func equalCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
