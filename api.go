@@ -167,7 +167,7 @@ func Detect(ctx context.Context, src Source, pfds []*PFD, opts ...DetectOption) 
 	if err != nil {
 		return nil, wrapCanceled(err, "detect", 0)
 	}
-	findings, err := repair.DetectContext(ctx, t, pfds, cfg.progress)
+	findings, err := repair.DetectContextOptions(ctx, t, pfds, repair.Options{Progress: cfg.progress, NoPlanner: cfg.noPlan})
 	if err != nil {
 		return nil, wrapCanceled(err, "detect", t.NumRows())
 	}

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchdiff -old BENCH_PR8.json -new BENCH_CI.json \
-//	          [-max-ratio 2.0] [-match pattern/,pfd/,repair/,discovery/Discover/T13,stream/] \
+//	          [-max-ratio 2.0] [-match pattern/,pfd/,plan/,repair/,discovery/Discover/T13,stream/] \
 //	          [-max-alloc-ratio 2.0] [-alloc-match pattern/,pfd/,repair/]
 //
 // -match is a comma-separated list of result-name prefixes to gate on.
@@ -55,7 +55,7 @@ func main() {
 	oldPath := flag.String("old", "", "baseline snapshot (required)")
 	newPath := flag.String("new", "", "fresh snapshot (required)")
 	maxRatio := flag.Float64("max-ratio", 2.0, "fail when new ns/op > ratio × old ns/op")
-	match := flag.String("match", "pattern/,pfd/,repair/,discovery/Discover/T13,stream/", "comma-separated result-name prefixes to gate on")
+	match := flag.String("match", "pattern/,pfd/,plan/,repair/,discovery/Discover/T13,stream/", "comma-separated result-name prefixes to gate on")
 	maxAllocRatio := flag.Float64("max-alloc-ratio", 2.0, "fail when new allocs/op > ratio × old allocs/op + 0.5 (on -alloc-match paths)")
 	allocMatch := flag.String("alloc-match", "pattern/,pfd/,repair/", "comma-separated result-name prefixes to gate allocs/op on")
 	flag.Parse()

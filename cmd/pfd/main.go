@@ -74,6 +74,7 @@ func main() {
 	memLimit := fs.String("mem-limit", "", "out-of-core: resident chunk-data budget, e.g. 64m or 2g (chunks beyond it spill to .pfdt files)")
 	spillDir := fs.String("spill", "", "out-of-core: directory for spilled chunk snapshots (default: fresh temp dir)")
 	sampleVerify := fs.Bool("sample-verify", false, "out-of-core: only verify candidates the sample surfaced (approximate, faster)")
+	planInfo := fs.Bool("plan", false, "detect: print the ruleset's shared-evaluation plan (distinct cells, shared LHS groups, build time) to stderr before detecting")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -196,6 +197,9 @@ func main() {
 
 	switch cmd {
 	case "detect":
+		if *planInfo {
+			printPlan(rules)
+		}
 		runDetect(ctx, table, rules, *jsonOut)
 	case "repair":
 		if *out == "" {
@@ -401,6 +405,26 @@ func printDeps(deps []*pfd.Dependency) {
 	}
 }
 
+// printPlan reports how the ruleset factors under the shared-evaluation
+// planner — the CLI counterpart of the service's /plan debug view. It
+// writes to stderr so `-json` output on stdout stays machine-clean.
+func printPlan(rules *pfd.Ruleset) {
+	d := rules.Plan()
+	fmt.Fprintf(os.Stderr,
+		"plan: %d rules, %d tableau rows -> %d distinct cells, %d LHS groups (%d shared), built in %.1fµs\n",
+		d.Rules, d.TableauRows, d.DistinctCells, d.Groups, d.SharedGroups, d.BuildMicros)
+	for _, g := range d.GroupDetail {
+		if g.Members < 2 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "plan: group [%s] = [%s] serves %d tableau rows across %d rules\n",
+			strings.Join(g.Columns, ", "), strings.Join(g.Cells, ", "), g.Members, g.Rules)
+	}
+	if d.TruncatedGroups > 0 {
+		fmt.Fprintf(os.Stderr, "plan: (%d more groups not shown)\n", d.TruncatedGroups)
+	}
+}
+
 func detect(ctx context.Context, table *pfd.Table, rules *pfd.Ruleset) *pfd.Detection {
 	det, err := rules.Detect(ctx, pfd.FromTable(table))
 	if err != nil {
@@ -509,7 +533,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pfd discover -in data.csv [-rules r.pfd] [-save-table data.pfdt] [-k 5] [-delta 0.05] [-coverage 0.10] [-lhs 1] [-nogeneralize] [-json] [-v]
   pfd discover -in 'chunks/*.pfdt' [-sample N] [-chunk-rows M] [-mem-limit 64m] [-spill DIR] [-sample-verify] [flags]
-  pfd detect   -in data.csv [-rules r.pfd] [-json] [flags]
+  pfd detect   -in data.csv [-rules r.pfd] [-json] [-plan] [flags]
   pfd repair   -in data.csv -out fixed.csv [-rules r.pfd] [flags]
   pfd score    -in data.csv -truth data.truth.csv [-rules r.pfd] [flags]
 

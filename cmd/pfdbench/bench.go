@@ -14,13 +14,14 @@ import (
 	"pfd/internal/ooc"
 	"pfd/internal/pattern"
 	"pfd/internal/pfd"
+	"pfd/internal/plan"
 	"pfd/internal/relation"
 	"pfd/internal/repair"
 	"pfd/internal/source"
 )
 
 // The bench experiment writes a machine-readable performance snapshot
-// (default BENCH_PR8.json, schema in internal/benchfmt) so successive
+// (default BENCH_PR9.json, schema in internal/benchfmt) so successive
 // PRs carry a perf trajectory: micro timings of the compiled-matcher
 // hot paths, streaming-engine throughput at 1/4/8 shards, and macro
 // timings of discovery/detection per dataset with the headline quality
@@ -106,6 +107,11 @@ func runBench(scale float64, seed int64, dirt float64, out string, microOnly boo
 	// discovery on the same T13 workload (the ≤1.5× acceptance ratio),
 	// plus sample-then-verify throughput.
 	rep.Results = append(rep.Results, benchOOC(scale, seed, dirt)...)
+
+	// Multi-rule planner: shared-group validation at ruleset scale
+	// against the independent per-rule loop, plus plan-construction
+	// time (the <100µs acceptance bar).
+	rep.Results = append(rep.Results, benchPlan(scale, seed, dirt)...)
 
 	// Macro: full discovery per dataset with the headline quality
 	// metrics. Micro mode keeps only T13 — the heaviest workload and the
@@ -290,6 +296,100 @@ func benchOOC(scale float64, seed int64, dirt float64) []benchfmt.Result {
 		"rows_per_sec": float64(rows) / (sampled.NsPerOp / 1e9),
 	}
 	return []benchfmt.Result{inmem, chunked, sampled}
+}
+
+// benchPlan rates multi-rule validation at ruleset scale on the T13
+// workload. The rulesets replicate compact serving-style rule families
+// as fresh PFD objects, which models the reality the planner exists
+// for: rulesets where hundreds of rules ride the same few LHS
+// signatures. Three results per ruleset size:
+// plan/Build/T13/rulesN (construction time, the <100µs bar, in
+// build_us), plan/Validate/T13/rulesN (shared-group execution through
+// a warm plan, carrying speedup_vs_independent — the ≥3× bar at 100
+// rules), and plan/Independent/T13/rulesN (the per-rule baseline loop
+// it is compared against).
+func benchPlan(scale float64, seed int64, dirt float64) []benchfmt.Result {
+	spec, ok := datagen.SpecByID("T13")
+	if !ok {
+		panic("T13 spec missing")
+	}
+	rows := int(float64(spec.PaperRows) * scale)
+	if rows < 2000 {
+		rows = 2000
+	}
+	t, _ := spec.Build(rows, seed, dirt)
+
+	// Serving-style rule families over the T13 truth dependencies:
+	// compact tableaux, patterns compiled once (replicated rules share
+	// pattern pointers exactly as a tenant's parsed ruleset shares its
+	// compiled tableau), plus a dead-constant family the short-circuit
+	// pass retires. Every size replicates the same five families, so
+	// rulesN differs from rules10 only in how many rules ride each
+	// shared LHS group.
+	prefix := pattern.MustParse(`(\LU+)\-\D*`)
+	sem := pattern.MustParse(`\LU+(\D{4})`)
+	dead := pattern.Constant("no-such-dept")
+	wild := pfd.Row{LHS: []pfd.Cell{pfd.Wildcard()}, RHS: pfd.Wildcard()}
+	base := []*pfd.PFD{
+		pfd.MustNew("T13", []string{"course_id"}, "dept", wild),
+		pfd.MustNew("T13", []string{"semester"}, "year",
+			pfd.Row{LHS: []pfd.Cell{pfd.Pat(sem)}, RHS: pfd.Wildcard()}),
+		pfd.MustNew("T13", []string{"course_id"}, "dept",
+			pfd.Row{LHS: []pfd.Cell{pfd.Pat(prefix)}, RHS: pfd.Wildcard()}),
+		pfd.MustNew("T13", []string{"dept"}, "course_id",
+			pfd.Row{LHS: []pfd.Cell{pfd.Wildcard()}, RHS: pfd.Pat(prefix)}),
+		pfd.MustNew("T13", []string{"dept"}, "grade",
+			pfd.Row{LHS: []pfd.Cell{pfd.Pat(dead)}, RHS: pfd.Wildcard()}),
+	}
+	mk := func(n int) []*pfd.PFD {
+		out := make([]*pfd.PFD, n)
+		for i := range out {
+			b := base[i%len(base)]
+			out[i] = pfd.MustNew(b.Relation, b.LHS, b.RHS, b.Tableau...)
+		}
+		return out
+	}
+
+	var out []benchfmt.Result
+	for _, n := range []int{10, 100, 1000} {
+		pfds := mk(n)
+
+		var pl *plan.Plan
+		build := measure(fmt.Sprintf("plan/Build/T13/rules%d", n), 50*time.Millisecond, func() {
+			pl = plan.New(pfds)
+		})
+		d := pl.Describe()
+		build.Metrics = map[string]float64{
+			"rules":          float64(n),
+			"build_us":       build.NsPerOp / 1e3,
+			"groups":         float64(d.Groups),
+			"distinct_cells": float64(d.DistinctCells),
+		}
+
+		indep := measure(fmt.Sprintf("plan/Independent/T13/rules%d", n), 100*time.Millisecond, func() {
+			for _, p := range pfds {
+				p.Violations(t)
+			}
+		})
+		indep.Metrics = map[string]float64{
+			"rules": float64(n),
+			"rows":  float64(rows),
+		}
+
+		planned := measure(fmt.Sprintf("plan/Validate/T13/rules%d", n), 100*time.Millisecond, func() {
+			pl.Violations(t)
+		})
+		planned.Metrics = map[string]float64{
+			"rules":                  float64(n),
+			"rows":                   float64(rows),
+			"groups":                 float64(d.Groups),
+			"distinct_cells":         float64(d.DistinctCells),
+			"speedup_vs_independent": indep.NsPerOp / planned.NsPerOp,
+		}
+
+		out = append(out, build, planned, indep)
+	}
+	return out
 }
 
 // precisionRecall computes discovered-vs-truth precision and recall.

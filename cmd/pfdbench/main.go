@@ -15,7 +15,7 @@
 // matchers, violation detection, streaming-engine throughput at 1/4/8
 // shards, out-of-core vs in-memory discovery on T13, full discovery
 // per dataset) and writes a machine-readable snapshot (-benchout,
-// default BENCH_PR8.json; schema in internal/benchfmt) so the
+// default BENCH_PR9.json; schema in internal/benchfmt) so the
 // performance trajectory is tracked across PRs. -micro trims the discovery block to the gated T13 workload;
 // cmd/benchdiff compares two snapshots and fails on hot-path
 // regressions (the CI gate).
@@ -35,7 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	dirt := flag.Float64("dirt", 0.01, "generator dirt rate")
 	only := flag.String("table", "", "restrict table7 to one dataset id (e.g. T13)")
-	benchout := flag.String("benchout", "BENCH_PR8.json", "output path for -exp bench")
+	benchout := flag.String("benchout", "BENCH_PR9.json", "output path for -exp bench")
 	micro := flag.Bool("micro", false, "bench: skip the per-dataset discovery block (fast, for the CI gate)")
 	flag.Parse()
 

@@ -446,3 +446,22 @@ func GatherGroupsBitmap(g *Groups, bm []uint64, codes []uint32, ids []int32) {
 		}
 	}
 }
+
+// MatchedWeight sums the live multiplicities of every dictionary entry
+// whose span id is >= 0: ids is a per-code match/span-id vector (as
+// built by a tableau-cell evaluation), weights the column's live
+// per-code counts (relation.Table.DictCounts). The result is the
+// number of table rows the cell matches, computed in O(distinct)
+// without touching the code vector — the dictionary-derived
+// selectivity the multi-rule planner orders and short-circuits on. A
+// zero return proves no live row matches (every live code has weight
+// > 0), which is what makes skipping such a scan sound.
+func MatchedWeight(ids []int32, weights []int) int {
+	w := 0
+	for code, sid := range ids {
+		if sid >= 0 {
+			w += weights[code]
+		}
+	}
+	return w
+}

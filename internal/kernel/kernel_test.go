@@ -482,3 +482,17 @@ func TestExpand(t *testing.T) {
 		}
 	}
 }
+
+func TestMatchedWeight(t *testing.T) {
+	ids := []int32{0, -1, 1, -1, 0}
+	weights := []int{3, 7, 2, 1, 5}
+	if got := MatchedWeight(ids, weights); got != 10 {
+		t.Fatalf("MatchedWeight = %d, want 10", got)
+	}
+	if got := MatchedWeight([]int32{-1, -1}, []int{4, 4}); got != 0 {
+		t.Fatalf("MatchedWeight all-miss = %d, want 0", got)
+	}
+	if got := MatchedWeight(nil, nil); got != 0 {
+		t.Fatalf("MatchedWeight nil = %d, want 0", got)
+	}
+}

@@ -256,3 +256,45 @@ func TestOOCEmptyAndCancel(t *testing.T) {
 		t.Fatal("canceled context not surfaced")
 	}
 }
+
+// TestProjectParallelDeterministic pins the chunk-parallel projection
+// build to the sequential one: the whole discovery result (which flows
+// through project for every verified candidate) must be byte-identical
+// at one worker and at many, including through the spill path.
+func TestProjectParallelDeterministic(t *testing.T) {
+	ctx := context.Background()
+	params := discovery.DefaultParams()
+	spec, ok := datagen.SpecByID("T13")
+	if !ok {
+		t.Fatal("T13 spec missing")
+	}
+	rows := workloadRows(spec.PaperRows)
+	tbl, _ := spec.Build(rows, workloadSeed, workloadDirt)
+	opts := Options{
+		Params:      params,
+		ChunkRows:   (rows + 7) / 8,
+		SampleRows:  rows / 10,
+		MemLimit:    1, // spill every chunk: parallel loads re-read files
+		SpillDir:    t.TempDir(),
+		SkipConfirm: true,
+	}
+	defer func(w int) { projectWorkers = w }(projectWorkers)
+	projectWorkers = 1
+	seqRes, err := Discover(ctx, source.FromTable(tbl), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.SpillDir = t.TempDir()
+	projectWorkers = 8
+	parRes, err := Discover(ctx, source.FromTable(tbl), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, par := renderDeps(seqRes.Dependencies), renderDeps(parRes.Dependencies)
+	if seq != par {
+		t.Fatalf("parallel projection diverges from sequential:\nseq:\n%s\npar:\n%s", seq, par)
+	}
+	if seq == "" {
+		t.Fatal("test premise broken: expected dependencies on T13")
+	}
+}

@@ -2,8 +2,11 @@ package ooc
 
 import (
 	"context"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"pfd/internal/discovery"
 	"pfd/internal/lattice"
@@ -184,28 +187,83 @@ func (d *driver) evalBatch(ctx context.Context, cands []lattice.Candidate, b bat
 // chunk's code vectors are remapped into the global code space and
 // concatenated, and the table adopts the merged global dictionaries.
 // The result is byte-identical to projecting the monolithic relation.
+// projectWorkers is the projection worker-pool width; a variable so
+// tests can pin sequential and parallel builds against each other.
+var projectWorkers = runtime.GOMAXPROCS(0)
+
 func (d *driver) project(ctx context.Context, cols []int) (*relation.Table, error) {
 	n := d.merger.Rows()
 	codes := make([][]uint32, len(cols))
 	for i := range cols {
 		codes[i] = make([]uint32, n)
 	}
-	offset := 0
-	for _, ref := range d.cs.chunks {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	// Each chunk writes a disjoint, position-determined row range of
+	// every projected column, so chunks can build in parallel: offsets
+	// are precomputed from the chunk row counts, loads are read-only
+	// (resident chunks are shared, spilled ones re-read from their own
+	// file), and the output is byte-identical at any worker count —
+	// exactly the property the differential golden pins.
+	offsets := make([]int, len(d.cs.chunks))
+	off := 0
+	for ci, ref := range d.cs.chunks {
+		offsets[ci] = off
+		off += ref.rows
+	}
+	buildChunk := func(ci int) error {
+		ref := d.cs.chunks[ci]
 		t, err := d.cs.load(ref)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for i, c := range cols {
 			remap := ref.remaps[c]
+			dst := codes[i][offsets[ci]:]
 			for r, code := range t.Codes(c) {
-				codes[i][offset+r] = remap[code]
+				dst[r] = remap[code]
 			}
 		}
-		offset += ref.rows
+		return nil
+	}
+	workers := projectWorkers
+	if workers > len(d.cs.chunks) {
+		workers = len(d.cs.chunks)
+	}
+	if workers <= 1 {
+		for ci := range d.cs.chunks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := buildChunk(ci); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var firstErr atomic.Pointer[error]
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					if ci >= len(d.cs.chunks) || firstErr.Load() != nil || ctx.Err() != nil {
+						return
+					}
+					if err := buildChunk(ci); err != nil {
+						firstErr.CompareAndSwap(nil, &err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if ep := firstErr.Load(); ep != nil {
+			return nil, *ep
+		}
 	}
 	names := make([]string, len(cols))
 	dicts := make([][]string, len(cols))

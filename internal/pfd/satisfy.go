@@ -30,7 +30,7 @@ type Violation struct {
 	WitnessRow int
 }
 
-// dictEval is one tableau cell evaluated over one column's dictionary:
+// SpanEval is one tableau cell evaluated over one column's dictionary:
 // per dictionary code, whether the value matches the cell, its
 // constrained span, and an interned span id (-1 on mismatch). Spans are
 // interned so that grouping and consensus scanning below run on small
@@ -39,25 +39,69 @@ type Violation struct {
 // invocation into a code lookup — the dictionary-encoded layout's
 // central win, since real columns have far fewer distinct values than
 // rows.
-type dictEval struct {
-	ok   []bool
-	span []string
-	sid  []int32  // code -> interned span id, -1 when the cell rejects it
-	sids []string // span id -> span, in first-code order
+//
+// It is exported as the evaluation currency of the multi-rule planner
+// (internal/plan): the planner dedupes identical tableau cells across
+// rules into a shared SpanEval pool and feeds the results back through
+// ScanGroup, so one evaluation serves many PFDs. The structure depends
+// only on (cell, dictionary contents); Sids assigns ids in first-code
+// order, which makes two evaluations of the same cell over the same
+// dictionary identical — the property the sharing relies on.
+type SpanEval struct {
+	Ok   []bool
+	Span []string
+	Sid  []int32  // code -> interned span id, -1 when the cell rejects it
+	Sids []string // span id -> span, in first-code order
 }
 
-// evalCellDict evaluates cell c over a column dictionary. Every entry
+// EvalCellSpans evaluates cell c over a column dictionary. Every entry
 // is evaluated — including retired ones (no longer held by any row) —
 // so the result depends only on the dictionary contents, which are
-// append-only; that is what makes the memoization in cellDict sound.
-func evalCellDict(c Cell, dict []string) dictEval {
-	ev := dictEval{
-		ok:   make([]bool, len(dict)),
-		span: make([]string, len(dict)),
-		sid:  make([]int32, len(dict)),
+// append-only; that is what makes (column identity, dictionary length)
+// a sound memoization key for the result.
+func EvalCellSpans(c Cell, dict []string) SpanEval {
+	ev := SpanEval{
+		Ok:   make([]bool, len(dict)),
+		Span: make([]string, len(dict)),
+		Sid:  make([]int32, len(dict)),
 	}
 	intern := make(map[string]int32, 16)
-	for code, v := range dict {
+	evalCellSpansInto(&ev, intern, c, dict, 0)
+	return ev
+}
+
+// ExtendCellSpans evaluates only the dictionary tail appended since
+// prev was computed, copying prev's prefix: dictionaries are
+// append-only, so prev (over dict[:len(prev.Sid)]) is an exact prefix
+// of the full evaluation, and span-id interning continues in first-code
+// order — the result is identical to EvalCellSpans(c, dict) at a cost
+// proportional to the new entries. prev is not mutated; the planner
+// uses this to refresh a shared evaluation pool after ingest grows a
+// dictionary without re-matching the whole column.
+func ExtendCellSpans(c Cell, prev SpanEval, dict []string) SpanEval {
+	n := len(prev.Sid)
+	ev := SpanEval{
+		Ok:   make([]bool, len(dict)),
+		Span: make([]string, len(dict)),
+		Sid:  make([]int32, len(dict)),
+		Sids: append(make([]string, 0, len(prev.Sids)), prev.Sids...),
+	}
+	copy(ev.Ok, prev.Ok)
+	copy(ev.Span, prev.Span)
+	copy(ev.Sid, prev.Sid)
+	intern := make(map[string]int32, len(ev.Sids)+16)
+	for sid, span := range ev.Sids {
+		intern[span] = int32(sid)
+	}
+	evalCellSpansInto(&ev, intern, c, dict, n)
+	return ev
+}
+
+// evalCellSpansInto fills ev for dict[from:], interning spans through
+// the given map — the shared core of EvalCellSpans and ExtendCellSpans.
+func evalCellSpansInto(ev *SpanEval, intern map[string]int32, c Cell, dict []string, from int) {
+	for code := from; code < len(dict); code++ {
+		v := dict[code]
 		var span string
 		var ok bool
 		if c.IsWildcard() {
@@ -66,27 +110,26 @@ func evalCellDict(c Cell, dict []string) dictEval {
 			span, ok = c.Span(v)
 		}
 		if !ok {
-			ev.sid[code] = -1
+			ev.Sid[code] = -1
 			continue
 		}
-		ev.ok[code] = true
-		ev.span[code] = span
+		ev.Ok[code] = true
+		ev.Span[code] = span
 		sid, seen := intern[span]
 		if !seen {
-			sid = int32(len(ev.sids))
+			sid = int32(len(ev.Sids))
 			intern[span] = sid
-			ev.sids = append(ev.sids, span)
+			ev.Sids = append(ev.Sids, span)
 		}
-		ev.sid[code] = sid
+		ev.Sid[code] = sid
 	}
-	return ev
 }
 
-// CellDictEval is the exported form of dictEval: one tableau cell
+// CellDictEval is the match/span slice of a SpanEval: one tableau cell
 // evaluated over one column's dictionary. Match[code] reports whether
 // dictionary entry code matches the cell; Span[code] holds its
-// constrained span when it does. It is the building block the stream
-// engine's table fast path shares with Violations.
+// constrained span when it does. It predates SpanEval and remains for
+// callers that need no interned span ids.
 type CellDictEval struct {
 	Match []bool
 	Span  []string
@@ -94,8 +137,8 @@ type CellDictEval struct {
 
 // EvalCellDict evaluates cell c over a column dictionary.
 func EvalCellDict(c Cell, dict []string) CellDictEval {
-	ev := evalCellDict(c, dict)
-	return CellDictEval{Match: ev.ok, Span: ev.span}
+	ev := EvalCellSpans(c, dict)
+	return CellDictEval{Match: ev.Ok, Span: ev.Span}
 }
 
 // memoKey addresses one tableau cell: tableau row and LHS position
@@ -109,7 +152,7 @@ const rhsPos = -1
 type dictMemo struct {
 	colID uint64
 	n     int
-	ev    dictEval
+	ev    SpanEval
 }
 
 // cellDict returns cell (ri, j)'s evaluation over column ci of t,
@@ -120,7 +163,7 @@ type dictMemo struct {
 // detect → repair rounds, the benchmark loops) pays the per-distinct
 // matching once. A mismatch recomputes and replaces the slot, so a PFD
 // alternating between tables stays correct and merely loses the reuse.
-func (p *PFD) cellDict(ri, j int, c Cell, t *relation.Table, ci int) dictEval {
+func (p *PFD) cellDict(ri, j int, c Cell, t *relation.Table, ci int) SpanEval {
 	dict := t.Dict(ci)
 	key := memoKey{ri: ri, j: j}
 	if v, ok := p.memo.Load(key); ok {
@@ -128,7 +171,7 @@ func (p *PFD) cellDict(ri, j int, c Cell, t *relation.Table, ci int) dictEval {
 			return m.ev
 		}
 	}
-	ev := evalCellDict(c, dict)
+	ev := EvalCellSpans(c, dict)
 	p.memo.Store(key, &dictMemo{colID: t.ColID(ci), n: len(dict), ev: ev})
 	return ev
 }
@@ -136,9 +179,9 @@ func (p *PFD) cellDict(ri, j int, c Cell, t *relation.Table, ci int) dictEval {
 // evalLHSDicts evaluates every LHS cell of tableau row ri over its
 // column's dictionary, returning the evaluations and code vectors
 // aligned with p.LHS.
-func (p *PFD) evalLHSDicts(t *relation.Table, ri int) ([]dictEval, [][]uint32) {
+func (p *PFD) evalLHSDicts(t *relation.Table, ri int) ([]SpanEval, [][]uint32) {
 	row := p.Tableau[ri]
-	evs := make([]dictEval, len(p.LHS))
+	evs := make([]SpanEval, len(p.LHS))
 	codes := make([][]uint32, len(p.LHS))
 	for j, a := range p.LHS {
 		ci := t.MustCol(a)
@@ -210,6 +253,12 @@ func (p *PFD) Satisfied(t *relation.Table) bool {
 // concatenated span key only for rows that survive the bitmap. Group
 // emission order is sorted by span key and row ids are ascending, so
 // the output is byte-identical at any worker or chunk count.
+//
+// internal/plan replays exactly this scan through the shared
+// primitives below (GatherSpanGroups, AndSpanBitmaps, ScanGroup) with
+// cell evaluations pooled across rules; its per-rule output is pinned
+// byte-identical to this method by the differential suite. A semantic
+// change here must change the planner's executor in lockstep.
 func (p *PFD) Violations(t *relation.Table) []Violation {
 	var out []Violation
 	var keyBuf []byte
@@ -219,7 +268,7 @@ func (p *PFD) Violations(t *relation.Table) []Violation {
 	var gg kernel.Groups
 	var bm []uint64
 	var order []int
-	var scan groupScan
+	var scan GroupScan
 	nrows := t.NumRows()
 	rhsCol := t.MustCol(p.RHS)
 	rhsCodes := t.Codes(rhsCol)
@@ -231,18 +280,13 @@ func (p *PFD) Violations(t *relation.Table) []Violation {
 		if len(p.LHS) == 1 {
 			// Span-id grouping: the group of a row is its LHS span id.
 			ev := &lhsEvs[0]
-			if nrows >= 2*chunkRows && scanWorkers > 1 {
-				kernel.GatherGroupsCodesParallel(&gg, lhsCodes[0], ev.sid, chunkRows, runChunks)
-			} else {
-				ci := t.MustCol(p.LHS[0])
-				kernel.GatherGroupsCodes(&gg, lhsCodes[0], ev.sid, t.DictCounts(ci))
-			}
+			GatherSpanGroups(&gg, lhsCodes[0], ev, t.DictCounts(t.MustCol(p.LHS[0])), nrows)
 			order = order[:0]
 			for i := 0; i < gg.Len(); i++ {
 				order = append(order, i)
 			}
 			sort.Slice(order, func(i, j int) bool {
-				return ev.sids[gg.Sid(order[i])] < ev.sids[gg.Sid(order[j])]
+				return ev.Sids[gg.Sid(order[i])] < ev.Sids[gg.Sid(order[j])]
 			})
 			for _, gi := range order {
 				out = append(out, p.groupViolations(&scan, ri, row, gg.Rows(gi), constant, rhsCodes, &rhsEv)...)
@@ -269,7 +313,7 @@ func (p *PFD) Violations(t *relation.Table) []Violation {
 				keyBuf = keyBuf[:0]
 				for j := range lhsEvs {
 					code := lhsCodes[j][id]
-					keyBuf = append(keyBuf, lhsEvs[j].span[code]...)
+					keyBuf = append(keyBuf, lhsEvs[j].Span[code]...)
 					keyBuf = append(keyBuf, '\x00') // unambiguous separator
 				}
 				gi, seen := groupIdx[string(keyBuf)]
@@ -296,12 +340,14 @@ func (p *PFD) Violations(t *relation.Table) []Violation {
 	return out
 }
 
-// groupScan is the reusable state for checking one LHS-equivalence
+// GroupScan is the reusable state for checking one LHS-equivalence
 // group: per-RHS-span-id tuple lists plus the non-matching tuples. Span
 // ids are dense per evaluation, so occupancy is tracked with an epoch
 // stamp instead of clearing or hashing. Reusing it across groups keeps
-// Violations off the allocator.
-type groupScan struct {
+// the scan off the allocator. Exported so the multi-rule planner's
+// executor (internal/plan) carries one per worker; the zero value is
+// ready to use.
+type GroupScan struct {
 	slotOf      []int32  // span id -> slot for the current group
 	stamp       []uint32 // span id -> epoch at which slotOf is valid
 	epoch       uint32
@@ -313,7 +359,7 @@ type groupScan struct {
 
 // reset prepares the scan for a new group over numSids possible span
 // ids, retaining capacity.
-func (sc *groupScan) reset(numSids int) {
+func (sc *GroupScan) reset(numSids int) {
 	if len(sc.slotOf) < numSids {
 		sc.slotOf = make([]int32, numSids)
 		sc.stamp = make([]uint32, numSids)
@@ -332,7 +378,7 @@ func (sc *groupScan) reset(numSids int) {
 
 // addSpan records id under span id sid, assigning a slot on first sight
 // while reusing the tuple-slice capacity of earlier groups.
-func (sc *groupScan) addSpan(sid int32, span string, id int32) {
+func (sc *GroupScan) addSpan(sid int32, span string, id int32) {
 	var slot int32
 	if sc.stamp[sid] == sc.epoch {
 		slot = sc.slotOf[sid]
@@ -351,18 +397,31 @@ func (sc *groupScan) addSpan(sid int32, span string, id int32) {
 	sc.spanIDs[slot] = append(sc.spanIDs[slot], id)
 }
 
+// ScanGroup checks one LHS-equivalence group of tableau row ri against
+// the RHS evaluation and returns its violations — the per-group scan
+// Violations runs, exported for the multi-rule planner: the planner
+// builds each group partition once per shared LHS signature and fans
+// it out to every member rule through this entry point, with rhsEv
+// drawn from the shared evaluation pool. ids must be the group's row
+// ids ascending and constant the tableau row's ConstantLHS verdict;
+// the output is then byte-identical to the corresponding slice of
+// Violations' result.
+func (p *PFD) ScanGroup(sc *GroupScan, ri int, ids []int32, constant bool, rhsCodes []uint32, rhsEv *SpanEval) []Violation {
+	return p.groupViolations(sc, ri, p.Tableau[ri], ids, constant, rhsCodes, rhsEv)
+}
+
 // groupViolations checks one LHS-equivalence group. The RHS cell's
 // verdict per tuple comes from the precomputed dictionary evaluation.
-func (p *PFD) groupViolations(sc *groupScan, ri int, row Row, ids []int32, constant bool, rhsCodes []uint32, rhsEv *dictEval) []Violation {
+func (p *PFD) groupViolations(sc *GroupScan, ri int, row Row, ids []int32, constant bool, rhsCodes []uint32, rhsEv *SpanEval) []Violation {
 	var out []Violation
-	sc.reset(len(rhsEv.sids))
+	sc.reset(len(rhsEv.Sids))
 	for _, id := range ids {
-		sid := rhsEv.sid[rhsCodes[id]]
+		sid := rhsEv.Sid[rhsCodes[id]]
 		if sid < 0 {
 			sc.nonMatching = append(sc.nonMatching, id)
 			continue
 		}
-		sc.addSpan(sid, rhsEv.sids[sid], id)
+		sc.addSpan(sid, rhsEv.Sids[sid], id)
 	}
 
 	// Constant-LHS rows fire on single tuples: a non-matching RHS is a
@@ -451,7 +510,7 @@ func (p *PFD) tupleCells(id int) []relation.Cell {
 }
 
 // strictMajority returns the span held by more than half the group.
-func (sc *groupScan) strictMajority() (string, []int32, bool) {
+func (sc *GroupScan) strictMajority() (string, []int32, bool) {
 	total := 0
 	for _, ids := range sc.spanIDs {
 		total += len(ids)

@@ -22,7 +22,7 @@ func violationsScalar(p *PFD, t *relation.Table) []Violation {
 	groupIdx := map[string]int{}
 	var keys []string
 	var groupIDs [][]int32
-	var scan groupScan
+	var scan GroupScan
 	nrows := t.NumRows()
 	rhsCol := t.MustCol(p.RHS)
 	rhsCodes := t.Codes(rhsCol)
@@ -35,12 +35,12 @@ func violationsScalar(p *PFD, t *relation.Table) []Violation {
 
 		if len(p.LHS) == 1 {
 			ev, codes0 := &lhsEvs[0], lhsCodes[0]
-			groupOf := make([]int32, len(ev.sids))
+			groupOf := make([]int32, len(ev.Sids))
 			for i := range groupOf {
 				groupOf[i] = -1
 			}
 			for id := 0; id < nrows; id++ {
-				sid := ev.sid[codes0[id]]
+				sid := ev.Sid[codes0[id]]
 				if sid < 0 {
 					continue
 				}
@@ -48,7 +48,7 @@ func violationsScalar(p *PFD, t *relation.Table) []Violation {
 				if gi < 0 {
 					gi = int32(len(groupIDs))
 					groupOf[sid] = gi
-					keys = append(keys, ev.sids[sid])
+					keys = append(keys, ev.Sids[sid])
 					groupIDs = append(groupIDs, nil)
 				}
 				groupIDs[gi] = append(groupIDs[gi], int32(id))
@@ -60,11 +60,11 @@ func violationsScalar(p *PFD, t *relation.Table) []Violation {
 				keyBuf = keyBuf[:0]
 				for j := range lhsEvs {
 					code := lhsCodes[j][id]
-					sid := lhsEvs[j].sid[code]
+					sid := lhsEvs[j].Sid[code]
 					if sid < 0 {
 						continue rows
 					}
-					keyBuf = append(keyBuf, lhsEvs[j].span[code]...)
+					keyBuf = append(keyBuf, lhsEvs[j].Span[code]...)
 					keyBuf = append(keyBuf, '\x00')
 				}
 				gi, seen := groupIdx[string(keyBuf)]

@@ -1,0 +1,135 @@
+package plan
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pfd/internal/pfd"
+)
+
+// Cache memoizes compiled plans per ruleset. The key is the identity
+// of the []*pfd.PFD slice contents — the same rule pointers in the
+// same order — which is exactly the ruleset-artifact lifecycle: a
+// loaded Ruleset keeps its PFD pointers until it is replaced, and a
+// hot-reload swaps in fresh pointers, so a swap misses naturally and
+// the stale plan ages out of the LRU. Plan structure is
+// table-independent (evaluations bind per execute), so one cached plan
+// serves every table and dictionary version.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey][]*cacheEntry
+	count   int
+	seq     int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// cacheKey cheaply pre-buckets by first rule pointer and length; the
+// bucket resolves full slice identity.
+type cacheKey struct {
+	first *pfd.PFD
+	n     int
+}
+
+type cacheEntry struct {
+	pfds []*pfd.PFD
+	plan *Plan
+	used int64
+}
+
+// NewCache returns a cache holding at most max plans (LRU evicted).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, entries: make(map[cacheKey][]*cacheEntry)}
+}
+
+// For returns the cached plan for pfds, compiling and inserting one on
+// miss. Safe for concurrent use; construction runs under the lock,
+// which is fine because it is microsecond-scale by design.
+func (c *Cache) For(pfds []*pfd.PFD) *Plan {
+	key := cacheKey{n: len(pfds)}
+	if len(pfds) > 0 {
+		key.first = pfds[0]
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	for _, e := range c.entries[key] {
+		if samePFDs(e.pfds, pfds) {
+			e.used = c.seq
+			c.hits.Add(1)
+			return e.plan
+		}
+	}
+	c.misses.Add(1)
+	e := &cacheEntry{pfds: append([]*pfd.PFD(nil), pfds...), plan: New(pfds), used: c.seq}
+	c.entries[key] = append(c.entries[key], e)
+	c.count++
+	if c.count > c.max {
+		c.evictOldestLocked()
+	}
+	return e.plan
+}
+
+func samePFDs(a, b []*pfd.PFD) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cache) evictOldestLocked() {
+	var oldKey cacheKey
+	oldIdx := -1
+	var oldUsed int64
+	for k, bucket := range c.entries {
+		for i, e := range bucket {
+			if oldIdx < 0 || e.used < oldUsed {
+				oldKey, oldIdx, oldUsed = k, i, e.used
+			}
+		}
+	}
+	if oldIdx < 0 {
+		return
+	}
+	bucket := c.entries[oldKey]
+	bucket = append(bucket[:oldIdx], bucket[oldIdx+1:]...)
+	if len(bucket) == 0 {
+		delete(c.entries, oldKey)
+	} else {
+		c.entries[oldKey] = bucket
+	}
+	c.count--
+	c.evictions.Add(1)
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	n := c.count
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:   n,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

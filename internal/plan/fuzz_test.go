@@ -1,0 +1,32 @@
+package plan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// FuzzPlanEquivalence drives randomized (table, ruleset) pairs from a
+// seed and requires planned evaluation byte-identical to independent
+// per-rule evaluation — the planner's one correctness contract. The
+// generators are the same ones the deterministic tests use, so every
+// sharing shape (overlapping LHS groups, permuted LHS, zero-match
+// constants, multi-row tableaux, wide LHS) is reachable from the seed
+// space.
+func FuzzPlanEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(40), uint8(5))
+	f.Add(int64(99), uint8(0), uint8(1))
+	f.Add(int64(7), uint8(200), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, nrows, nrules uint8) {
+		r := rand.New(rand.NewSource(seed))
+		tb := randomTable(r, int(nrows))
+		pfds := randomRuleset(r, 1+int(nrules)%16)
+		pl := New(pfds)
+		got := pl.Violations(tb)
+		want := independent(pfds, tb)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("planned evaluation diverges from independent (seed=%d rows=%d rules=%d)\nplan=%+v",
+				seed, nrows, nrules, pl.Describe())
+		}
+	})
+}

@@ -1,0 +1,585 @@
+// Package plan is the statistics-free multi-rule planner: it compiles
+// a ruleset (a []*pfd.PFD) into a shared-evaluation plan and executes
+// it through the columnar/bitset kernels, producing per-rule violation
+// sets byte-identical to evaluating every PFD independently.
+//
+// Rules in one ruleset overlap heavily — discovery emits families of
+// rules over the same columns, service tenants load rulesets where
+// hundreds of rules differ only in a constant — so independent
+// evaluation repeats three kinds of work: pattern evaluation of
+// identical tableau cells over the same dictionary, the O(rows) group
+// gather for identical LHS signatures, and scans of rows no rule can
+// match. The plan removes all three:
+//
+//   - identical (column, cell) pairs across all rules are canonicalized
+//     (by the cell's tableau rendering, which round-trips) and interned
+//     into one shared evaluation pool — one pattern pass per distinct
+//     pair, keyed by (column identity, dictionary length) like the
+//     per-PFD memo, and extended incrementally when the append-only
+//     dictionary grows;
+//   - tableau rows with the same ordered LHS (attribute, cell) list
+//     form one group: its row partition (the gather or bitmap pass, the
+//     deterministic sort) is built once and fanned out to every member
+//     rule through pfd.ScanGroup;
+//   - groups whose LHS provably matches zero live rows — a constant
+//     cell absent from the dictionary, or any cell whose matched
+//     dictionary weight is zero — are skipped before any rows pass.
+//
+// Planning is greedy and statistics-free in the janus-datalog sense:
+// everything it orders or skips by derives from the dictionaries the
+// columnar store already maintains (live per-code counts, cell match
+// vectors), never from collected table statistics, and construction of
+// the structure is a pure pass over the tableaux — microseconds for
+// hundreds of rules.
+//
+// Scheduling freedom is what makes the sharing safe: a rule's output
+// is the concatenation of its per-tableau-row blocks in row order, and
+// each block depends only on its group's partition — so groups may run
+// in any order, on any number of workers, without perturbing a single
+// byte of any rule's violation slice. The differential suite pins this
+// against independent evaluation on T1–T15 and generated rulesets.
+package plan
+
+import (
+	"context"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pfd/internal/kernel"
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+)
+
+// execWorkers is the group-execution pool width; a variable so tests
+// can pin single-worker and many-worker runs against each other.
+var execWorkers = runtime.GOMAXPROCS(0)
+
+// cellEntry is one distinct (column, tableau cell) pair of the
+// ruleset: the shared-evaluation pool's unit.
+type cellEntry struct {
+	col  string
+	cell pfd.Cell
+	// constVal is the cell's pinned value when the pattern is fully
+	// constrained to a single string — such cells short-circuit on a
+	// plain dictionary scan with no pattern work at all.
+	constVal string
+	isConst  bool
+}
+
+// member is one tableau row of one rule, viewed from its LHS group.
+type member struct {
+	rule     int
+	ri       int
+	rhs      int // cell-pool index of the row's RHS cell
+	constant bool
+}
+
+// group is one distinct ordered LHS signature with every tableau row
+// that carries it. members stay in (rule, tableau-row) build order;
+// output position is determined by (rule, ri) alone, so member order
+// only affects scratch locality.
+type group struct {
+	lhs     []int // cell-pool indices, LHS order
+	members []member
+}
+
+// evalSlot caches one cell's dictionary evaluation with the column
+// version it was computed against. colID plus dictionary length
+// versions it exactly: dictionaries are append-only, so an equal pair
+// guarantees the evaluation is current, and a longer dictionary under
+// the same id extends the old evaluation instead of recomputing it.
+type evalSlot struct {
+	colID uint64
+	n     int
+	ev    *pfd.SpanEval
+}
+
+// Plan is the compiled shared-evaluation plan for one ruleset. The
+// structure (cell pool, groups) is immutable after New; the evaluation
+// cache binds lazily to whatever table Violations runs against and
+// refreshes under a mutex, so one Plan serves concurrent executes.
+type Plan struct {
+	pfds        []*pfd.PFD
+	cells       []cellEntry
+	groups      []group
+	tableauRows int
+	buildTime   time.Duration
+
+	mu    sync.Mutex
+	evals []evalSlot
+
+	shortCircuited atomic.Int64
+	evalBuilds     atomic.Int64
+	evalExtends    atomic.Int64
+	evalReuses     atomic.Int64
+	executes       atomic.Int64
+}
+
+// cellPtrKey is the fast cell-interning key: a cell's pattern pointer
+// stands in for its rendering once the rendering has been interned.
+// Replicated rules share pattern pointers (copying a tableau row copies
+// the *pattern.Pattern, not the pattern), so re-seeing a cell is a
+// single map probe with no string work.
+type cellPtrKey struct {
+	col string
+	pat *pattern.Pattern
+}
+
+// rowPtrKey memoizes a whole compiled tableau row: rules constructed
+// from a shared tableau (the multi-tenant replication case) alias the
+// row's LHS backing array and RHS pattern, so their rows resolve to
+// the same (group, rhs cell) in one probe. attrs pins the rule's
+// column list, which pfd.New copies per rule.
+type rowPtrKey struct {
+	attrs string
+	lhs   *pfd.Cell
+	n     int
+	rhs   *pattern.Pattern
+}
+
+// compiledRow is a row memo hit: everything member construction needs
+// except the (rule, ri) coordinates.
+type compiledRow struct {
+	gi       int
+	rhs      int
+	constant bool
+}
+
+// New compiles the ruleset into a plan. Construction is one pass over
+// the tableaux — canonicalize cells, intern LHS signatures — with no
+// table in sight and no statistics collection; selectivity is read off
+// the dictionaries at execute time. Cells and rows already seen under
+// the same pointers skip canonicalization entirely, so replicated
+// rulesets compile in one map probe per tableau row.
+func New(pfds []*pfd.PFD) *Plan {
+	start := time.Now()
+	p := &Plan{pfds: pfds}
+	cellIdx := make(map[string]int)
+	cellPtr := make(map[cellPtrKey]int)
+	groupIdx := make(map[string]int)
+	rowMemo := make(map[rowPtrKey]compiledRow)
+	var keyBuf []byte
+	intern := func(col string, c pfd.Cell) int {
+		pk := cellPtrKey{col: col, pat: c.Pattern}
+		if i, ok := cellPtr[pk]; ok {
+			return i
+		}
+		keyBuf = append(keyBuf[:0], col...)
+		keyBuf = append(keyBuf, '\x00')
+		keyBuf = append(keyBuf, c.String()...)
+		i, ok := cellIdx[string(keyBuf)]
+		if !ok {
+			i = len(p.cells)
+			cellIdx[string(keyBuf)] = i
+			e := cellEntry{col: col, cell: c}
+			if v, ok := c.Constant(); ok && c.Pattern != nil && c.Pattern.FullyConstrained() {
+				e.constVal, e.isConst = v, true
+			}
+			p.cells = append(p.cells, e)
+		}
+		cellPtr[pk] = i
+		return i
+	}
+	var gBuf, aBuf []byte
+	for rule, pf := range pfds {
+		aBuf = aBuf[:0]
+		for _, a := range pf.LHS {
+			aBuf = append(aBuf, a...)
+			aBuf = append(aBuf, '\x00')
+		}
+		aBuf = append(aBuf, pf.RHS...)
+		attrs := string(aBuf)
+		for ri := range pf.Tableau {
+			row := &pf.Tableau[ri]
+			p.tableauRows++
+			var rk rowPtrKey
+			if len(row.LHS) > 0 {
+				rk = rowPtrKey{attrs: attrs, lhs: &row.LHS[0], n: len(row.LHS), rhs: row.RHS.Pattern}
+				if cr, ok := rowMemo[rk]; ok {
+					p.groups[cr.gi].members = append(p.groups[cr.gi].members, member{
+						rule: rule, ri: ri, rhs: cr.rhs, constant: cr.constant,
+					})
+					continue
+				}
+			}
+			rhs := intern(pf.RHS, row.RHS)
+			lhs := make([]int, len(pf.LHS))
+			gBuf = gBuf[:0]
+			for j, a := range pf.LHS {
+				lhs[j] = intern(a, row.LHS[j])
+				gBuf = appendUvarint(gBuf, uint64(lhs[j]))
+			}
+			gi, ok := groupIdx[string(gBuf)]
+			if !ok {
+				gi = len(p.groups)
+				groupIdx[string(gBuf)] = gi
+				p.groups = append(p.groups, group{lhs: lhs})
+			}
+			constant := row.ConstantLHS()
+			p.groups[gi].members = append(p.groups[gi].members, member{
+				rule: rule, ri: ri, rhs: rhs, constant: constant,
+			})
+			if len(row.LHS) > 0 {
+				rowMemo[rk] = compiledRow{gi: gi, rhs: rhs, constant: constant}
+			}
+		}
+	}
+	p.evals = make([]evalSlot, len(p.cells))
+	p.buildTime = time.Since(start)
+	return p
+}
+
+// appendUvarint is the group-signature encoder: unambiguous, no
+// separator collisions, one byte per small pool index.
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// Violations executes the plan against t and returns one violation
+// slice per rule, aligned with the ruleset passed to New and
+// byte-identical to calling (*pfd.PFD).Violations per rule.
+func (p *Plan) Violations(t *relation.Table) [][]pfd.Violation {
+	out, _ := p.ViolationsContext(context.Background(), t)
+	return out
+}
+
+// colState is one table column resolved for this execute.
+type colState struct {
+	dict   []string
+	codes  []uint32
+	counts []int
+	id     uint64
+}
+
+// liveGroup is a group that survived short-circuiting, with its
+// scheduling weight.
+type liveGroup struct {
+	gi     int
+	weight int // min matched weight over LHS cells: an upper bound on group rows
+}
+
+// ViolationsContext is Violations with cancellation observed between
+// groups: on cancellation the partial output is discarded and the
+// context error returned.
+func (p *Plan) ViolationsContext(ctx context.Context, t *relation.Table) ([][]pfd.Violation, error) {
+	p.executes.Add(1)
+	nrows := t.NumRows()
+
+	// Resolve every referenced column once (MustCol panics on a missing
+	// column, exactly as independent evaluation would).
+	cols := make(map[string]*colState)
+	state := func(name string) *colState {
+		if cs, ok := cols[name]; ok {
+			return cs
+		}
+		ci := t.MustCol(name)
+		cs := &colState{dict: t.Dict(ci), codes: t.Codes(ci), counts: t.DictCounts(ci), id: t.ColID(ci)}
+		cols[name] = cs
+		return cs
+	}
+	for _, e := range p.cells {
+		state(e.col)
+	}
+
+	// Short-circuit pass 1 — fully-constrained constant cells, by a
+	// plain dictionary scan summing live counts: no pattern work, and a
+	// zero sum proves the cell matches no live row. Sound to skip the
+	// group because a tableau row with an unmatched LHS cell has no
+	// matching tuples, hence no groups and no violations (constant or
+	// variable alike); the RHS never short-circuits — tuples whose RHS
+	// fails to match are exactly the nonMatching violations.
+	constW := make([]int, len(p.cells))
+	for i := range constW {
+		constW[i] = -1
+	}
+	constWeight := func(ci int) int {
+		if constW[ci] >= 0 {
+			return constW[ci]
+		}
+		e := &p.cells[ci]
+		cs := cols[e.col]
+		w := 0
+		for code, v := range cs.dict {
+			if v == e.constVal {
+				w += cs.counts[code]
+			}
+		}
+		constW[ci] = w
+		return w
+	}
+	live := make([]liveGroup, 0, len(p.groups))
+	needed := make([]bool, len(p.cells))
+groups:
+	for gi := range p.groups {
+		g := &p.groups[gi]
+		for _, ci := range g.lhs {
+			if p.cells[ci].isConst && constWeight(ci) == 0 {
+				p.shortCircuited.Add(1)
+				continue groups
+			}
+		}
+		live = append(live, liveGroup{gi: gi})
+		for _, ci := range g.lhs {
+			needed[ci] = true
+		}
+		for _, m := range g.members {
+			needed[m.rhs] = true
+		}
+	}
+
+	// Bind: get-or-refresh the shared evaluations for every cell the
+	// surviving groups touch. Cached evaluations are reused when the
+	// (column id, dictionary length) version matches, extended over the
+	// appended tail when only the length grew (ExtendCellSpans returns a
+	// fresh value, so executes already holding the old pointer are
+	// undisturbed), and rebuilt otherwise.
+	evs := make([]*pfd.SpanEval, len(p.cells))
+	p.mu.Lock()
+	for ci := range p.cells {
+		if !needed[ci] {
+			continue
+		}
+		cs := cols[p.cells[ci].col]
+		slot := &p.evals[ci]
+		switch {
+		case slot.ev != nil && slot.colID == cs.id && slot.n == len(cs.dict):
+			p.evalReuses.Add(1)
+		case slot.ev != nil && slot.colID == cs.id && slot.n < len(cs.dict):
+			ev := pfd.ExtendCellSpans(p.cells[ci].cell, *slot.ev, cs.dict)
+			*slot = evalSlot{colID: cs.id, n: len(cs.dict), ev: &ev}
+			p.evalExtends.Add(1)
+		default:
+			ev := pfd.EvalCellSpans(p.cells[ci].cell, cs.dict)
+			*slot = evalSlot{colID: cs.id, n: len(cs.dict), ev: &ev}
+			p.evalBuilds.Add(1)
+		}
+		evs[ci] = slot.ev
+	}
+	p.mu.Unlock()
+
+	// Short-circuit pass 2 + ordering — dictionary-derived selectivity:
+	// a group's weight is the minimum matched live weight over its LHS
+	// cells, an upper bound on the rows any scan of it can touch. Zero
+	// weight skips the group outright (same soundness argument as the
+	// constant pass, now for arbitrary patterns); the rest run heaviest
+	// first so the pool tail isn't a single large straggler.
+	kept := live[:0]
+	for _, lg := range live {
+		g := &p.groups[lg.gi]
+		w := nrows
+		for _, ci := range g.lhs {
+			cw := kernel.MatchedWeight(evs[ci].Sid, cols[p.cells[ci].col].counts)
+			if cw < w {
+				w = cw
+			}
+		}
+		if w == 0 && len(g.lhs) > 0 {
+			p.shortCircuited.Add(1)
+			continue
+		}
+		lg.weight = w
+		kept = append(kept, lg)
+	}
+	live = kept
+	sort.Slice(live, func(i, j int) bool {
+		if live[i].weight != live[j].weight {
+			return live[i].weight > live[j].weight
+		}
+		return live[i].gi < live[j].gi
+	})
+
+	// Execute: claim groups from an atomic counter, one scratch set per
+	// worker. blocks[rule][ri] cells are owned by exactly one group, so
+	// workers never share a write target.
+	blocks := make([][][]pfd.Violation, len(p.pfds))
+	for i, pf := range p.pfds {
+		blocks[i] = make([][]pfd.Violation, len(pf.Tableau))
+	}
+	workers := execWorkers
+	if workers > len(live) {
+		workers = len(live)
+	}
+	var next atomic.Int64
+	runOne := func(w *execScratch, lg liveGroup) {
+		p.runGroup(w, &p.groups[lg.gi], evs, cols, nrows, blocks)
+	}
+	if workers <= 1 {
+		w := &execScratch{}
+		for _, lg := range live {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			runOne(w, lg)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := &execScratch{}
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(live) || ctx.Err() != nil {
+						return
+					}
+					runOne(w, live[n])
+				}
+			}()
+		}
+		wg.Wait()
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+
+	// Fan back out: a rule's violations are its tableau-row blocks
+	// concatenated in row order — exactly the append order of the
+	// independent scan, and nil (not empty) when every block is nil.
+	out := make([][]pfd.Violation, len(p.pfds))
+	for rule := range p.pfds {
+		var vs []pfd.Violation
+		for _, b := range blocks[rule] {
+			vs = append(vs, b...)
+		}
+		out[rule] = vs
+	}
+	return out, nil
+}
+
+// execScratch is one worker's reusable scan state.
+type execScratch struct {
+	gg       kernel.Groups
+	scan     pfd.GroupScan
+	bm       []uint64
+	keyBuf   []byte
+	keys     []string
+	groupIdx map[string]int
+	groupIDs [][]int32
+	order    []int
+	dedup    map[memberKey][]pfd.Violation
+}
+
+// memberKey identifies a member's output within one group. The group
+// pins the ordered LHS (column, cell) list, the rhs pool index pins the
+// RHS column and cell, and ri pins the reported tableau row — together
+// they determine the member's violation block exactly, so members of
+// different rules sharing a key scan once and share the block. The
+// shared slice is safe because the fan-out copies violation values into
+// each rule's own output slice; only the read-only Cells arrays inside
+// individual violations stay aliased.
+type memberKey struct {
+	ri  int
+	rhs int
+}
+
+// runGroup builds the group's row partition once and scans it for
+// every member tableau row. The partition and its sort replicate the
+// independent path exactly: single-attribute groups gather by span id
+// and sort by span string; wider groups And-combine match bitmaps and
+// sort by the '\x00'-joined span key. Each member then walks the same
+// sorted partition through pfd.ScanGroup with its own RHS evaluation.
+func (p *Plan) runGroup(w *execScratch, g *group, evs []*pfd.SpanEval, cols map[string]*colState, nrows int, blocks [][][]pfd.Violation) {
+	if w.dedup == nil {
+		w.dedup = make(map[memberKey][]pfd.Violation)
+	}
+	clear(w.dedup)
+	scanMember := func(m member, groupsOf func(yield func(ids []int32))) {
+		mk := memberKey{ri: m.ri, rhs: m.rhs}
+		if block, ok := w.dedup[mk]; ok {
+			blocks[m.rule][m.ri] = block
+			return
+		}
+		pf := p.pfds[m.rule]
+		rhsEv := evs[m.rhs]
+		rhsCodes := cols[p.cells[m.rhs].col].codes
+		var block []pfd.Violation
+		groupsOf(func(ids []int32) {
+			block = append(block, pf.ScanGroup(&w.scan, m.ri, ids, m.constant, rhsCodes, rhsEv)...)
+		})
+		w.dedup[mk] = block
+		blocks[m.rule][m.ri] = block
+	}
+
+	if len(g.lhs) == 1 {
+		ev := evs[g.lhs[0]]
+		cs := cols[p.cells[g.lhs[0]].col]
+		pfd.GatherSpanGroups(&w.gg, cs.codes, ev, cs.counts, nrows)
+		w.order = w.order[:0]
+		for i := 0; i < w.gg.Len(); i++ {
+			w.order = append(w.order, i)
+		}
+		sort.Slice(w.order, func(i, j int) bool {
+			return ev.Sids[w.gg.Sid(w.order[i])] < ev.Sids[w.gg.Sid(w.order[j])]
+		})
+		for _, m := range g.members {
+			scanMember(m, func(yield func(ids []int32)) {
+				for _, gi := range w.order {
+					yield(w.gg.Rows(gi))
+				}
+			})
+		}
+		return
+	}
+
+	lhsEvs := make([]*pfd.SpanEval, len(g.lhs))
+	lhsCodes := make([][]uint32, len(g.lhs))
+	for j, ci := range g.lhs {
+		lhsEvs[j] = evs[ci]
+		lhsCodes[j] = cols[p.cells[ci].col].codes
+	}
+	if cap(w.bm) < kernel.Words(nrows) {
+		w.bm = make([]uint64, kernel.Words(nrows))
+	}
+	w.bm = w.bm[:kernel.Words(nrows)]
+	pfd.AndSpanBitmaps(w.bm, lhsEvs, lhsCodes, nrows)
+	if w.groupIdx == nil {
+		w.groupIdx = make(map[string]int)
+	}
+	w.keys = w.keys[:0]
+	w.groupIDs = w.groupIDs[:0]
+	clear(w.groupIdx)
+	for wi, word := range w.bm {
+		base := wi * kernel.WordBits
+		for word != 0 {
+			id := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			w.keyBuf = w.keyBuf[:0]
+			for j := range lhsEvs {
+				code := lhsCodes[j][id]
+				w.keyBuf = append(w.keyBuf, lhsEvs[j].Span[code]...)
+				w.keyBuf = append(w.keyBuf, '\x00')
+			}
+			gi, seen := w.groupIdx[string(w.keyBuf)]
+			if !seen {
+				gi = len(w.groupIDs)
+				k := string(w.keyBuf)
+				w.groupIdx[k] = gi
+				w.keys = append(w.keys, k)
+				w.groupIDs = append(w.groupIDs, nil)
+			}
+			w.groupIDs[gi] = append(w.groupIDs[gi], int32(id))
+		}
+	}
+	w.order = w.order[:0]
+	for i := range w.keys {
+		w.order = append(w.order, i)
+	}
+	sort.Slice(w.order, func(i, j int) bool { return w.keys[w.order[i]] < w.keys[w.order[j]] })
+	for _, m := range g.members {
+		scanMember(m, func(yield func(ids []int32)) {
+			for _, gi := range w.order {
+				yield(w.groupIDs[gi])
+			}
+		})
+	}
+}

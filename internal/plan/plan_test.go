@@ -1,0 +1,273 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pfd/internal/pattern"
+	"pfd/internal/pfd"
+	"pfd/internal/relation"
+)
+
+// randomTable builds a table over three columns from small value
+// alphabets — collisions on every column, empty strings, values no
+// pattern matches.
+func randomTable(r *rand.Rand, nrows int) *relation.Table {
+	t := relation.New("T", "a", "b", "c")
+	zips := []string{"90001", "90002", "60601", "60602", "10001", "XYZ", ""}
+	codes := []string{"AA1", "AB2", "BA9", "Z"}
+	cities := []string{"LA", "CHI", "NY", "LA", "la"}
+	for i := 0; i < nrows; i++ {
+		t.Append(zips[r.Intn(len(zips))], codes[r.Intn(len(codes))], cities[r.Intn(len(cities))])
+	}
+	return t
+}
+
+// randomRuleset builds n rules over the table's columns with heavy
+// overlap: cells drawn from a small pattern alphabet, one- and
+// two-attribute LHS, multi-row tableaux, and (sometimes) constants
+// matching zero dictionary entries.
+func randomRuleset(r *rand.Rand, n int) []*pfd.PFD {
+	pats := []string{`(\D{3})\D{2}`, `(900)\D{2}`, `(\D{2})\D*`, `(\A+)`, `(\LU{2})\D*`}
+	lhsCell := func() pfd.Cell {
+		switch r.Intn(6) {
+		case 0:
+			return pfd.Wildcard()
+		case 1:
+			return pfd.Pat(pattern.Constant("90001"))
+		case 2:
+			return pfd.Pat(pattern.Constant("absent-value")) // zero-match
+		default:
+			return pfd.Pat(pattern.MustParse(pats[r.Intn(len(pats))]))
+		}
+	}
+	rhsCell := func() pfd.Cell {
+		switch r.Intn(3) {
+		case 0:
+			return pfd.Wildcard()
+		case 1:
+			return pfd.Pat(pattern.Constant([]string{"LA", "CHI", "nope"}[r.Intn(3)]))
+		default:
+			return pfd.Pat(pattern.MustParse(`(\LU+)`))
+		}
+	}
+	var out []*pfd.PFD
+	for i := 0; i < n; i++ {
+		lhsAttrs := [][]string{{"a"}, {"b"}, {"a", "b"}, {"b", "a"}}[r.Intn(4)]
+		rhs := "c"
+		var rows []pfd.Row
+		for k := 0; k < 1+r.Intn(3); k++ {
+			lhs := make([]pfd.Cell, len(lhsAttrs))
+			for j := range lhs {
+				lhs[j] = lhsCell()
+			}
+			rows = append(rows, pfd.Row{LHS: lhs, RHS: rhsCell()})
+		}
+		out = append(out, pfd.MustNew("T", lhsAttrs, rhs, rows...))
+	}
+	return out
+}
+
+// independent is the reference: every rule evaluated on its own.
+func independent(pfds []*pfd.PFD, t *relation.Table) [][]pfd.Violation {
+	out := make([][]pfd.Violation, len(pfds))
+	for i, p := range pfds {
+		out[i] = p.Violations(t)
+	}
+	return out
+}
+
+// TestPlannedMatchesIndependent pins planned evaluation byte-identical
+// (reflect.DeepEqual, including nil-vs-empty) to independent per-rule
+// evaluation over randomized rulesets and tables.
+func TestPlannedMatchesIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		tb := randomTable(r, r.Intn(200))
+		pfds := randomRuleset(r, 1+r.Intn(12))
+		pl := New(pfds)
+		got := pl.Violations(tb)
+		want := independent(pfds, tb)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: planned diverges from independent\nplan=%+v", trial, pl.Describe())
+		}
+	}
+}
+
+// TestPlannedWorkerDeterminism pins single-worker and many-worker
+// execution of the same plan byte-identical.
+func TestPlannedWorkerDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	defer func(w int) { execWorkers = w }(execWorkers)
+	for trial := 0; trial < 40; trial++ {
+		tb := randomTable(r, 50+r.Intn(200))
+		pfds := randomRuleset(r, 2+r.Intn(10))
+		pl := New(pfds)
+		execWorkers = 1
+		seq := pl.Violations(tb)
+		execWorkers = 8
+		par := pl.Violations(tb)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("trial %d: worker count changed planned output", trial)
+		}
+	}
+}
+
+// TestPlanReusedAcrossGrowingTable exercises the evaluation cache's
+// extend path: reuse one plan while the table grows (append-only
+// dictionaries), checking equivalence at every step and that the
+// extend path actually ran.
+func TestPlanReusedAcrossGrowingTable(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	tb := randomTable(r, 40)
+	pfds := randomRuleset(r, 8)
+	pl := New(pfds)
+	for step := 0; step < 5; step++ {
+		if got, want := pl.Violations(tb), independent(pfds, tb); !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: planned diverges after growth", step)
+		}
+		// Fresh values grow the dictionaries; repeats only bump counts.
+		for i := 0; i < 15; i++ {
+			tb.Append(fmt.Sprintf("z%d-%d", step, i), "AA1", fmt.Sprintf("city%d", step))
+		}
+	}
+	if d := pl.Describe(); d.EvalExtends == 0 {
+		t.Fatalf("expected dictionary-growth extends, got %+v", d)
+	}
+}
+
+// TestShortCircuitZeroMatch checks that rules whose constant LHS cells
+// match no dictionary entry are skipped (counted short-circuited) and
+// still come back with the exact independent result — and that a
+// zero-match RHS does NOT suppress the nonMatching violations it must
+// report.
+func TestShortCircuitZeroMatch(t *testing.T) {
+	tb := relation.New("T", "a", "c")
+	for i := 0; i < 32; i++ {
+		tb.Append("90001", fmt.Sprintf("v%d", i%3))
+	}
+	dead := pfd.MustNew("T", []string{"a"}, "c", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.Constant("nothing-matches"))},
+		RHS: pfd.Wildcard(),
+	})
+	// Constant LHS that matches, RHS constant that matches nothing:
+	// every matching tuple violates — must not be short-circuited.
+	rhsDead := pfd.MustNew("T", []string{"a"}, "c", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.Constant("90001"))},
+		RHS: pfd.Pat(pattern.Constant("absent")),
+	})
+	pfds := []*pfd.PFD{dead, rhsDead}
+	pl := New(pfds)
+	got := pl.Violations(tb)
+	want := independent(pfds, tb)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("short-circuit changed output:\ngot  %v\nwant %v", got, want)
+	}
+	if len(want[1]) == 0 {
+		t.Fatal("test premise broken: zero-match RHS should violate on every tuple")
+	}
+	if d := pl.Describe(); d.ShortCircuited == 0 {
+		t.Fatalf("dead rule not short-circuited: %+v", d)
+	}
+}
+
+// TestPlanSharing checks the factoring itself: replicated rules must
+// collapse to the distinct cells and groups of one copy.
+func TestPlanSharing(t *testing.T) {
+	base := pfd.MustNew("T", []string{"a"}, "c", pfd.Row{
+		LHS: []pfd.Cell{pfd.Pat(pattern.MustParse(`(\D{3})\D{2}`))},
+		RHS: pfd.Wildcard(),
+	})
+	var pfds []*pfd.PFD
+	for i := 0; i < 50; i++ {
+		pfds = append(pfds, pfd.MustNew(base.Relation, base.LHS, base.RHS, base.Tableau...))
+	}
+	d := New(pfds).Describe()
+	if d.DistinctCells != 2 || d.Groups != 1 {
+		t.Fatalf("50 identical rules should share 2 cells / 1 group, got %+v", d)
+	}
+	if d.SharedGroups != 1 || d.GroupDetail[0].Members != 50 || d.GroupDetail[0].Rules != 50 {
+		t.Fatalf("group detail wrong: %+v", d.GroupDetail)
+	}
+}
+
+// TestViolationsContextCanceled checks cancellation surfaces and
+// discards output.
+func TestViolationsContextCanceled(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	tb := randomTable(r, 100)
+	pfds := randomRuleset(r, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := New(pfds).ViolationsContext(ctx, tb)
+	if err == nil || out != nil {
+		t.Fatalf("want ctx error and nil output, got %v, %v", out, err)
+	}
+}
+
+// TestCacheIdentity checks hit/miss/evict semantics on slice identity.
+func TestCacheIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	c := NewCache(2)
+	rs1 := randomRuleset(r, 3)
+	rs2 := randomRuleset(r, 3)
+	p1 := c.For(rs1)
+	if c.For(rs1) != p1 {
+		t.Fatal("same slice contents should hit")
+	}
+	if c.For(append([]*pfd.PFD(nil), rs1...)) != p1 {
+		t.Fatal("copied slice with same pointers should hit")
+	}
+	if c.For(rs2) == p1 {
+		t.Fatal("different ruleset should miss")
+	}
+	// Third distinct ruleset evicts the LRU (rs1 was used most recently
+	// before rs2, so rs1 is older... rs1 hit at seq 3, rs2 at 4: rs1 evicted).
+	c.For(randomRuleset(r, 2))
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Hits != 2 || st.Misses != 3 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+}
+
+// TestCellPoolSharing checks the one-pass pool returns one evaluation
+// per distinct (column, cell).
+func TestCellPoolSharing(t *testing.T) {
+	dict := []string{"90001", "XYZ", ""}
+	pool := NewCellPool()
+	c1 := pfd.Pat(pattern.MustParse(`(\D{3})\D{2}`))
+	c2 := pfd.Pat(pattern.MustParse(`(\D{3})\D{2}`))
+	e1 := pool.Eval(c1, 0, dict)
+	if pool.Eval(c2, 0, dict) != e1 {
+		t.Fatal("structurally identical cells on one column should share")
+	}
+	if pool.Eval(c1, 1, dict) == e1 {
+		t.Fatal("different columns must not share")
+	}
+	want := pfd.EvalCellSpans(c1, dict)
+	if !reflect.DeepEqual(*e1, want) {
+		t.Fatalf("pooled evaluation differs: %+v vs %+v", *e1, want)
+	}
+}
+
+// TestBuildIsFast sanity-bounds plan construction: the acceptance bar
+// is 100µs for 100 rules; the test allows generous CI headroom while
+// still catching an accidental O(rows) or quadratic build.
+func TestBuildIsFast(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	pfds := randomRuleset(r, 100)
+	const trials = 10
+	best := 1e18
+	for i := 0; i < trials; i++ {
+		d := New(pfds).Describe()
+		if d.BuildMicros < best {
+			best = d.BuildMicros
+		}
+	}
+	if best > 5000 {
+		t.Fatalf("plan construction for 100 rules took %.0fµs (best of %d), want microsecond-scale", best, trials)
+	}
+}

@@ -1,0 +1,39 @@
+package plan
+
+import "pfd/internal/pfd"
+
+// CellEvalPool dedupes tableau-cell dictionary evaluations within one
+// table pass: the stream engine's warmup walks every (rule, tableau
+// row, cell) triple of a ruleset against one fixed table, so identical
+// cells across rules — the common case in discovered and replicated
+// rulesets — would otherwise each pay a full dictionary evaluation.
+// The pool keys by (column index, canonical cell rendering) and is
+// single-pass state: it pins the dictionaries of the table it was
+// created for and must be discarded afterwards, which is why it has no
+// versioning the way Plan's cache does.
+type CellEvalPool struct {
+	m map[poolKey]*pfd.SpanEval
+}
+
+type poolKey struct {
+	col  int
+	cell string
+}
+
+// NewCellPool returns an empty pool.
+func NewCellPool() *CellEvalPool {
+	return &CellEvalPool{m: make(map[poolKey]*pfd.SpanEval)}
+}
+
+// Eval returns cell c evaluated over dict, computing it on first sight
+// of (col, c) and sharing the result thereafter. dict must be column
+// col's dictionary of the single table this pool serves.
+func (cp *CellEvalPool) Eval(c pfd.Cell, col int, dict []string) *pfd.SpanEval {
+	key := poolKey{col: col, cell: c.String()}
+	if ev, ok := cp.m[key]; ok {
+		return ev
+	}
+	ev := pfd.EvalCellSpans(c, dict)
+	cp.m[key] = &ev
+	return &ev
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"pfd/internal/pfd"
+	"pfd/internal/plan"
 	"pfd/internal/relation"
 )
 
@@ -49,20 +50,71 @@ func Detect(t *relation.Table, pfds []*pfd.PFD) []Finding {
 // so tests can pin it.
 var detectWorkers = runtime.GOMAXPROCS(0)
 
+// planCache holds compiled shared-evaluation plans for the rulesets
+// this process detects with. Ruleset artifacts are long-lived and
+// reused across detect calls (the CLI's detect loop, the service's
+// tenants, RepairToFixpoint's rounds), so the per-ruleset plan is
+// worth keeping; 32 covers far more concurrent rulesets than any
+// caller holds.
+var planCache = plan.NewCache(32)
+
+// PlanCacheStats exposes the process-wide detection plan cache
+// counters, for the service's /metrics.
+func PlanCacheStats() plan.CacheStats { return planCache.Stats() }
+
+// Options tunes DetectContextOptions.
+type Options struct {
+	// Progress, when non-nil, is invoked after each PFD's scan with the
+	// number done and the total (serialized).
+	Progress func(done, total int)
+	// NoPlanner forces independent per-rule evaluation, bypassing the
+	// shared-evaluation planner — the escape hatch (and the
+	// differential baseline) for the planned path.
+	NoPlanner bool
+}
+
 // DetectContext is Detect with cancellation and per-PFD progress: the
-// context is observed between PFDs (each PFD's Violations pass is the
-// unit of work), and onPFD, when non-nil, is invoked after each PFD
-// with the number done and the total (serialized — safe for plain
-// progress counters). On cancellation it returns nil findings and
-// ctx.Err() — partial detection output is never useful, because the
-// dedup across PFDs has not run to completion.
-//
-// The per-PFD Violations passes run on a worker pool: each PFD's scan
-// is independent (read-only table, per-PFD memo), and the dedup fold
-// below consumes the per-PFD results strictly in pfds order, so the
-// findings are identical to a sequential run at any worker count.
+// context is observed between scan units, and onPFD, when non-nil, is
+// invoked after each PFD with the number done and the total
+// (serialized — safe for plain progress counters). On cancellation it
+// returns nil findings and ctx.Err() — partial detection output is
+// never useful, because the dedup across PFDs has not run to
+// completion.
 func DetectContext(ctx context.Context, t *relation.Table, pfds []*pfd.PFD, onPFD func(done, total int)) ([]Finding, error) {
-	violations := make([][]pfd.Violation, len(pfds))
+	return DetectContextOptions(ctx, t, pfds, Options{Progress: onPFD})
+}
+
+// DetectContextOptions is DetectContext with explicit options.
+//
+// Multi-rule detection runs through the shared-evaluation planner
+// (internal/plan): identical tableau cells across rules are evaluated
+// once, shared LHS groups are gathered once and fanned out to every
+// member rule, and provably zero-match rules are skipped. The planner
+// is pinned byte-identical to independent evaluation (its per-rule
+// violation slices are exactly what each PFD's own Violations returns),
+// so the dedup fold below sees the same input either way. Single-rule
+// calls and NoPlanner take the independent worker-pool path: each
+// PFD's scan is independent (read-only table, per-PFD memo), and the
+// dedup fold consumes the per-PFD results strictly in pfds order, so
+// the findings are identical to a sequential run at any worker count.
+func DetectContextOptions(ctx context.Context, t *relation.Table, pfds []*pfd.PFD, opts Options) ([]Finding, error) {
+	onPFD := opts.Progress
+	var violations [][]pfd.Violation
+	if !opts.NoPlanner && len(pfds) >= 2 {
+		vs, err := planCache.For(pfds).ViolationsContext(ctx, t)
+		if err != nil {
+			return nil, err
+		}
+		violations = vs
+		if onPFD != nil {
+			for pi := range pfds {
+				onPFD(pi+1, len(pfds))
+			}
+		}
+		return foldFindings(t, pfds, violations), nil
+	}
+
+	violations = make([][]pfd.Violation, len(pfds))
 	workers := detectWorkers
 	if workers > len(pfds) {
 		workers = len(pfds)
@@ -105,9 +157,12 @@ func DetectContext(ctx context.Context, t *relation.Table, pfds []*pfd.PFD, onPF
 			return nil, err
 		}
 	}
+	return foldFindings(t, pfds, violations), nil
+}
 
-	// Dedup fold, strictly in pfds order — the order-sensitive step that
-	// keeps parallel detection deterministic.
+// foldFindings is the dedup fold, strictly in pfds order — the
+// order-sensitive step that keeps parallel detection deterministic.
+func foldFindings(t *relation.Table, pfds []*pfd.PFD, violations [][]pfd.Violation) []Finding {
 	byCell := map[relation.Cell]Finding{}
 	for pi, p := range pfds {
 		for _, v := range violations[pi] {
@@ -138,7 +193,7 @@ func DetectContext(ctx context.Context, t *relation.Table, pfds []*pfd.PFD, onPF
 		}
 		return out[i].Cell.Col < out[j].Cell.Col
 	})
-	return out, nil
+	return out
 }
 
 // proposeRepair derives the full replacement value for a violation.

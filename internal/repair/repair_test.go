@@ -2,6 +2,7 @@ package repair
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"pfd/internal/pattern"
@@ -170,5 +171,53 @@ func TestDetectContextCancel(t *testing.T) {
 	fs, err := DetectContext(ctx, zipTable(), []*pfd.PFD{constPFD(), varPFD()}, nil)
 	if err == nil || fs != nil {
 		t.Fatalf("canceled DetectContext = (%v, %v), want (nil, error)", fs, err)
+	}
+}
+
+// TestDetectPlannedMatchesIndependent pins the planner path (the
+// default for multi-rule detection) to the NoPlanner worker-pool path
+// on a workload with overlapping rules, a duplicate-cell rule, and a
+// rule whose constant LHS matches nothing.
+func TestDetectPlannedMatchesIndependent(t *testing.T) {
+	tb := zipTable()
+	dead := pfd.MustNew("Zip", []string{"zip"}, "city",
+		pfd.Row{LHS: []pfd.Cell{pfd.Pat(pattern.Constant("absent"))}, RHS: pfd.Wildcard()})
+	pfds := []*pfd.PFD{constPFD(), varPFD(), constPFD(), dead}
+	ctx := context.Background()
+	planned, err := DetectContextOptions(ctx, tb, pfds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := DetectContextOptions(ctx, tb, pfds, Options{NoPlanner: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(planned, naive) {
+		t.Fatalf("planned detection diverges:\nplanned %+v\nnaive   %+v", planned, naive)
+	}
+	if len(planned) == 0 {
+		t.Fatal("test premise broken: expected findings")
+	}
+}
+
+// TestDetectPlannedProgress checks the planner path still reports
+// per-PFD progress in order.
+func TestDetectPlannedProgress(t *testing.T) {
+	tb := zipTable()
+	pfds := []*pfd.PFD{constPFD(), varPFD()}
+	var calls []int
+	_, err := DetectContextOptions(context.Background(), tb, pfds, Options{
+		Progress: func(done, total int) {
+			if total != 2 {
+				t.Errorf("total = %d", total)
+			}
+			calls = append(calls, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(calls, []int{1, 2}) {
+		t.Fatalf("progress calls = %v", calls)
 	}
 }

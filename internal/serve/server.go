@@ -113,6 +113,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/tenants", s.handleTenantList)
 	s.mux.HandleFunc("PUT /v1/tenants/{tenant}/ruleset", s.handleRulesetPut)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/ruleset", s.handleRulesetGet)
+	s.mux.HandleFunc("GET /v1/tenants/{tenant}/plan", s.handlePlan)
 	s.mux.HandleFunc("POST /v1/tenants/{tenant}/tuples", s.handleIngest)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/tenants/{tenant}/health", s.handleRuleHealth)
@@ -390,6 +391,33 @@ func (s *Server) handleRulesetGet(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(data, '\n'))
+}
+
+// handlePlan is the shared-evaluation plan debug view: how the
+// tenant's ruleset factors into distinct cells and shared LHS groups,
+// with the tenant's plan-cache counters alongside. The description is
+// cached per ruleset and invalidated by hot reload, so repeated views
+// of a large ruleset cost one compilation.
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	t, _ := s.tenant(r.PathValue("tenant"), false)
+	if t == nil {
+		writeError(w, http.StatusNotFound, "no such tenant")
+		return
+	}
+	d := t.planView()
+	if d == nil {
+		writeError(w, http.StatusNotFound, "tenant has no ruleset")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenant": t.name,
+		"plan":   d,
+		"cache": map[string]int64{
+			"hits":          t.planHits.Load(),
+			"misses":        t.planMisses.Load(),
+			"invalidations": t.planInvalid.Load(),
+		},
+	})
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {

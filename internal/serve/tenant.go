@@ -46,6 +46,11 @@ type tenant struct {
 	// violations fold in as they fire and batches advance support, so
 	// rules demote without re-mining. Replaced with the ruleset.
 	maint *pfd.Maintainer
+	// plan is the cached shared-evaluation plan description for the
+	// current ruleset (built lazily by planView, invalidated by
+	// setRuleset — the plan is a pure function of the ruleset, so the
+	// hot-reload swap is its only invalidation point).
+	plan *pfd.PlanDescription
 
 	// rowBase is the row total of closed engine generations. Written
 	// under mu (write-locked); read atomically so draining-state
@@ -55,6 +60,9 @@ type tenant struct {
 	liveViolations atomic.Int64
 	retroSignals   atomic.Int64
 	reloads        atomic.Int64
+	planHits       atomic.Int64
+	planMisses     atomic.Int64
+	planInvalid    atomic.Int64
 	lastActive     atomic.Int64 // unixnano of the last ingest or reload
 	genDraining    atomic.Bool  // an engine generation is mid-Close
 	stopped        atomic.Bool  // server drain: no new generations, ever
@@ -89,6 +97,10 @@ func (t *tenant) setRuleset(rs *pfd.Ruleset) (replaced bool) {
 		params = *rs.Provenance.Params
 	}
 	t.maint = pfd.NewMaintainer(rs.PFDs, params)
+	if t.plan != nil {
+		t.plan = nil
+		t.planInvalid.Add(1)
+	}
 	t.closeEngineLocked()
 	if replaced {
 		t.reloads.Add(1)
@@ -123,6 +135,33 @@ func (t *tenant) ruleset() *pfd.Ruleset {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.rules
+}
+
+// planView returns the shared-evaluation plan description for the
+// current ruleset, compiling and caching it on first request and
+// serving the cache until the next hot reload. Returns nil when no
+// ruleset is loaded. The recompile-after-swap race (rules swapped
+// between the read and the write lock) is resolved by re-checking the
+// ruleset pointer before caching: a stale description is never stored.
+func (t *tenant) planView() *pfd.PlanDescription {
+	t.mu.RLock()
+	cached, rs := t.plan, t.rules
+	t.mu.RUnlock()
+	if cached != nil {
+		t.planHits.Add(1)
+		return cached
+	}
+	if rs == nil {
+		return nil
+	}
+	t.planMisses.Add(1)
+	d := rs.Plan()
+	t.mu.Lock()
+	if t.rules == rs {
+		t.plan = &d
+	}
+	t.mu.Unlock()
+	return &d
 }
 
 // closeEngineLocked drains the current engine generation and folds its
@@ -392,6 +431,9 @@ type tenantStatus struct {
 	LiveViolations int64   `json:"live_violations"`
 	RetroSignals   int64   `json:"retro_signals"`
 	Reloads        int64   `json:"reloads"`
+	PlanHits       int64   `json:"plan_cache_hits"`
+	PlanMisses     int64   `json:"plan_cache_misses"`
+	PlanInvalid    int64   `json:"plan_invalidations"`
 	TuplesPerSec   float64 `json:"tuples_per_sec"`
 	BacklogBatches int     `json:"backlog_batches"`
 	BacklogBuffer  int     `json:"backlog_buffered"`
@@ -404,6 +446,9 @@ func (t *tenant) status() tenantStatus {
 		LiveViolations: t.liveViolations.Load(),
 		RetroSignals:   t.retroSignals.Load(),
 		Reloads:        t.reloads.Load(),
+		PlanHits:       t.planHits.Load(),
+		PlanMisses:     t.planMisses.Load(),
+		PlanInvalid:    t.planInvalid.Load(),
 		IdleSec:        time.Since(time.Unix(0, t.lastActive.Load())).Seconds(),
 	}
 	if t.genDraining.Load() {

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"pfd/internal/pfd"
+	"pfd/internal/plan"
 	"pfd/internal/relation"
 )
 
@@ -373,11 +374,17 @@ func (e *Engine) SubmitTable(t *relation.Table) error {
 		}
 	}
 
-	// Evaluate every tableau cell over its column's dictionary once.
+	// Evaluate every tableau cell over its column's dictionary once —
+	// once per *distinct* (column, cell) across the whole ruleset, via
+	// the planner's evaluation pool: rules in a tenant's ruleset share
+	// cells heavily, and the pool makes warmup cost scale with the
+	// distinct cells rather than the rule count. The pool lives for this
+	// one table pass only (dictionaries are pinned by t).
+	pool := plan.NewCellPool()
 	type rowEval struct {
-		lhs      []pfd.CellDictEval
+		lhs      []*pfd.SpanEval
 		lhsCodes [][]uint32
-		rhs      pfd.CellDictEval
+		rhs      *pfd.SpanEval
 		rhsCodes []uint32
 	}
 	evs := make([][]rowEval, len(e.pfds))
@@ -386,13 +393,13 @@ func (e *Engine) SubmitTable(t *relation.Table) error {
 		evs[pi] = make([]rowEval, len(p.Tableau))
 		for ri, tr := range p.Tableau {
 			re := &evs[pi][ri]
-			re.rhs = pfd.EvalCellDict(tr.RHS, t.Dict(rhsCol))
+			re.rhs = pool.Eval(tr.RHS, rhsCol, t.Dict(rhsCol))
 			re.rhsCodes = t.Codes(rhsCol)
-			re.lhs = make([]pfd.CellDictEval, len(p.LHS))
+			re.lhs = make([]*pfd.SpanEval, len(p.LHS))
 			re.lhsCodes = make([][]uint32, len(p.LHS))
 			for j, a := range p.LHS {
 				ci := t.MustCol(a)
-				re.lhs[j] = pfd.EvalCellDict(tr.LHS[j], t.Dict(ci))
+				re.lhs[j] = pool.Eval(tr.LHS[j], ci, t.Dict(ci))
 				re.lhsCodes[j] = t.Codes(ci)
 			}
 		}
@@ -412,7 +419,7 @@ func (e *Engine) SubmitTable(t *relation.Table) error {
 				ok := true
 				for j := range re.lhs {
 					code := re.lhsCodes[j][id]
-					if !re.lhs[j].Match[code] {
+					if !re.lhs[j].Ok[code] {
 						ok = false
 						break
 					}
@@ -425,7 +432,7 @@ func (e *Engine) SubmitTable(t *relation.Table) error {
 				key := string(keyBuf) // same layout as pfd.LHSKey
 				m := e.meta[pi][ri]
 				code := re.rhsCodes[id]
-				if !re.rhs.Match[code] {
+				if !re.rhs.Ok[code] {
 					if m.constantLHS {
 						ups = append(ups, update{pfdIdx: pi, rowIdx: ri, key: key, span: m.constRHS, kind: opConstMismatch})
 					} else {

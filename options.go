@@ -75,6 +75,7 @@ type DetectOption func(*detectConfig)
 
 type detectConfig struct {
 	progress func(pfdsDone, pfdsTotal int)
+	noPlan   bool
 }
 
 func newDetectConfig(opts []DetectOption) detectConfig {
@@ -90,6 +91,15 @@ func newDetectConfig(opts []DetectOption) detectConfig {
 // the total.
 func WithDetectProgress(fn func(pfdsDone, pfdsTotal int)) DetectOption {
 	return func(c *detectConfig) { c.progress = fn }
+}
+
+// WithoutSharedPlan forces independent per-rule evaluation, bypassing
+// the multi-rule shared-evaluation planner. The planner is pinned
+// byte-identical to the independent path, so this only trades speed
+// for isolation — the escape hatch when a planner defect is suspected,
+// and the baseline the differential suite compares against.
+func WithoutSharedPlan() DetectOption {
+	return func(c *detectConfig) { c.noPlan = true }
 }
 
 // A StreamOption configures Validate and NewStreamEngineContext.

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Multi-tenant load smoke for pfdserved's plan cache: boot the daemon,
+# load the same mined T13 ruleset into many tenants concurrently,
+# stream the dirty CSV through every tenant's ingest, and hit each
+# tenant's plan debug view twice — the first view compiles the shared
+# plan (miss), the second must be served from the per-tenant cache
+# (hit). Finishes by asserting the summed plan-cache counters on
+# /metrics: at least one hit per tenant, one invalidation per reload,
+# and the full row count across tenants.
+#
+# Needs: go, curl, python3. Run from the repo root. Not part of CI —
+# run it by hand for the README load numbers.
+set -euo pipefail
+
+tenants=${TENANTS:-16}
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { echo "serve_load: $*"; }
+
+say "building binaries"
+go build -o "$workdir/bin/" ./cmd/pfdserved ./cmd/pfd ./cmd/datagen
+
+say "generating the T13 workload"
+"$workdir/bin/datagen" -out "$workdir/data" -scale 0.02 -dirt 0.05 -seed 7 -table T13
+csv="$workdir/data/T13.csv"
+rows=$(($(wc -l <"$csv") - 1))
+
+say "mining the ruleset"
+"$workdir/bin/pfd" discover -in "$csv" -rules "$workdir/rules.json" >/dev/null
+
+say "booting pfdserved"
+"$workdir/bin/pfdserved" -addr 127.0.0.1:0 -idle 10m -ring 1000000 \
+  >"$workdir/serve.log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/.*listening on \(.*\)/\1/p' "$workdir/serve.log" | head -1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  say "server never reported its address:"; cat "$workdir/serve.log"; exit 1
+fi
+say "server up at $addr, driving $tenants tenants x $rows rows"
+
+start=$(date +%s.%N)
+drive_tenant() {
+  t="t$1"
+  curl -sfS -X PUT --data-binary @"$workdir/rules.json" \
+    "http://$addr/v1/tenants/$t/ruleset" >/dev/null
+  # First plan view compiles (miss), second must hit the cache.
+  curl -sfS "http://$addr/v1/tenants/$t/plan" >"$workdir/plan_$t.json"
+  curl -sfS "http://$addr/v1/tenants/$t/plan" >"$workdir/plan2_$t.json"
+  curl -sfS -X POST -H 'Content-Type: text/csv' --data-binary @"$csv" \
+    "http://$addr/v1/tenants/$t/tuples" >/dev/null
+  # Hot reload invalidates the cached plan; the next view recompiles.
+  curl -sfS -X PUT --data-binary @"$workdir/rules.json" \
+    "http://$addr/v1/tenants/$t/ruleset" >/dev/null
+  curl -sfS "http://$addr/v1/tenants/$t/plan" >/dev/null
+}
+pids=()
+for i in $(seq 1 "$tenants"); do
+  drive_tenant "$i" &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do
+  wait "$pid" || { say "a tenant driver failed"; cat "$workdir/serve.log"; exit 1; }
+done
+elapsed=$(python3 -c "import time; print(f'{time.time() - $start:.2f}')")
+
+curl -sfS "http://$addr/metrics" >"$workdir/metrics.txt"
+
+say "checking plan-cache counters on /metrics"
+python3 - "$workdir/metrics.txt" "$tenants" "$rows" "$elapsed" <<'EOF'
+import sys
+
+metrics = {}
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line or line.startswith("#"):
+        continue
+    name, _, value = line.rpartition(" ")
+    metrics[name] = float(value)
+
+tenants, rows = int(sys.argv[2]), int(sys.argv[3])
+
+hits = metrics.get("pfd_plan_cache_hits_total", 0)
+misses = metrics.get("pfd_plan_cache_misses_total", 0)
+invalid = metrics.get("pfd_plan_invalidations_total", 0)
+total_rows = sum(v for k, v in metrics.items()
+                 if k.startswith("pfd_tenant_rows_total{"))
+
+assert hits >= tenants, f"expected >= {tenants} plan-cache hits, got {hits}"
+assert misses >= 2 * tenants, \
+    f"expected >= {2 * tenants} plan-cache misses (compile + post-reload), got {misses}"
+assert invalid >= tenants, \
+    f"expected >= {tenants} plan invalidations (one reload each), got {invalid}"
+assert total_rows == tenants * rows, \
+    f"expected {tenants * rows} rows across tenants, got {total_rows:.0f}"
+
+elapsed = float(sys.argv[4])
+print(f"  plan cache: {hits:.0f} hits / {misses:.0f} misses / {invalid:.0f} invalidations")
+print(f"  ingest: {total_rows:.0f} rows across {tenants} tenants in {elapsed}s "
+      f"({total_rows / elapsed:.0f} rows/s)")
+EOF
+
+say "graceful shutdown"
+kill -TERM "$server_pid"
+shutdown_status=0
+wait "$server_pid" || shutdown_status=$?
+server_pid=""
+if [ "$shutdown_status" -ne 0 ]; then
+  say "server exited $shutdown_status on SIGTERM:"; cat "$workdir/serve.log"; exit 1
+fi
+
+say "OK"
