@@ -56,7 +56,10 @@ func run() error {
 	hard, abort := context.WithCancel(context.Background())
 	defer abort()
 
-	srv := serve.NewContext(hard, cfg)
+	srv, err := serve.NewContext(hard, cfg)
+	if err != nil {
+		return err
+	}
 	if cfg.Rules != "" {
 		rs, err := pfd.LoadRulesetFile(cfg.Rules)
 		if err != nil {

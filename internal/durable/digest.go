@@ -1,0 +1,42 @@
+package durable
+
+import (
+	"sort"
+
+	"pfd/internal/relation"
+)
+
+// BatchDigest folds an ingest batch's tuples into one order-sensitive
+// XXH64-based digest — the audit anchor an IngestRecord carries. Field
+// order inside a tuple is canonicalized (sorted keys), tuple order is
+// significant: the same tuples in a different order are a different
+// batch. The zero value is ready to use; not safe for concurrent use
+// (one ingest request feeds its engine from one goroutine).
+type BatchDigest struct {
+	h    uint64
+	keys []string
+	buf  []byte
+}
+
+// Add folds one tuple into the digest.
+func (d *BatchDigest) Add(tuple map[string]string) {
+	d.keys = d.keys[:0]
+	for k := range tuple {
+		d.keys = append(d.keys, k)
+	}
+	sort.Strings(d.keys)
+	d.buf = d.buf[:0]
+	for _, k := range d.keys {
+		// 0x00/0x01 separators keep ("ab","c") distinct from ("a","bc").
+		d.buf = append(d.buf, k...)
+		d.buf = append(d.buf, 0x00)
+		d.buf = append(d.buf, tuple[k]...)
+		d.buf = append(d.buf, 0x01)
+	}
+	// Rotate-and-xor fold keeps tuple order significant without
+	// buffering the batch.
+	d.h = (d.h<<1 | d.h>>63) ^ relation.XXH64(d.buf)
+}
+
+// Sum returns the digest of everything added so far.
+func (d *BatchDigest) Sum() uint64 { return d.h }

@@ -1,0 +1,132 @@
+package durable
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the failure every injected fault surfaces as — the
+// moral equivalent of ENOSPC. Tests flip faults on a live store and
+// assert the daemon degrades instead of crashing.
+var ErrInjected = errors.New("durable: injected fault: no space left on device")
+
+// FaultFS wraps an FS and injects write-path failures on demand. All
+// knobs are atomics, so tests flip them while the store is mid-flight
+// from other goroutines (the degraded-mode tests run under -race).
+//
+// Reads are never failed: degraded mode is read-only by design, and
+// the recovery path is exercised with real bytes.
+type FaultFS struct {
+	Base FS
+
+	failWrites  atomic.Bool  // every Write/Sync/Create/Rename fails
+	shortBudget atomic.Int64 // when >= 0: bytes allowed before a short write
+}
+
+// NewFaultFS wraps base (OSFS when nil) with all faults off.
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = OSFS{}
+	}
+	f := &FaultFS{Base: base}
+	f.shortBudget.Store(-1)
+	return f
+}
+
+// FailWrites turns the disk-full fault on or off: while on, every
+// write-path operation (Write, Sync, Create, OpenAppend, Rename,
+// Truncate, SyncDir) returns ErrInjected.
+func (f *FaultFS) FailWrites(on bool) { f.failWrites.Store(on) }
+
+// ShortWriteAfter arms a one-shot short write: the next n bytes pass
+// through, then a write is cut short and fails with ErrInjected —
+// the torn-record producer. Negative disarms.
+func (f *FaultFS) ShortWriteAfter(n int64) { f.shortBudget.Store(n) }
+
+func (f *FaultFS) broken() bool { return f.failWrites.Load() }
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if f.broken() {
+		return ErrInjected
+	}
+	return f.Base.MkdirAll(dir)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.Base.ReadDir(dir) }
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.Base.ReadFile(path) }
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if f.broken() {
+		return nil, ErrInjected
+	}
+	file, err := f.Base.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, File: file}, nil
+}
+
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	if f.broken() {
+		return nil, ErrInjected
+	}
+	file, err := f.Base.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, File: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if f.broken() {
+		return ErrInjected
+	}
+	return f.Base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error { return f.Base.Remove(path) }
+
+func (f *FaultFS) Truncate(path string, size int64) error {
+	if f.broken() {
+		return ErrInjected
+	}
+	return f.Base.Truncate(path, size)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if f.broken() {
+		return ErrInjected
+	}
+	return f.Base.SyncDir(dir)
+}
+
+// faultFile applies the write faults to an open handle.
+type faultFile struct {
+	f *FaultFS
+	File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.f.broken() {
+		return 0, ErrInjected
+	}
+	if budget := ff.f.shortBudget.Load(); budget >= 0 {
+		if int64(len(p)) <= budget {
+			ff.f.shortBudget.Store(budget - int64(len(p)))
+			return ff.File.Write(p)
+		}
+		// The torn write: part of the record reaches the disk, then
+		// the device gives out. Disarm so recovery can proceed.
+		ff.f.shortBudget.Store(-1)
+		n, _ := ff.File.Write(p[:budget])
+		return n, ErrInjected
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.f.broken() {
+		return ErrInjected
+	}
+	return ff.File.Sync()
+}

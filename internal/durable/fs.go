@@ -1,0 +1,88 @@
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem seam the store writes through. Production uses
+// OSFS; the fault-injection tests wrap it in a FaultFS that turns
+// writes into short writes, disk-full errors, or failed syncs — the
+// degraded-mode and crash-recovery paths are exercised against exactly
+// the operations the store performs, not a mock of its internals.
+type FS interface {
+	// MkdirAll creates dir and its parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the file names in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// ReadFile reads path in full.
+	ReadFile(path string) ([]byte, error)
+	// Create truncates/creates path for writing.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// in it durable.
+	SyncDir(dir string) error
+}
+
+// File is the writable-handle subset the store needs.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) Create(path string) (File, error) { return os.Create(path) }
+
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

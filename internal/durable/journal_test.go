@@ -1,0 +1,262 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"pfd/internal/relation"
+)
+
+// testRecords is a representative mix of every record kind.
+func testRecords() []Record {
+	return []Record{
+		RulesetInstalled("acme", 1, json.RawMessage(`{"name":"zip","pfds":[]}`)),
+		BatchIngested(IngestRecord{Tenant: "acme", Digest: 0xdead, Accepted: 9, Rows: 9, LiveViolations: 1}),
+		TenantEvicted("acme"),
+		BatchIngested(IngestRecord{Tenant: "acme", Digest: 0xbeef, Accepted: 3, Rows: 12, LiveViolations: 1}),
+		TenantDeleted("beta"),
+	}
+}
+
+// buildJournal renders a journal image: header plus the given records.
+func buildJournal(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	data := appendJournalHeader(nil)
+	for _, r := range recs {
+		frame, err := encodeRecord(r)
+		if err != nil {
+			t.Fatalf("encodeRecord: %v", err)
+		}
+		data = append(data, frame...)
+	}
+	return data
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	want := testRecords()
+	data := buildJournal(t, want)
+	got, validLen, err := replayJournal(data)
+	if err != nil {
+		t.Fatalf("replayJournal: %v", err)
+	}
+	if validLen != len(data) {
+		t.Fatalf("validLen = %d, want %d (whole file)", validLen, len(data))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind {
+			t.Errorf("record %d: kind = %d, want %d", i, got[i].Kind, want[i].Kind)
+		}
+	}
+	if got[0].Ruleset == nil || got[0].Ruleset.Tenant != "acme" || got[0].Ruleset.Generation != 1 {
+		t.Errorf("ruleset record: %+v", got[0].Ruleset)
+	}
+	if got[3].Ingest == nil || got[3].Ingest.Rows != 12 || got[3].Ingest.Digest != 0xbeef {
+		t.Errorf("ingest record: %+v", got[3].Ingest)
+	}
+	if got[4].Tenant != "beta" {
+		t.Errorf("delete record tenant = %q", got[4].Tenant)
+	}
+}
+
+// TestJournalTruncationAtEveryByte is the crash-tail exhaustive check:
+// a journal cut at ANY byte offset must replay without error, yielding
+// exactly the records whose frames are complete — the torn remainder
+// is dropped, never misread.
+func TestJournalTruncationAtEveryByte(t *testing.T) {
+	recs := testRecords()
+	data := buildJournal(t, recs)
+
+	// Record end offsets, to know how many records a prefix holds.
+	ends := []int{journalHeaderSize}
+	off := journalHeaderSize
+	for {
+		_, next, ok, _ := frameAt(data, off)
+		if !ok {
+			break
+		}
+		ends = append(ends, next)
+		off = next
+	}
+	if len(ends) != len(recs)+1 {
+		t.Fatalf("frame walk found %d records, want %d", len(ends)-1, len(recs))
+	}
+
+	for cut := 0; cut <= len(data); cut++ {
+		got, validLen, err := replayJournal(data[:cut])
+		if err != nil {
+			t.Fatalf("cut at %d: replayJournal error: %v", cut, err)
+		}
+		wantRecs := 0
+		for _, end := range ends[1:] {
+			if end <= cut {
+				wantRecs++
+			}
+		}
+		if len(got) != wantRecs {
+			t.Fatalf("cut at %d: replayed %d records, want %d", cut, len(got), wantRecs)
+		}
+		if validLen > cut {
+			t.Fatalf("cut at %d: validLen %d beyond the data", cut, validLen)
+		}
+	}
+}
+
+// TestJournalFlippedChecksum distinguishes the two corruption
+// positions: a bad final record is indistinguishable from a torn tail
+// (truncate), a bad record with valid successors is mid-file
+// corruption (typed error).
+func TestJournalFlippedChecksum(t *testing.T) {
+	recs := testRecords()
+	data := buildJournal(t, recs)
+
+	// Find the last record's start.
+	starts := []int{}
+	off := journalHeaderSize
+	for {
+		_, next, ok, _ := frameAt(data, off)
+		if !ok {
+			break
+		}
+		starts = append(starts, off)
+		off = next
+	}
+
+	// Flip a payload byte of the LAST record: torn-tail treatment.
+	tail := append([]byte(nil), data...)
+	tail[starts[len(starts)-1]+recordFrameSize] ^= 0xff
+	got, validLen, err := replayJournal(tail)
+	if err != nil {
+		t.Fatalf("flipped tail byte: %v", err)
+	}
+	if len(got) != len(recs)-1 {
+		t.Fatalf("flipped tail byte: %d records, want %d", len(got), len(recs)-1)
+	}
+	if validLen != starts[len(starts)-1] {
+		t.Fatalf("flipped tail byte: validLen = %d, want %d", validLen, starts[len(starts)-1])
+	}
+
+	// Flip a payload byte of the FIRST record: valid records follow, so
+	// this is mid-file corruption and must be a typed, loud failure.
+	mid := append([]byte(nil), data...)
+	mid[starts[0]+recordFrameSize] ^= 0xff
+	if _, _, err := replayJournal(mid); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("flipped mid-file byte: err = %v, want ErrJournalCorrupt", err)
+	}
+}
+
+// TestJournalZeroLengthRecord: a zero length prefix cannot be a frame.
+// At the tail it truncates; followed by a valid record it is corruption.
+func TestJournalZeroLengthRecord(t *testing.T) {
+	valid := buildJournal(t, testRecords()[:1])
+
+	zeroFrame := make([]byte, recordFrameSize) // length 0, checksum 0
+	tail := append(append([]byte(nil), valid...), zeroFrame...)
+	got, validLen, err := replayJournal(tail)
+	if err != nil || len(got) != 1 || validLen != len(valid) {
+		t.Fatalf("zero-length at tail: recs=%d validLen=%d err=%v", len(got), validLen, err)
+	}
+
+	frame2, err := encodeRecord(TenantEvicted("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := append(append(append([]byte(nil), valid...), zeroFrame...), frame2...)
+	if _, _, err := replayJournal(mid); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("zero-length mid-file: err = %v, want ErrJournalCorrupt", err)
+	}
+}
+
+// TestJournalOversizedRecord: a length beyond MaxRecordBytes is garbage
+// (nothing legitimate is that big) and must not be allocated or read.
+func TestJournalOversizedRecord(t *testing.T) {
+	valid := buildJournal(t, testRecords()[:2])
+	huge := make([]byte, recordFrameSize)
+	binary.LittleEndian.PutUint32(huge[0:4], uint32(MaxRecordBytes)+1)
+	data := append(append([]byte(nil), valid...), huge...)
+	got, validLen, err := replayJournal(data)
+	if err != nil || len(got) != 2 || validLen != len(valid) {
+		t.Fatalf("oversized at tail: recs=%d validLen=%d err=%v", len(got), validLen, err)
+	}
+}
+
+// TestJournalUndecodablePayload: a checksum-valid payload that does not
+// decode was WRITTEN malformed — corruption regardless of position,
+// even at the tail.
+func TestJournalUndecodablePayload(t *testing.T) {
+	payload := []byte{99, '{', '}'} // unknown kind, valid checksum
+	frame := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint64(frame, relation.XXH64(payload))
+	frame = append(frame, payload...)
+	data := append(buildJournal(t, testRecords()[:1]), frame...)
+	if _, _, err := replayJournal(data); !errors.Is(err, ErrJournalCorrupt) {
+		t.Fatalf("undecodable payload: err = %v, want ErrJournalCorrupt", err)
+	}
+}
+
+func TestJournalBadMagicAndVersion(t *testing.T) {
+	if _, _, err := replayJournal([]byte("NOPEnope")); !errors.Is(err, ErrJournalMagic) {
+		t.Fatalf("bad magic: err = %v, want ErrJournalMagic", err)
+	}
+	future := appendJournalHeader(nil)
+	binary.LittleEndian.PutUint16(future[4:6], JournalVersion+1)
+	if _, _, err := replayJournal(future); !errors.Is(err, ErrJournalVersion) {
+		t.Fatalf("future version: err = %v, want ErrJournalVersion", err)
+	}
+	// A header torn mid-magic is a crash during the very first write:
+	// nothing readable, not an error.
+	if _, _, err := replayJournal([]byte("PF")); err != nil {
+		t.Fatalf("torn header: %v", err)
+	}
+}
+
+// FuzzWALReplay feeds arbitrary bytes through replayJournal. It must
+// never panic, and on success its validLen must be a stable fixpoint:
+// replaying the valid prefix yields the same records and no error.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	full := appendJournalHeader(nil)
+	for _, r := range []Record{
+		RulesetInstalled("a", 1, json.RawMessage(`{"x":1}`)),
+		BatchIngested(IngestRecord{Tenant: "a", Accepted: 1, Rows: 1}),
+		TenantDeleted("a"),
+	} {
+		frame, err := encodeRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		full = append(full, frame...)
+	}
+	f.Add(full)
+	f.Add(full[:len(full)-3])
+	flipped := append([]byte(nil), full...)
+	flipped[journalHeaderSize+recordFrameSize] ^= 0x01
+	f.Add(flipped)
+	f.Add(appendJournalHeader(nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, validLen, err := replayJournal(data)
+		if err != nil {
+			if !errors.Is(err, ErrJournalMagic) && !errors.Is(err, ErrJournalVersion) &&
+				!errors.Is(err, ErrJournalCorrupt) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if validLen > len(data) {
+			t.Fatalf("validLen %d > len(data) %d", validLen, len(data))
+		}
+		again, againLen, err := replayJournal(data[:validLen])
+		if err != nil {
+			t.Fatalf("replay of valid prefix failed: %v", err)
+		}
+		if againLen != validLen || len(again) != len(recs) {
+			t.Fatalf("valid prefix not a fixpoint: %d/%d records, %d/%d bytes",
+				len(again), len(recs), againLen, validLen)
+		}
+	})
+}

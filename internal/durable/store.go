@@ -1,0 +1,588 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"pfd"
+	"pfd/internal/relation"
+)
+
+// SnapshotVersion is the snap/<tenant>.pfds format version this build
+// writes. Readers accept 1..SnapshotVersion and reject newer files.
+const SnapshotVersion = 1
+
+// snapshotMagic identifies a tenant snapshot file.
+var snapshotMagic = [4]byte{'P', 'F', 'D', 'S'}
+
+// snapshotHeaderSize: magic, version u16, reserved u16, XXH64 u64.
+const snapshotHeaderSize = 16
+
+// Typed snapshot failures.
+var (
+	// ErrSnapshotMagic: not a tenant snapshot file.
+	ErrSnapshotMagic = errors.New("durable: not a tenant snapshot (bad magic)")
+	// ErrSnapshotVersion: snapshot version newer than this build reads.
+	ErrSnapshotVersion = errors.New("durable: unsupported snapshot version")
+	// ErrSnapshotCorrupt: checksum mismatch or undecodable body. A
+	// snapshot is written atomically (temp + rename), so unlike a
+	// journal tail there is no benign torn state to tolerate.
+	ErrSnapshotCorrupt = errors.New("durable: corrupt tenant snapshot")
+)
+
+// ErrStoreBroken is returned by Append after a write failure until
+// Reopen succeeds — the store refuses to acknowledge writes it cannot
+// journal.
+var ErrStoreBroken = errors.New("durable: store broken by a write failure (awaiting reopen)")
+
+const (
+	journalName = "wal.pfdw"
+	snapDirName = "snap"
+	snapSuffix  = ".pfds"
+	tmpSuffix   = ".tmp"
+)
+
+// TenantState is the durable state of one tenant: what a snapshot
+// stores and what recovery hands back to the server. Counters are
+// cumulative; Ring is the retained recent-violation window at the
+// time of the last compaction.
+type TenantState struct {
+	Name           string              `json:"name"`
+	Generation     int64               `json:"generation"`
+	Ruleset        json.RawMessage     `json:"ruleset"`
+	Rows           int64               `json:"rows"`
+	LiveViolations int64               `json:"live_violations"`
+	RetroSignals   int64               `json:"retro_signals"`
+	Ring           []pfd.ReportFinding `json:"ring,omitempty"`
+}
+
+// Recovery summarizes what boot replay reconstructed — surfaced in the
+// daemon log and the pfd_recovery_* metrics.
+type Recovery struct {
+	// Tenants is the recovered state, sorted by name.
+	Tenants []TenantState
+	// Snapshots is how many tenant snapshot files were loaded.
+	Snapshots int
+	// Records is how many journal records were replayed on top.
+	Records int
+	// TruncatedBytes is the torn tail dropped from the journal, 0 on a
+	// clean shutdown.
+	TruncatedBytes int64
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the data directory (created if absent). The journal lives
+	// at Dir/wal.pfdw, snapshots under Dir/snap/.
+	Dir string
+	// Fsync syncs the journal on every append and snapshots on write.
+	// Off, durability is process-crash-safe but not power-loss-safe.
+	Fsync bool
+	// CompactBytes triggers compaction when the journal grows past this
+	// size (0 = 8 MiB).
+	CompactBytes int64
+	// FS overrides the filesystem (nil = OSFS). The fault-injection
+	// tests pass a FaultFS.
+	FS FS
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Store is the durable tenant-state store: one journal, one snapshot
+// per tenant, and the append/compact/reopen lifecycle around them.
+// Append is safe for concurrent use; Compact and Reopen serialize with
+// it.
+type Store struct {
+	opts Options
+	fs   FS
+
+	mu       sync.Mutex
+	w        File  // journal append handle; nil while broken
+	walBytes int64 // current journal size
+
+	// Stats counters (atomic: read by /metrics without the lock).
+	appends     atomic.Int64
+	appendErrs  atomic.Int64
+	bytesTotal  atomic.Int64
+	compactions atomic.Int64
+	reopens     atomic.Int64
+	walSize     atomic.Int64
+}
+
+// Stats is the store's observability snapshot.
+type Stats struct {
+	Appends      int64 // records appended since boot
+	AppendErrors int64 // failed appends (each flips the store broken)
+	BytesTotal   int64 // journal bytes written since boot
+	Compactions  int64 // snapshot+rotate cycles completed
+	Reopens      int64 // successful recoveries from a broken state
+	JournalBytes int64 // current journal size
+}
+
+// Stats returns the current counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Appends:      s.appends.Load(),
+		AppendErrors: s.appendErrs.Load(),
+		BytesTotal:   s.bytesTotal.Load(),
+		Compactions:  s.compactions.Load(),
+		Reopens:      s.reopens.Load(),
+		JournalBytes: s.walSize.Load(),
+	}
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Store) journalPath() string { return filepath.Join(s.opts.Dir, journalName) }
+func (s *Store) snapDir() string     { return filepath.Join(s.opts.Dir, snapDirName) }
+func (s *Store) snapPath(tenant string) string {
+	return filepath.Join(s.snapDir(), tenant+snapSuffix)
+}
+
+// Open loads the store: snapshots first, then the journal replayed on
+// top (truncating a torn tail), then the journal opened for append.
+// The returned Recovery is what the dir implied; an empty dir yields
+// an empty recovery, not an error.
+func Open(opts Options) (*Store, *Recovery, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.CompactBytes <= 0 {
+		opts.CompactBytes = 8 << 20
+	}
+	s := &Store{opts: opts, fs: opts.FS}
+	if err := s.fs.MkdirAll(s.snapDir()); err != nil {
+		return nil, nil, fmt.Errorf("durable: creating %s: %w", s.snapDir(), err)
+	}
+
+	rec := &Recovery{}
+	states := map[string]*TenantState{}
+
+	// Pass 1: snapshots (the compacted base). Leftover .tmp files are
+	// failed atomic writes — removed, never read.
+	names, err := s.fs.ReadDir(s.snapDir())
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: listing snapshots: %w", err)
+	}
+	for _, name := range names {
+		path := filepath.Join(s.snapDir(), name)
+		if strings.HasSuffix(name, tmpSuffix) {
+			s.fs.Remove(path) //nolint:errcheck // best-effort janitor
+			continue
+		}
+		if !strings.HasSuffix(name, snapSuffix) {
+			continue
+		}
+		raw, err := s.fs.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: reading snapshot %s: %w", name, err)
+		}
+		st, err := decodeSnapshot(raw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: snapshot %s: %w", name, err)
+		}
+		states[st.Name] = st
+		rec.Snapshots++
+	}
+
+	// Pass 2: the journal tail on top of the snapshots.
+	raw, err := s.fs.ReadFile(s.journalPath())
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("durable: reading journal: %w", err)
+	}
+	recs, validLen, err := replayJournal(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range recs {
+		applyRecord(states, r)
+	}
+	rec.Records = len(recs)
+
+	switch {
+	case len(raw) == 0:
+		// Fresh (or header-torn-to-nothing) journal: write the header.
+		if err := s.writeFreshJournal(); err != nil {
+			return nil, nil, err
+		}
+	case validLen < len(raw):
+		rec.TruncatedBytes = int64(len(raw) - validLen)
+		if validLen < journalHeaderSize {
+			// The header itself was torn; start over.
+			if err := s.writeFreshJournal(); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			if err := s.fs.Truncate(s.journalPath(), int64(validLen)); err != nil {
+				return nil, nil, fmt.Errorf("durable: truncating torn journal tail: %w", err)
+			}
+			s.walBytes = int64(validLen)
+		}
+		s.logf("durable: dropped %d-byte torn journal tail (%d records replayed)",
+			rec.TruncatedBytes, rec.Records)
+	default:
+		s.walBytes = int64(validLen)
+	}
+
+	w, err := s.fs.OpenAppend(s.journalPath())
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: opening journal for append: %w", err)
+	}
+	s.w = w
+	s.walSize.Store(s.walBytes)
+
+	for _, st := range states {
+		rec.Tenants = append(rec.Tenants, *st)
+	}
+	sort.Slice(rec.Tenants, func(i, j int) bool { return rec.Tenants[i].Name < rec.Tenants[j].Name })
+	return s, rec, nil
+}
+
+// writeFreshJournal creates an empty journal (header only), fsyncing
+// it and its directory so the file exists before any record does.
+// Caller holds mu (or is Open, pre-concurrency).
+func (s *Store) writeFreshJournal() error {
+	tmp := s.journalPath() + tmpSuffix
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: creating journal: %w", err)
+	}
+	hdr := appendJournalHeader(nil)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("durable: writing journal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("durable: syncing journal header: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, s.journalPath()); err != nil {
+		return fmt.Errorf("durable: installing journal: %w", err)
+	}
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+		return fmt.Errorf("durable: syncing data dir: %w", err)
+	}
+	s.walBytes = journalHeaderSize
+	s.walSize.Store(s.walBytes)
+	return nil
+}
+
+// applyRecord folds one journal record into the recovered state map.
+// Ingest counters apply as maxima: cumulative counters are monotone
+// within a tenant's lifetime, and concurrent ingests may journal out
+// of order, so the highest observed value is the truth.
+func applyRecord(states map[string]*TenantState, r Record) {
+	get := func(name string) *TenantState {
+		st := states[name]
+		if st == nil {
+			st = &TenantState{Name: name}
+			states[name] = st
+		}
+		return st
+	}
+	switch r.Kind {
+	case kindRuleset:
+		st := get(r.Ruleset.Tenant)
+		st.Ruleset = r.Ruleset.Ruleset
+		if r.Ruleset.Generation > st.Generation {
+			st.Generation = r.Ruleset.Generation
+		}
+	case kindIngest:
+		st := get(r.Ingest.Tenant)
+		st.Rows = max(st.Rows, r.Ingest.Rows)
+		st.LiveViolations = max(st.LiveViolations, r.Ingest.LiveViolations)
+		st.RetroSignals = max(st.RetroSignals, r.Ingest.RetroSignals)
+	case kindEvict, kindMark:
+		// Markers: no durable state change. Eviction keeps ruleset and
+		// counters by design; the record exists for the audit trail.
+	case kindDelete:
+		delete(states, r.Tenant)
+	}
+}
+
+// Append journals one record, write-ahead of the acknowledgment it
+// guards. With Fsync it also syncs before returning. A write failure
+// closes the append handle and flips the store broken: every
+// subsequent Append fails fast with ErrStoreBroken until Reopen
+// succeeds — the server's degraded mode rides on exactly this.
+func (s *Store) Append(rec Record) error {
+	frame, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		s.appendErrs.Add(1)
+		return ErrStoreBroken
+	}
+	if _, err := s.w.Write(frame); err != nil {
+		s.breakLocked(err)
+		return fmt.Errorf("durable: journal append: %w", err)
+	}
+	if s.opts.Fsync {
+		if err := s.w.Sync(); err != nil {
+			s.breakLocked(err)
+			return fmt.Errorf("durable: journal sync: %w", err)
+		}
+	}
+	s.walBytes += int64(len(frame))
+	s.walSize.Store(s.walBytes)
+	s.appends.Add(1)
+	s.bytesTotal.Add(int64(len(frame)))
+	return nil
+}
+
+// breakLocked marks the store broken after a write failure. The
+// journal tail may now be torn; Reopen re-scans and truncates it
+// before appending again. Caller holds mu.
+func (s *Store) breakLocked(cause error) {
+	s.appendErrs.Add(1)
+	if s.w != nil {
+		s.w.Close() //nolint:errcheck // the handle is already suspect
+		s.w = nil
+	}
+	s.logf("durable: journal write failed, store broken: %v", cause)
+}
+
+// Broken reports whether the store is refusing appends.
+func (s *Store) Broken() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w == nil
+}
+
+// Reopen recovers from a broken state: it re-scans the journal,
+// truncates whatever torn tail the failed write left, reopens the
+// append handle, and proves the path works by appending (and, with
+// Fsync, syncing) a mark record. No-op when the store is healthy.
+func (s *Store) Reopen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w != nil {
+		return nil
+	}
+	raw, err := s.fs.ReadFile(s.journalPath())
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("durable: reopen: reading journal: %w", err)
+	}
+	_, validLen, err := replayJournal(raw)
+	if err != nil {
+		return fmt.Errorf("durable: reopen: %w", err)
+	}
+	if len(raw) == 0 || validLen < journalHeaderSize {
+		if err := s.writeFreshJournal(); err != nil {
+			return err
+		}
+	} else if validLen < len(raw) {
+		if err := s.fs.Truncate(s.journalPath(), int64(validLen)); err != nil {
+			return fmt.Errorf("durable: reopen: truncating torn tail: %w", err)
+		}
+		s.walBytes = int64(validLen)
+	} else {
+		s.walBytes = int64(validLen)
+	}
+	w, err := s.fs.OpenAppend(s.journalPath())
+	if err != nil {
+		return fmt.Errorf("durable: reopen: %w", err)
+	}
+	s.w = w
+	s.walSize.Store(s.walBytes)
+	// Probe the path end to end before declaring recovery.
+	frame, err := encodeRecord(Record{Kind: kindMark})
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(frame); err != nil {
+		s.breakLocked(err)
+		return fmt.Errorf("durable: reopen probe: %w", err)
+	}
+	if s.opts.Fsync {
+		if err := s.w.Sync(); err != nil {
+			s.breakLocked(err)
+			return fmt.Errorf("durable: reopen probe sync: %w", err)
+		}
+	}
+	s.walBytes += int64(len(frame))
+	s.walSize.Store(s.walBytes)
+	s.reopens.Add(1)
+	s.logf("durable: store reopened (journal at %d bytes)", s.walBytes)
+	return nil
+}
+
+// ShouldCompact reports whether the journal has outgrown the
+// compaction threshold.
+func (s *Store) ShouldCompact() bool {
+	return s.walSize.Load() >= s.opts.CompactBytes
+}
+
+// Compact writes a snapshot per tenant state, then atomically replaces
+// the journal with an empty one — after which boot replay is the
+// snapshots plus an empty tail. collect is invoked with the journal
+// lock held, so no append can land between the state capture and the
+// journal rotation — every journaled fact is either in a snapshot or
+// in the fresh journal, never dropped. collect must therefore not
+// append (it would deadlock) and must cover every live tenant: a
+// tenant it omits that has no snapshot loses its journal-tail state.
+func (s *Store) Compact(collect func() []TenantState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return ErrStoreBroken
+	}
+	states := collect()
+	for i := range states {
+		if err := s.writeSnapshotLocked(&states[i]); err != nil {
+			s.breakLocked(err)
+			return err
+		}
+	}
+	// Rotate: close the old handle, install a fresh journal, reopen.
+	s.w.Close() //nolint:errcheck // contents already snapshotted
+	s.w = nil
+	if err := s.writeFreshJournal(); err != nil {
+		return err
+	}
+	w, err := s.fs.OpenAppend(s.journalPath())
+	if err != nil {
+		return fmt.Errorf("durable: reopening journal after compaction: %w", err)
+	}
+	s.w = w
+	s.compactions.Add(1)
+	s.logf("durable: compacted %d tenant snapshots, journal reset", len(states))
+	return nil
+}
+
+// DeleteTenant removes a tenant's snapshot file (missing is fine).
+// The caller journals the delete record; this only clears the
+// compacted base.
+func (s *Store) DeleteTenant(name string) error {
+	err := s.fs.Remove(s.snapPath(name))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Close releases the journal handle. The store is not usable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.Close()
+	s.w = nil
+	return err
+}
+
+// writeSnapshotLocked writes one tenant snapshot with the atomic
+// discipline: temp file, write, fsync, rename, fsync dir. Caller
+// holds mu.
+func (s *Store) writeSnapshotLocked(st *TenantState) error {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	var hdr [snapshotHeaderSize]byte
+	copy(hdr[0:4], snapshotMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], SnapshotVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], relation.XXH64(body))
+
+	path := s.snapPath(st.Name)
+	tmp := path + tmpSuffix
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: creating snapshot %s: %w", st.Name, err)
+	}
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(body)
+	}
+	if err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("durable: writing snapshot %s: %w", st.Name, err)
+	}
+	if s.opts.Fsync {
+		if err := f.Sync(); err != nil {
+			f.Close() //nolint:errcheck // already failing
+			return fmt.Errorf("durable: syncing snapshot %s: %w", st.Name, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		return fmt.Errorf("durable: installing snapshot %s: %w", st.Name, err)
+	}
+	if s.opts.Fsync {
+		if err := s.fs.SyncDir(s.snapDir()); err != nil {
+			return fmt.Errorf("durable: syncing snapshot dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// decodeSnapshot validates a snapshot image: magic, then version, then
+// checksum (the .pfdt validation order), then the JSON body.
+func decodeSnapshot(raw []byte) (*TenantState, error) {
+	if len(raw) < snapshotHeaderSize {
+		if len(raw) < 4 || [4]byte(raw[0:4]) != snapshotMagic {
+			return nil, ErrSnapshotMagic
+		}
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrSnapshotCorrupt, len(raw))
+	}
+	if [4]byte(raw[0:4]) != snapshotMagic {
+		return nil, ErrSnapshotMagic
+	}
+	version := binary.LittleEndian.Uint16(raw[4:6])
+	if version < 1 || version > SnapshotVersion {
+		return nil, fmt.Errorf("%w: file is v%d, this build reads up to v%d",
+			ErrSnapshotVersion, version, SnapshotVersion)
+	}
+	body := raw[snapshotHeaderSize:]
+	if got, want := relation.XXH64(body), binary.LittleEndian.Uint64(raw[8:16]); got != want {
+		return nil, fmt.Errorf("%w: body hashes to %016x, header says %016x",
+			ErrSnapshotCorrupt, got, want)
+	}
+	var st TenantState
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSnapshotCorrupt, err)
+	}
+	if st.Name == "" {
+		return nil, fmt.Errorf("%w: snapshot without a tenant name", ErrSnapshotCorrupt)
+	}
+	return &st, nil
+}
+
+// ---- record constructors (the server's append surface) ----
+
+// RulesetInstalled journals a ruleset install.
+func RulesetInstalled(tenant string, generation int64, rulesetJSON []byte) Record {
+	return Record{Kind: kindRuleset, Ruleset: &RulesetRecord{
+		Tenant: tenant, Generation: generation, Ruleset: rulesetJSON,
+	}}
+}
+
+// BatchIngested journals an accepted ingest batch.
+func BatchIngested(r IngestRecord) Record { return Record{Kind: kindIngest, Ingest: &r} }
+
+// TenantEvicted journals an idle eviction (audit marker).
+func TenantEvicted(tenant string) Record { return Record{Kind: kindEvict, Tenant: tenant} }
+
+// TenantDeleted journals a tenant deletion.
+func TenantDeleted(tenant string) Record { return Record{Kind: kindDelete, Tenant: tenant} }

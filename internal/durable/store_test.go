@@ -1,0 +1,352 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openStore(t *testing.T, dir string, mut func(*Options)) (*Store, *Recovery) {
+	t.Helper()
+	opts := Options{Dir: dir}
+	if mut != nil {
+		mut(&opts)
+	}
+	s, rec, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s, rec
+}
+
+var testRuleset = json.RawMessage(`{"name":"zip","pfds":[]}`)
+
+func TestStoreRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openStore(t, dir, nil)
+	if len(rec.Tenants) != 0 || rec.Snapshots != 0 || rec.Records != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	appends := []Record{
+		RulesetInstalled("acme", 1, testRuleset),
+		BatchIngested(IngestRecord{Tenant: "acme", Accepted: 9, Rows: 9, LiveViolations: 1}),
+		// Out-of-order journal arrival of concurrent batches: the higher
+		// watermark must win on replay.
+		BatchIngested(IngestRecord{Tenant: "acme", Accepted: 5, Rows: 20, LiveViolations: 2, RetroSignals: 1}),
+		BatchIngested(IngestRecord{Tenant: "acme", Accepted: 6, Rows: 15, LiveViolations: 2}),
+		TenantEvicted("acme"),
+		RulesetInstalled("beta", 1, testRuleset),
+		TenantDeleted("beta"),
+	}
+	for _, r := range appends {
+		if err := s.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, rec2 := openStore(t, dir, nil)
+	defer s2.Close() //nolint:errcheck // test teardown
+	if rec2.Records != len(appends) {
+		t.Fatalf("replayed %d records, want %d", rec2.Records, len(appends))
+	}
+	if rec2.TruncatedBytes != 0 {
+		t.Fatalf("clean shutdown dropped %d bytes", rec2.TruncatedBytes)
+	}
+	if len(rec2.Tenants) != 1 {
+		t.Fatalf("recovered %d tenants, want 1 (beta was deleted): %+v", len(rec2.Tenants), rec2.Tenants)
+	}
+	st := rec2.Tenants[0]
+	if st.Name != "acme" || st.Generation != 1 {
+		t.Fatalf("recovered %q gen %d", st.Name, st.Generation)
+	}
+	if st.Rows != 20 || st.LiveViolations != 2 || st.RetroSignals != 1 {
+		t.Fatalf("counters rows=%d live=%d retro=%d, want max-folded 20/2/1",
+			st.Rows, st.LiveViolations, st.RetroSignals)
+	}
+	if string(st.Ruleset) != string(testRuleset) {
+		t.Fatalf("ruleset = %s", st.Ruleset)
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, nil)
+	if err := s.Append(RulesetInstalled("acme", 2, testRuleset)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(BatchIngested(IngestRecord{Tenant: "acme", Accepted: 4, Rows: 4})); err != nil {
+		t.Fatal(err)
+	}
+	collected := false
+	err := s.Compact(func() []TenantState {
+		collected = true
+		return []TenantState{{
+			Name: "acme", Generation: 2, Ruleset: testRuleset,
+			Rows: 4, LiveViolations: 1,
+		}}
+	})
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if !collected {
+		t.Fatal("collect was not invoked")
+	}
+	if got := s.Stats().JournalBytes; got != journalHeaderSize {
+		t.Fatalf("journal not reset after compaction: %d bytes", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap", "acme.pfds")); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+	// Post-compaction appends land in the fresh journal.
+	if err := s.Append(BatchIngested(IngestRecord{Tenant: "acme", Accepted: 2, Rows: 6})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := openStore(t, dir, nil)
+	defer s2.Close() //nolint:errcheck // test teardown
+	if rec.Snapshots != 1 || rec.Records != 1 {
+		t.Fatalf("recovery = %d snapshots + %d records, want 1 + 1", rec.Snapshots, rec.Records)
+	}
+	if len(rec.Tenants) != 1 || rec.Tenants[0].Rows != 6 || rec.Tenants[0].LiveViolations != 1 {
+		t.Fatalf("recovered %+v, want snapshot base folded with journal tail", rec.Tenants)
+	}
+}
+
+// TestStoreTornTailTruncated: garbage appended to the journal (a crash
+// mid-append) is dropped at the next Open and the file is repaired.
+func TestStoreTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, nil)
+	if err := s.Append(RulesetInstalled("acme", 1, testRuleset)); err != nil {
+		t.Fatal(err)
+	}
+	cleanSize := s.Stats().JournalBytes
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: half a frame of a would-be next record.
+	f, err := os.OpenFile(filepath.Join(dir, "wal.pfdw"), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x30, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close() //nolint:errcheck // test helper
+
+	s2, rec := openStore(t, dir, nil)
+	if rec.TruncatedBytes != 3 {
+		t.Fatalf("TruncatedBytes = %d, want 3", rec.TruncatedBytes)
+	}
+	if len(rec.Tenants) != 1 || rec.Records != 1 {
+		t.Fatalf("torn tail lost records: %+v", rec)
+	}
+	// The file itself was repaired: appends continue from the clean end.
+	if err := s2.Append(TenantEvicted("acme")); err != nil {
+		t.Fatalf("append after torn-tail repair: %v", err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, rec3 := openStore(t, dir, nil)
+	defer s3.Close() //nolint:errcheck // test teardown
+	if rec3.Records != 2 || rec3.TruncatedBytes != 0 {
+		t.Fatalf("after repair: %+v", rec3)
+	}
+	_ = cleanSize
+}
+
+// TestStoreShortWriteBreaksThenReopens is the disk-full lifecycle: a
+// short write tears the journal mid-record, the store flips broken and
+// fails fast, Reopen truncates the torn tail and proves the path with
+// a probe record, and appends resume.
+func TestStoreShortWriteBreaksThenReopens(t *testing.T) {
+	dir := t.TempDir()
+	fault := NewFaultFS(nil)
+	s, _ := openStore(t, dir, func(o *Options) { o.FS = fault })
+	if err := s.Append(RulesetInstalled("acme", 1, testRuleset)); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.ShortWriteAfter(5) // the next record tears after 5 bytes
+	err := s.Append(BatchIngested(IngestRecord{Tenant: "acme", Accepted: 1, Rows: 10}))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write surfaced as %v", err)
+	}
+	if !s.Broken() {
+		t.Fatal("store not broken after write failure")
+	}
+	if err := s.Append(TenantEvicted("acme")); !errors.Is(err, ErrStoreBroken) {
+		t.Fatalf("append on broken store = %v, want ErrStoreBroken", err)
+	}
+	if got := s.Stats().AppendErrors; got < 2 {
+		t.Fatalf("AppendErrors = %d, want >= 2", got)
+	}
+
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("Reopen: %v", err)
+	}
+	if s.Broken() {
+		t.Fatal("store still broken after successful Reopen")
+	}
+	if got := s.Stats().Reopens; got != 1 {
+		t.Fatalf("Reopens = %d, want 1", got)
+	}
+	if err := s.Append(BatchIngested(IngestRecord{Tenant: "acme", Accepted: 1, Rows: 1})); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The torn record never happened; the reopened journal replays the
+	// install, the mark probe, and the post-reopen batch.
+	s2, rec := openStore(t, dir, nil)
+	defer s2.Close() //nolint:errcheck // test teardown
+	if len(rec.Tenants) != 1 || rec.Tenants[0].Rows != 1 {
+		t.Fatalf("recovered %+v, want acme with rows=1 (torn batch dropped)", rec.Tenants)
+	}
+}
+
+// TestStoreReopenWhileStillBroken: Reopen against a still-failing disk
+// reports the failure and stays broken — the server's backoff loop
+// depends on Reopen being safely retryable.
+func TestStoreReopenWhileStillBroken(t *testing.T) {
+	dir := t.TempDir()
+	fault := NewFaultFS(nil)
+	s, _ := openStore(t, dir, func(o *Options) { o.FS = fault })
+	fault.FailWrites(true)
+	if err := s.Append(TenantEvicted("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("append under failed writes = %v", err)
+	}
+	if err := s.Reopen(); err == nil {
+		t.Fatal("Reopen succeeded while writes still fail")
+	}
+	if !s.Broken() {
+		t.Fatal("store recovered spontaneously")
+	}
+	fault.FailWrites(false)
+	if err := s.Reopen(); err != nil {
+		t.Fatalf("Reopen after fault cleared: %v", err)
+	}
+	if err := s.Append(TenantEvicted("x")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreDeleteTenantRemovesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, nil)
+	err := s.Compact(func() []TenantState {
+		return []TenantState{{Name: "acme", Generation: 1, Ruleset: testRuleset, Rows: 1}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "snap", "acme.pfds")
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot missing before delete: %v", err)
+	}
+	if err := s.Append(TenantDeleted("acme")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteTenant("acme"); err != nil {
+		t.Fatalf("DeleteTenant: %v", err)
+	}
+	if _, err := os.Stat(snap); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("snapshot still present: %v", err)
+	}
+	if err := s.DeleteTenant("acme"); err != nil {
+		t.Fatalf("idempotent delete: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec := openStore(t, dir, nil)
+	defer s2.Close() //nolint:errcheck // test teardown
+	if len(rec.Tenants) != 0 {
+		t.Fatalf("deleted tenant resurrected: %+v", rec.Tenants)
+	}
+}
+
+func TestStoreCorruptSnapshotRefusesBoot(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openStore(t, dir, nil)
+	err := s.Compact(func() []TenantState {
+		return []TenantState{{Name: "acme", Generation: 1, Ruleset: testRuleset}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "snap", "acme.pfds")
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(snap, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(Options{Dir: dir}); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt snapshot: err = %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+// TestStoreLeftoverTmpIgnored: a .tmp from a crashed atomic write is
+// janitored at boot, never read as state.
+func TestStoreLeftoverTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "snap"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "snap", "acme.pfds.tmp")
+	if err := os.WriteFile(tmp, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, rec := openStore(t, dir, nil)
+	defer s.Close() //nolint:errcheck // test teardown
+	if rec.Snapshots != 0 || len(rec.Tenants) != 0 {
+		t.Fatalf("tmp file read as state: %+v", rec)
+	}
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("tmp file not janitored: %v", err)
+	}
+}
+
+func TestBatchDigestOrderSensitive(t *testing.T) {
+	a := map[string]string{"zip": "90001", "city": "LA"}
+	b := map[string]string{"city": "LA", "zip": "90001"} // same tuple, map order irrelevant
+	c := map[string]string{"zip": "90002", "city": "LA"}
+
+	var d1, d2, d3 BatchDigest
+	d1.Add(a)
+	d1.Add(c)
+	d2.Add(b)
+	d2.Add(c)
+	d3.Add(c)
+	d3.Add(a)
+	if d1.Sum() != d2.Sum() {
+		t.Fatal("field order changed the digest; keys must be canonicalized")
+	}
+	if d1.Sum() == d3.Sum() {
+		t.Fatal("tuple order did not change the digest; batches must be order-sensitive")
+	}
+	var empty BatchDigest
+	if empty.Sum() == d1.Sum() {
+		t.Fatal("empty digest collides with a real one")
+	}
+}

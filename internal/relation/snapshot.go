@@ -341,6 +341,12 @@ func (c *snapCursor) pad() error {
 	return nil
 }
 
+// XXH64 is the XXH64 hash (seed 0) used to checksum every binary
+// artifact in the repo — the .pfdt table snapshots here, and the
+// durable WAL/snapshot frames in internal/durable, which reuse this
+// codec's conventions (magic, version u16, XXH64) byte for byte.
+func XXH64(b []byte) uint64 { return xxh64(b) }
+
 // xxh64 is the XXH64 hash (seed 0) of the snapshot body — implemented
 // inline because the module takes no external dependencies. Constants
 // and structure follow the published algorithm.

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"pfd/internal/durable"
 )
 
 // EnvPrefix is the prefix of every pfdserved environment variable.
@@ -58,8 +60,23 @@ type Config struct {
 	// report/violations endpoints; the total count is always exact
 	// (flag -ring; 0 retains none).
 	Ring int
+	// DataDir, when set, makes tenant state durable: every ruleset
+	// install, accepted ingest batch, eviction, and delete is journaled
+	// to DataDir/wal.pfdw before it is acknowledged, compacted
+	// periodically into per-tenant snapshots, and replayed at boot
+	// (flag -data-dir; empty disables durability).
+	DataDir string
+	// Fsync syncs the journal on every append and snapshots on write,
+	// making acknowledged writes power-loss-safe, not just
+	// process-crash-safe (flag -fsync).
+	Fsync bool
 	// Logf, when non-nil, receives operational log lines. Not a flag.
 	Logf func(format string, args ...any)
+
+	// Test seams, not flags.
+	durFS        durable.FS    // filesystem override (fault injection)
+	reopenBase   time.Duration // degraded-mode reopen backoff base
+	compactBytes int64         // journal size that triggers compaction
 }
 
 // DefaultConfig returns the built-in defaults, before environment
@@ -96,6 +113,8 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.DurationVar(&c.DrainTimeout, "drain", c.DrainTimeout, "shutdown: how long to wait for in-flight requests ($"+EnvVar("drain")+")")
 	fs.IntVar(&c.MaxTenants, "max-tenants", c.MaxTenants, "tenant registry cap, <=0 unlimited ($"+EnvVar("max-tenants")+")")
 	fs.IntVar(&c.Ring, "ring", c.Ring, "recent violations retained per tenant ($"+EnvVar("ring")+")")
+	fs.StringVar(&c.DataDir, "data-dir", c.DataDir, "journal+snapshot directory for durable tenant state, empty disables ($"+EnvVar("data-dir")+")")
+	fs.BoolVar(&c.Fsync, "fsync", c.Fsync, "fsync the journal on every append (power-loss safety) ($"+EnvVar("fsync")+")")
 }
 
 // ApplyEnv overlays configuration from environment variables (see
@@ -119,6 +138,18 @@ func (c *Config) ApplyEnv(lookup func(string) (string, bool)) error {
 			return fmt.Errorf("serve: $%s=%q: %v", EnvVar(flagName), v, err)
 		}
 		*dst = n
+		return nil
+	}
+	boolean := func(flagName string, dst *bool) error {
+		v, ok := lookup(EnvVar(flagName))
+		if !ok {
+			return nil
+		}
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("serve: $%s=%q: %v", EnvVar(flagName), v, err)
+		}
+		*dst = b
 		return nil
 	}
 	dur := func(flagName string, dst *time.Duration) error {
@@ -145,6 +176,8 @@ func (c *Config) ApplyEnv(lookup func(string) (string, bool)) error {
 		dur("drain", &c.DrainTimeout),
 		num("max-tenants", &c.MaxTenants),
 		num("ring", &c.Ring),
+		str("data-dir", &c.DataDir),
+		boolean("fsync", &c.Fsync),
 	} {
 		if err != nil {
 			return err

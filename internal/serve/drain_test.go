@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,42 +13,12 @@ import (
 	"time"
 
 	"pfd"
+	"pfd/internal/testleak"
 )
 
-// repoGoroutines counts goroutines currently running code from this
-// repo's serve/stream packages — a dependency-free substitute for a
-// leak-checker library. Test-harness goroutines never match.
-func repoGoroutines() int {
-	buf := make([]byte, 1<<20)
-	buf = buf[:runtime.Stack(buf, true)]
-	count := 0
-	for _, stack := range strings.Split(string(buf), "\n\n") {
-		if strings.Contains(stack, "pfd/internal/stream.") ||
-			strings.Contains(stack, "pfd/internal/serve.") {
-			count++
-		}
-	}
-	return count
-}
-
-// waitNoRepoGoroutines polls until every engine/server goroutine has
-// exited (their final returns race the Close/Drain caller).
-func waitNoRepoGoroutines(t *testing.T) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		n := repoGoroutines()
-		if n == 0 {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			buf = buf[:runtime.Stack(buf, true)]
-			t.Fatalf("%d goroutines still in serve/stream code after drain:\n%s", n, buf)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-}
+// leakPackages are the stack substrings the drain tests watch: a
+// goroutine still in serve or stream code after Drain is a leak.
+var leakPackages = []string{"pfd/internal/stream.", "pfd/internal/serve."}
 
 // TestGracefulDrainAccountsAllTuples is the shutdown-ordering test:
 // writers hammer the server while a drain starts mid-ingest. Every
@@ -57,13 +26,16 @@ func waitNoRepoGoroutines(t *testing.T) {
 // report — no drops, no double counts — and no engine or server
 // goroutine may outlive the drain.
 func TestGracefulDrainAccountsAllTuples(t *testing.T) {
-	if n := repoGoroutines(); n != 0 {
+	if n := testleak.Count(leakPackages...); n != 0 {
 		t.Skipf("%d serve/stream goroutines leaked in by another test", n)
 	}
 
 	cfg := DefaultConfig()
 	cfg.IdleTimeout = time.Hour
-	s := NewContext(context.Background(), cfg)
+	s, err := NewContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	defer hs.Close()
 
@@ -132,7 +104,7 @@ func TestGracefulDrainAccountsAllTuples(t *testing.T) {
 	}
 
 	hs.Close()
-	waitNoRepoGoroutines(t)
+	testleak.Wait(t, leakPackages...)
 }
 
 // TestDrainIdempotent: Drain twice is safe, and a drained server still

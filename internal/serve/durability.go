@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"pfd"
+	"pfd/internal/durable"
+)
+
+// Durability states (durState). Disabled means no -data-dir; active
+// means every write is journaled before acknowledgment; degraded means
+// a journal write failed and the server is read-only until the reopen
+// loop recovers the store.
+const (
+	durDisabled int32 = iota
+	durActive
+	durDegraded
+)
+
+// openDurability opens the store, replays snapshot + journal tail into
+// the tenant registry, and records the recovery summary for /metrics.
+// Called from NewContext before any goroutine starts.
+func (s *Server) openDurability() error {
+	start := time.Now()
+	st, rec, err := durable.Open(durable.Options{
+		Dir:          s.cfg.DataDir,
+		Fsync:        s.cfg.Fsync,
+		CompactBytes: s.cfg.compactBytes,
+		FS:           s.cfg.durFS,
+		Logf:         s.cfg.Logf,
+	})
+	if err != nil {
+		return fmt.Errorf("serve: opening durable state in %s: %w", s.cfg.DataDir, err)
+	}
+	s.dur = st
+	s.durState.Store(durActive)
+	for _, ts := range rec.Tenants {
+		if err := s.installRecovered(ts); err != nil {
+			st.Close() //nolint:errcheck // boot is failing anyway
+			return err
+		}
+	}
+	s.recovery = rec
+	s.recoverySec = time.Since(start).Seconds()
+	if len(rec.Tenants) > 0 || rec.Records > 0 || rec.TruncatedBytes > 0 {
+		s.cfg.logf("recovered %d tenants from %s (%d snapshots + %d journal records, %d torn bytes dropped) in %.3fs",
+			len(rec.Tenants), s.cfg.DataDir, rec.Snapshots, rec.Records, rec.TruncatedBytes, s.recoverySec)
+	}
+	return nil
+}
+
+// installRecovered rebuilds one tenant from its durable state. The
+// MaxTenants cap is not applied: the state pre-exists and dropping it
+// silently would be data loss.
+func (s *Server) installRecovered(ts durable.TenantState) error {
+	if !tenantNameRE.MatchString(ts.Name) {
+		return fmt.Errorf("serve: recovered state names invalid tenant %q", ts.Name)
+	}
+	if len(ts.Ruleset) == 0 {
+		// Journaled counters without a ruleset record cannot validate
+		// anything; surface rather than resurrect a half-tenant.
+		s.cfg.logf("tenant %s: recovered state has no ruleset; skipping", ts.Name)
+		return nil
+	}
+	rs, err := pfd.LoadRuleset(bytes.NewReader(ts.Ruleset))
+	if err != nil {
+		return fmt.Errorf("serve: recovered ruleset for tenant %s: %w", ts.Name, err)
+	}
+	t := newTenant(ts.Name, &s.cfg, s.base)
+	t.restore(ts, rs)
+	s.tenants[ts.Name] = t
+	return nil
+}
+
+// durDegraded reports whether writes are being refused because the
+// journal is broken.
+func (s *Server) durDegraded() bool { return s.durState.Load() == durDegraded }
+
+// setDegraded flips the server into degraded read-only mode after a
+// journal write failure and kicks the reopen loop. Idempotent.
+func (s *Server) setDegraded(err error) {
+	if s.durState.CompareAndSwap(durActive, durDegraded) {
+		s.cfg.logf("durability degraded, refusing writes until the journal reopens: %v", err)
+		select {
+		case s.reopenKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// appendDurable journals one record when durability is on. Degraded
+// fails fast; a fresh write failure flips degraded. The caller maps
+// the error to a 503 + Retry-After — a write the journal did not
+// accept is never acknowledged.
+func (s *Server) appendDurable(rec durable.Record) error {
+	if s.dur == nil {
+		return nil
+	}
+	if s.durDegraded() {
+		return durable.ErrStoreBroken
+	}
+	if err := s.dur.Append(rec); err != nil {
+		s.setDegraded(err)
+		return err
+	}
+	s.maybeCompact()
+	return nil
+}
+
+// maybeCompact starts a background compaction when the journal has
+// outgrown its threshold. Single-flight: at most one compaction runs.
+func (s *Server) maybeCompact() {
+	if s.dur == nil || !s.dur.ShouldCompact() || !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.compacting.Store(false)
+		if err := s.dur.Compact(s.collectStates); err != nil {
+			s.setDegraded(err)
+		}
+	}()
+}
+
+// collectStates snapshots every tenant's durable state for compaction.
+// Called by the store with the journal lock held, so no append can
+// slip between the capture and the journal rotation.
+func (s *Server) collectStates() []durable.TenantState {
+	var states []durable.TenantState
+	for _, t := range s.snapshotTenants() {
+		if st, ok := t.stateSnapshot(); ok {
+			states = append(states, st)
+		}
+	}
+	return states
+}
+
+// reopenLoop is the degraded-mode escape hatch: woken by setDegraded,
+// it retries Store.Reopen with exponential backoff plus jitter until
+// the journal accepts writes again, then returns the server to active.
+func (s *Server) reopenLoop() {
+	defer close(s.reopenDone)
+	base := s.cfg.reopenBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	const maxDelay = 5 * time.Second
+	for {
+		select {
+		case <-s.stopReopen:
+			return
+		case <-s.reopenKick:
+		}
+		delay := base
+		for s.durDegraded() {
+			// Full jitter on top of the exponential step: restarts of a
+			// fleet sharing a sick disk must not retry in lockstep.
+			sleep := delay + time.Duration(rand.Int64N(int64(delay)))
+			select {
+			case <-s.stopReopen:
+				return
+			case <-time.After(sleep):
+			}
+			if err := s.dur.Reopen(); err != nil {
+				s.cfg.logf("durability reopen failed (backing off %v): %v", delay, err)
+				if delay *= 2; delay > maxDelay {
+					delay = maxDelay
+				}
+				continue
+			}
+			s.durState.Store(durActive)
+			s.cfg.logf("durability recovered: journal accepting writes again")
+		}
+	}
+}
+
+// closeDurability finishes the store on graceful drain: a final
+// compaction makes the ring and exact counters durable (the journal
+// only carries counter watermarks between batches), then the handle
+// closes. A broken store skips the compaction — its state is whatever
+// the journal last accepted.
+func (s *Server) closeDurability() {
+	if s.dur == nil {
+		return
+	}
+	close(s.stopReopen)
+	<-s.reopenDone
+	if !s.durDegraded() {
+		if err := s.dur.Compact(s.collectStates); err != nil {
+			s.cfg.logf("final compaction failed: %v", err)
+		}
+	}
+	if err := s.dur.Close(); err != nil {
+		s.cfg.logf("closing durable store: %v", err)
+	}
+}

@@ -103,6 +103,36 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	metric("pfd_plan_invalidations_total", "counter", "Cached plans invalidated by ruleset hot reloads.")
 	fmt.Fprintf(&b, "pfd_plan_invalidations_total %d\n", planInvalid)
 
+	// Durability: present even when disabled, so dashboards can key off
+	// pfd_durability_state without per-deployment conditionals.
+	metric("pfd_durability_state", "gauge", "Durable state: 0 disabled, 1 active (journaling), 2 degraded (read-only).")
+	fmt.Fprintf(&b, "pfd_durability_state %d\n", s.durState.Load())
+	if s.dur != nil {
+		ds := s.dur.Stats()
+		metric("pfd_wal_appends_total", "counter", "Records appended to the write-ahead journal.")
+		fmt.Fprintf(&b, "pfd_wal_appends_total %d\n", ds.Appends)
+		metric("pfd_wal_append_errors_total", "counter", "Journal appends that failed (each flips degraded mode).")
+		fmt.Fprintf(&b, "pfd_wal_append_errors_total %d\n", ds.AppendErrors)
+		metric("pfd_wal_bytes_written_total", "counter", "Bytes appended to the journal since boot.")
+		fmt.Fprintf(&b, "pfd_wal_bytes_written_total %d\n", ds.BytesTotal)
+		metric("pfd_wal_size_bytes", "gauge", "Current journal file size; compaction resets it.")
+		fmt.Fprintf(&b, "pfd_wal_size_bytes %d\n", ds.JournalBytes)
+		metric("pfd_wal_compactions_total", "counter", "Journal compactions into per-tenant snapshots.")
+		fmt.Fprintf(&b, "pfd_wal_compactions_total %d\n", ds.Compactions)
+		metric("pfd_wal_reopens_total", "counter", "Successful journal reopens after degraded mode.")
+		fmt.Fprintf(&b, "pfd_wal_reopens_total %d\n", ds.Reopens)
+	}
+	if s.recovery != nil {
+		metric("pfd_recovery_duration_seconds", "gauge", "Wall time boot spent replaying durable state.")
+		fmt.Fprintf(&b, "pfd_recovery_duration_seconds %.6f\n", s.recoverySec)
+		metric("pfd_recovered_tenants", "gauge", "Tenants reconstructed from durable state at boot.")
+		fmt.Fprintf(&b, "pfd_recovered_tenants %d\n", len(s.recovery.Tenants))
+		metric("pfd_recovery_journal_records", "gauge", "Journal records replayed on top of snapshots at boot.")
+		fmt.Fprintf(&b, "pfd_recovery_journal_records %d\n", s.recovery.Records)
+		metric("pfd_recovery_truncated_bytes", "gauge", "Torn journal bytes dropped at boot (crash tail).")
+		fmt.Fprintf(&b, "pfd_recovery_truncated_bytes %d\n", s.recovery.TruncatedBytes)
+	}
+
 	metric("pfd_http_requests_total", "counter", "HTTP requests by route pattern and status code.")
 	s.reqMu.Lock()
 	keys := make([]string, 0, len(s.reqs))

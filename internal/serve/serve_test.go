@@ -55,7 +55,10 @@ func newTestServer(t *testing.T, mut func(*Config)) (*Server, *httptest.Server) 
 	if mut != nil {
 		mut(&cfg)
 	}
-	s := NewContext(context.Background(), cfg)
+	s, err := NewContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		hs.Close()

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"pfd"
+	"pfd/internal/durable"
 )
 
 // Server lifecycle states (serverState).
@@ -74,18 +75,36 @@ type Server struct {
 	stopJanitor chan struct{}
 	janitorDone chan struct{}
 
+	// Durability (nil/zero when -data-dir is unset). durState is one of
+	// durDisabled/durActive/durDegraded; the reopen loop moves degraded
+	// back to active. recovery/recoverySec describe what boot replay
+	// reconstructed, for the log line and pfd_recovery_* metrics.
+	dur         *durable.Store
+	durState    atomic.Int32
+	compacting  atomic.Bool
+	reopenKick  chan struct{}
+	stopReopen  chan struct{}
+	reopenDone  chan struct{}
+	recovery    *durable.Recovery
+	recoverySec float64
+
 	reqMu sync.Mutex
 	reqs  map[string]int64 // "METHOD pattern\x00code" -> count
 }
 
 // New creates a server whose engines live until Drain.
-func New(cfg Config) *Server { return NewContext(context.Background(), cfg) }
+func New(cfg Config) (*Server, error) { return NewContext(context.Background(), cfg) }
 
 // NewContext is New with a hard-abort context threaded into every
 // tenant engine: canceling it makes in-flight Submits fail fast and
 // backpressure-stalled producers unblock — the second-SIGTERM path.
 // Graceful shutdown never cancels it; it drains instead.
-func NewContext(base context.Context, cfg Config) *Server {
+//
+// With Config.DataDir set, boot first replays the durable state
+// (per-tenant snapshots + the journal tail, tolerating a torn final
+// record) into the tenant registry; the error is non-nil when the data
+// directory is unusable or holds corrupt (not merely torn) state.
+func NewContext(base context.Context, cfg Config) (*Server, error) {
 	if base == nil {
 		base = context.Background()
 	}
@@ -100,11 +119,22 @@ func NewContext(base context.Context, cfg Config) *Server {
 		tenants:     map[string]*tenant{},
 		stopJanitor: make(chan struct{}),
 		janitorDone: make(chan struct{}),
+		reopenKick:  make(chan struct{}, 1),
+		stopReopen:  make(chan struct{}),
+		reopenDone:  make(chan struct{}),
 		reqs:        map[string]int64{},
 	}
 	s.routes()
+	if cfg.DataDir != "" {
+		if err := s.openDurability(); err != nil {
+			return nil, err
+		}
+		go s.reopenLoop()
+	} else {
+		close(s.reopenDone) // nothing to stop at drain time
+	}
 	go s.janitor()
-	return s
+	return s, nil
 }
 
 func (s *Server) routes() {
@@ -185,6 +215,10 @@ func (s *Server) Drain() {
 		for _, t := range s.snapshotTenants() {
 			t.stop()
 		}
+		// Engines are quiet: a final compaction snapshots exact
+		// counters and the violation rings, so a graceful restart
+		// recovers everything, ring included.
+		s.closeDurability()
 		s.state.Store(stateStopped)
 		s.cfg.logf("drained: all tenant engines closed")
 	})
@@ -197,14 +231,24 @@ func (s *Server) LoadTenant(name string, rs *pfd.Ruleset) error {
 	if s.Draining() {
 		return errors.New("serve: draining")
 	}
+	if s.durDegraded() {
+		return errors.New("serve: degraded (journal unavailable), ruleset install refused")
+	}
 	if rs == nil || rs.Len() == 0 {
 		return errors.New("serve: empty ruleset")
+	}
+	raw, err := json.Marshal(rs)
+	if err != nil {
+		return err
 	}
 	t, err := s.tenant(name, true)
 	if err != nil {
 		return err
 	}
-	t.setRuleset(rs)
+	_, gen := t.setRuleset(rs, raw)
+	if err := s.appendDurable(durable.RulesetInstalled(name, gen, raw)); err != nil {
+		return fmt.Errorf("serve: ruleset applied but not journaled: %w", err)
+	}
 	return nil
 }
 
@@ -298,12 +342,21 @@ func (s *Server) evictIdle(now time.Time) int {
 		}
 		t.mu.Lock()
 		// Re-check under the lock: an ingest may have raced in.
+		evictedThis := false
 		if t.eng != nil && now.Sub(time.Unix(0, t.lastActive.Load())) >= s.cfg.IdleTimeout {
 			s.cfg.logf("tenant %s: evicting idle engine", t.name)
 			t.closeEngineLocked()
 			evicted++
+			evictedThis = true
 		}
 		t.mu.Unlock()
+		if evictedThis {
+			// Audit record only — replay treats eviction as a no-op (the
+			// ruleset and counters survive eviction in memory too).
+			if err := s.appendDurable(durable.TenantEvicted(t.name)); err != nil {
+				s.cfg.logf("tenant %s: eviction not journaled: %v", t.name, err)
+			}
+		}
 	}
 	return evicted
 }
@@ -312,13 +365,24 @@ func (s *Server) evictIdle(now time.Time) int {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
+		w.Header().Set("Retry-After", retryAfterDraining)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
 	s.mu.RLock()
 	n := len(s.tenants)
 	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "tenants": n})
+	status, durability := "ok", "disabled"
+	switch s.durState.Load() {
+	case durActive:
+		durability = "active"
+	case durDegraded:
+		// Degraded is read-only, not down: reads still serve, so the
+		// answer stays 200 (load balancers keep routing) while the
+		// status tells operators writes are being refused.
+		status, durability = "degraded", "degraded"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "durability": durability, "tenants": n})
 }
 
 func (s *Server) handleTenantList(w http.ResponseWriter, r *http.Request) {
@@ -346,7 +410,11 @@ const maxRulesetBytes = 16 << 20
 
 func (s *Server) handleRulesetPut(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "draining: ruleset reloads refused")
+		writeUnavailable(w, retryAfterDraining, "draining: ruleset reloads refused")
+		return
+	}
+	if s.durDegraded() {
+		writeUnavailable(w, retryAfterDegraded, "degraded: journal unavailable, ruleset reloads refused")
 		return
 	}
 	rs, err := pfd.LoadRuleset(http.MaxBytesReader(w, r.Body, maxRulesetBytes))
@@ -358,13 +426,25 @@ func (s *Server) handleRulesetPut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "ruleset holds no rules")
 		return
 	}
+	raw, err := json.Marshal(rs)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	name := r.PathValue("tenant")
 	t, err := s.tenant(name, true)
 	if err != nil {
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	}
-	replaced := t.setRuleset(rs)
+	replaced, gen := t.setRuleset(rs, raw)
+	if err := s.appendDurable(durable.RulesetInstalled(name, gen, raw)); err != nil {
+		// Applied in memory but not journaled: refuse the ack so the
+		// client retries once the journal is back — the retried PUT is
+		// idempotent and re-journals the same artifact.
+		writeUnavailable(w, retryAfterDegraded, "degraded: ruleset applied but not journaled: %v", err)
+		return
+	}
 	code := http.StatusCreated
 	if replaced {
 		code = http.StatusOK
@@ -422,7 +502,13 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		writeError(w, http.StatusServiceUnavailable, "draining: ingest refused")
+		writeUnavailable(w, retryAfterDraining, "draining: ingest refused")
+		return
+	}
+	if s.durDegraded() {
+		// Refuse before touching the engine: a batch we cannot journal
+		// must not be accepted at all.
+		writeUnavailable(w, retryAfterDegraded, "degraded: journal unavailable, ingest refused")
 		return
 	}
 	t, err := s.tenant(r.PathValue("tenant"), true)
@@ -436,13 +522,50 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnsupportedMediaType, "%v", err)
 		return
 	}
-	accepted, err := t.ingest(r.Context(), src)
+	var digest *durable.BatchDigest
+	if s.dur != nil {
+		digest = &durable.BatchDigest{}
+	}
+	accepted, err := t.ingest(r.Context(), src, digest)
+
+	// Write-ahead: journal what the engine accepted before any
+	// acknowledgment — including the prefix of a failed body, which is
+	// in the engine and reported to the client via "accepted". The
+	// barrier report makes the journaled counters exact for this batch.
+	var rep *pfd.Report
+	if s.dur != nil && accepted > 0 {
+		rep = t.report(true, 0)
+		jerr := s.appendDurable(durable.BatchIngested(durable.IngestRecord{
+			Tenant:         t.name,
+			Digest:         digest.Sum(),
+			Accepted:       int64(accepted),
+			Rows:           int64(rep.Rows),
+			LiveViolations: int64(rep.LiveViolations),
+			RetroSignals:   rep.RetroSignals,
+		}))
+		if jerr != nil {
+			// Accepted in memory but not durable: withhold the ack so an
+			// at-least-once client retries once the journal is back.
+			w.Header().Set("Retry-After", retryAfterDegraded)
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":    fmt.Sprintf("degraded: batch accepted but not journaled: %v", jerr),
+				"accepted": accepted,
+			})
+			return
+		}
+	}
 	if err != nil {
-		writeJSON(w, ingestErrorCode(err), map[string]any{"error": err.Error(), "accepted": accepted})
+		code := ingestErrorCode(err)
+		if code == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", retryAfterDraining)
+		}
+		writeJSON(w, code, map[string]any{"error": err.Error(), "accepted": accepted})
 		return
 	}
 
-	rep := t.report(false, 0)
+	if rep == nil {
+		rep = t.report(false, 0)
+	}
 	rep.Accepted = accepted
 	rep.Violations = rep.Violations[:0] // counts only; GET /report or /violations lists findings
 	writeJSON(w, http.StatusOK, rep)
@@ -556,19 +679,54 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("tenant")
-	s.mu.Lock()
+	if s.durDegraded() {
+		writeUnavailable(w, retryAfterDegraded, "degraded: journal unavailable, delete refused")
+		return
+	}
+	s.mu.RLock()
 	t := s.tenants[name]
-	delete(s.tenants, name)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if t == nil {
 		writeError(w, http.StatusNotFound, "no such tenant")
 		return
 	}
+	// Write-ahead, like every mutation: journal the delete first, so a
+	// crash after this point replays to "tenant gone", never to a
+	// half-deleted tenant that resurrects with stale counters.
+	if err := s.appendDurable(durable.TenantDeleted(name)); err != nil {
+		writeUnavailable(w, retryAfterDegraded, "degraded: delete not journaled: %v", err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.tenants, name)
+	s.mu.Unlock()
 	t.drain() // waits for in-flight ingests, accounts their tuples
+	if s.dur != nil {
+		if err := s.dur.DeleteTenant(name); err != nil {
+			s.cfg.logf("tenant %s: removing snapshot: %v", name, err)
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name, "rows": t.rowBase.Load()})
 }
 
 // ---- response helpers ----
+
+// Retry-After hints on 503 responses. Draining means this process is
+// going away and a load balancer will have a healthy peer momentarily;
+// degraded means the journal's disk needs time (or an operator), so
+// clients should back off harder.
+const (
+	retryAfterDraining = "1"
+	retryAfterDegraded = "5"
+)
+
+// writeUnavailable is a 503 with a Retry-After hint: every temporary
+// refusal (draining, degraded, backpressure) promises the client the
+// condition clears, and says when to ask again.
+func writeUnavailable(w http.ResponseWriter, retryAfter, format string, args ...any) {
+	w.Header().Set("Retry-After", retryAfter)
+	writeError(w, http.StatusServiceUnavailable, format, args...)
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pfd"
+	"pfd/internal/durable"
 )
 
 // errNoRuleset refuses ingest into a tenant that has never been given
@@ -33,6 +34,7 @@ type tenant struct {
 
 	mu       sync.RWMutex // generation lock; see type comment
 	rules    *pfd.Ruleset
+	rawRules []byte // the installed ruleset's JSON — the journaled artifact
 	eng      *pfd.StreamEngine
 	engStart time.Time
 	// ref, when set, is a trusted reference table replayed into every
@@ -59,13 +61,16 @@ type tenant struct {
 
 	liveViolations atomic.Int64
 	retroSignals   atomic.Int64
-	reloads        atomic.Int64
-	planHits       atomic.Int64
-	planMisses     atomic.Int64
-	planInvalid    atomic.Int64
-	lastActive     atomic.Int64 // unixnano of the last ingest or reload
-	genDraining    atomic.Bool  // an engine generation is mid-Close
-	stopped        atomic.Bool  // server drain: no new generations, ever
+	// gen counts ruleset installs, 1-based — the journal's ordering key
+	// for RulesetInstalled records, restored across restarts.
+	gen         atomic.Int64
+	reloads     atomic.Int64
+	planHits    atomic.Int64
+	planMisses  atomic.Int64
+	planInvalid atomic.Int64
+	lastActive  atomic.Int64 // unixnano of the last ingest or reload
+	genDraining atomic.Bool  // an engine generation is mid-Close
+	stopped     atomic.Bool  // server drain: no new generations, ever
 
 	ringMu sync.Mutex
 	ring   []pfd.ReportFinding // circular, len == cfg.Ring
@@ -86,12 +91,17 @@ func (t *tenant) touch() { t.lastActive.Store(time.Now().UnixNano()) }
 
 // setRuleset installs rules, draining the previous engine generation
 // first (under the write lock, so no ingest is in flight). The next
-// ingest lazily starts an engine over the new rules.
-func (t *tenant) setRuleset(rs *pfd.Ruleset) (replaced bool) {
+// ingest lazily starts an engine over the new rules. raw is the
+// ruleset's JSON form, kept verbatim so the journal and snapshots
+// carry exactly what was installed. Returns the new ruleset
+// generation, the journal's ordering key.
+func (t *tenant) setRuleset(rs *pfd.Ruleset, raw []byte) (replaced bool, gen int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	replaced = t.rules != nil
 	t.rules = rs
+	t.rawRules = raw
+	gen = t.gen.Add(1)
 	params := pfd.DefaultParams()
 	if rs.Provenance != nil && rs.Provenance.Params != nil {
 		params = *rs.Provenance.Params
@@ -106,7 +116,68 @@ func (t *tenant) setRuleset(rs *pfd.Ruleset) (replaced bool) {
 		t.reloads.Add(1)
 	}
 	t.touch()
-	return replaced
+	return replaced, gen
+}
+
+// restore rebuilds the tenant from its durable state at boot: the
+// recovered ruleset becomes generation st.Generation, the cumulative
+// counters resume where the journal left them, and the snapshot's
+// violation ring refills. The maintainer restarts with the recovered
+// row count as its evidence base; per-rule violation counters are not
+// persisted, so rule health re-demotes from fresh evidence after a
+// restart. Called before the tenant is published, so no locking races.
+func (t *tenant) restore(st durable.TenantState, rs *pfd.Ruleset) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = rs
+	t.rawRules = append([]byte(nil), st.Ruleset...)
+	params := pfd.DefaultParams()
+	if rs.Provenance != nil && rs.Provenance.Params != nil {
+		params = *rs.Provenance.Params
+	}
+	t.maint = pfd.NewMaintainer(rs.PFDs, params)
+	if st.Rows > 0 {
+		t.maint.ObserveRows(int(st.Rows))
+	}
+	t.gen.Store(st.Generation)
+	if st.Generation > 1 {
+		t.reloads.Store(st.Generation - 1)
+	}
+	t.rowBase.Store(st.Rows)
+	t.liveViolations.Store(st.LiveViolations)
+	t.retroSignals.Store(st.RetroSignals)
+	for _, f := range st.Ring {
+		t.push(f)
+	}
+	t.touch()
+}
+
+// stateSnapshot captures the tenant's durable state for a compaction
+// snapshot. ok is false for a tenant with no ruleset — there is
+// nothing to make durable. Reads the live engine's cheap row counter,
+// not a barrier: compaction runs concurrently with ingest, and any
+// in-flight rows it misses are still covered by their own journal
+// records (replay folds counters with max).
+func (t *tenant) stateSnapshot() (st durable.TenantState, ok bool) {
+	t.mu.RLock()
+	raw := t.rawRules
+	rows := t.rowBase.Load()
+	if t.eng != nil {
+		rows += int64(t.eng.Rows() - t.genWarm)
+	}
+	t.mu.RUnlock()
+	if len(raw) == 0 {
+		return durable.TenantState{}, false
+	}
+	return durable.TenantState{
+		Name:           t.name,
+		Generation:     t.gen.Load(),
+		Ruleset:        raw,
+		Rows:           rows,
+		LiveViolations: t.liveViolations.Load(),
+		RetroSignals:   t.retroSignals.Load(),
+		Ring:           t.recent(0),
+	}, true
 }
 
 // setRef installs (or clears) the warmup reference. It applies to the
@@ -283,8 +354,10 @@ func (t *tenant) acquire() (eng *pfd.StreamEngine, release func(), err error) {
 // order from this single goroutine (so one request's violation
 // attribution is deterministic). It returns how many tuples the
 // engine accepted — on error, the tuples before the failure are
-// already accepted and accounted.
-func (t *tenant) ingest(ctx context.Context, src pfd.Source) (accepted int, err error) {
+// already accepted and accounted. When digest is non-nil (durability
+// on), every accepted tuple is folded into it, so the journal record
+// carries an audit anchor for exactly the tuples the engine took.
+func (t *tenant) ingest(ctx context.Context, src pfd.Source, digest *durable.BatchDigest) (accepted int, err error) {
 	eng, release, err := t.acquire()
 	if err != nil {
 		return 0, err
@@ -300,6 +373,11 @@ func (t *tenant) ingest(ctx context.Context, src pfd.Source) (accepted int, err 
 		if serr := eng.Submit(tuple); serr != nil {
 			err = serr
 			break
+		}
+		if digest != nil {
+			// After Submit, so the digest covers exactly the accepted
+			// tuples (Submit extracts values; it never keeps the map).
+			digest.Add(tuple)
 		}
 		accepted++
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pfd/internal/pfd"
+	"pfd/internal/testleak"
 )
 
 func TestSubmitAfterCancelReturnsContextError(t *testing.T) {
@@ -120,9 +121,11 @@ func TestConcurrentProducersCancelMidRun(t *testing.T) {
 			t.Errorf("producer %d exited with %v, want context.Canceled", p, err)
 		}
 	}
-	// The final report is partial but must still be obtainable.
+	// The final report is partial but must still be obtainable, and
+	// Close must reap every shard worker even on the canceled path.
 	rep := eng.Close()
 	if rep.Rows < 0 {
 		t.Errorf("rows = %d", rep.Rows)
 	}
+	testleak.Wait(t, "pfd/internal/stream.")
 }

@@ -1,0 +1,60 @@
+// Package testleak is a dependency-free goroutine-leak check for this
+// repo's test suites. It counts goroutines whose stacks run code from
+// the given package-path substrings (e.g. "pfd/internal/stream."), so
+// test-harness and runtime goroutines never match — a targeted
+// substitute for a leak-checker library in a zero-dependency repo.
+//
+// Typical use, at the end of a lifecycle test:
+//
+//	eng.Close()
+//	testleak.Wait(t, "pfd/internal/stream.")
+package testleak
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Count returns how many goroutines are currently running code from
+// any of the given stack-trace substrings. The calling goroutine is
+// excluded: when the caller is a test in a watched package, its own
+// frames would otherwise match and the count could never reach zero.
+func Count(substrings ...string) int {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	count := 0
+	// runtime.Stack(all=true) prints the calling goroutine first.
+	stacks := strings.Split(string(buf), "\n\n")
+	for _, stack := range stacks[1:] {
+		for _, sub := range substrings {
+			if strings.Contains(stack, sub) {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// Wait polls until no goroutine matches any of the substrings (their
+// final returns race the Close/Drain caller), failing the test with a
+// full stack dump after five seconds.
+func Wait(t testing.TB, substrings ...string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := Count(substrings...)
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("%d goroutines still in %v code:\n%s", n, substrings, buf)
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

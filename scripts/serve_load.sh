@@ -26,6 +26,24 @@ trap cleanup EXIT
 
 say() { echo "serve_load: $*"; }
 
+# rcurl: curl with bounded retry and exponential backoff. The daemon
+# answers transient refusals (draining, degraded, backpressure) with
+# 503 + Retry-After; a load driver should wait them out, not die on
+# the first one.
+rcurl() {
+  local attempt=1 delay=0.2
+  while true; do
+    if curl -sfS "$@"; then return 0; fi
+    if [ "$attempt" -ge 5 ]; then
+      say "request failed after $attempt attempts: $*" >&2
+      return 1
+    fi
+    sleep "$delay"
+    delay=$(python3 -c "print($delay * 2)")
+    attempt=$((attempt + 1))
+  done
+}
+
 say "building binaries"
 go build -o "$workdir/bin/" ./cmd/pfdserved ./cmd/pfd ./cmd/datagen
 
@@ -56,17 +74,17 @@ say "server up at $addr, driving $tenants tenants x $rows rows"
 start=$(date +%s.%N)
 drive_tenant() {
   t="t$1"
-  curl -sfS -X PUT --data-binary @"$workdir/rules.json" \
+  rcurl -X PUT --data-binary @"$workdir/rules.json" \
     "http://$addr/v1/tenants/$t/ruleset" >/dev/null
   # First plan view compiles (miss), second must hit the cache.
-  curl -sfS "http://$addr/v1/tenants/$t/plan" >"$workdir/plan_$t.json"
-  curl -sfS "http://$addr/v1/tenants/$t/plan" >"$workdir/plan2_$t.json"
-  curl -sfS -X POST -H 'Content-Type: text/csv' --data-binary @"$csv" \
+  rcurl "http://$addr/v1/tenants/$t/plan" >"$workdir/plan_$t.json"
+  rcurl "http://$addr/v1/tenants/$t/plan" >"$workdir/plan2_$t.json"
+  rcurl -X POST -H 'Content-Type: text/csv' --data-binary @"$csv" \
     "http://$addr/v1/tenants/$t/tuples" >/dev/null
   # Hot reload invalidates the cached plan; the next view recompiles.
-  curl -sfS -X PUT --data-binary @"$workdir/rules.json" \
+  rcurl -X PUT --data-binary @"$workdir/rules.json" \
     "http://$addr/v1/tenants/$t/ruleset" >/dev/null
-  curl -sfS "http://$addr/v1/tenants/$t/plan" >/dev/null
+  rcurl "http://$addr/v1/tenants/$t/plan" >/dev/null
 }
 pids=()
 for i in $(seq 1 "$tenants"); do
